@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.hpp"
+#include "core/engine.hpp"
+#include "graph/csr.hpp"
+#include "graph/datasets.hpp"
+#include "select/its.hpp"
+
+namespace csaw::bench {
+
+/// Shared bench scaling knobs (environment overrides in parentheses).
+/// Paper-scale values are 2,000 sampling / 4,000 walk instances with
+/// 2,000-step walks on full-size graphs; the defaults shrink everything
+/// ~1/10 per axis so the whole suite runs in minutes on one CPU core.
+struct BenchEnv {
+  std::uint32_t sampling_instances = 2000;  ///< (CSAW_INSTANCES)
+  /// Walk instance count stays at paper scale — device occupancy (and so
+  /// the multi-GPU story) depends on it; only the walk length is scaled.
+  std::uint32_t walk_instances = 4000;  ///< (CSAW_WALK_INSTANCES)
+  std::uint32_t walk_length = 200;      ///< (CSAW_WALK_LENGTH)
+  /// MDRW is the most host-expensive sampler (per-step pool rescans on
+  /// the CPU baseline); it gets its own scaled instance count.
+  std::uint32_t mdrw_instances = 1000;  ///< (CSAW_MDRW_INSTANCES)
+  std::uint64_t seed = 0xC5A7B31Cull;   ///< (CSAW_SEED)
+
+  static BenchEnv from_env();
+};
+
+/// Generates (and caches per process) the scaled stand-in for a dataset
+/// abbreviation.
+const CsrGraph& dataset(const std::string& abbr);
+
+/// n deterministic seed vertices spread over the graph.
+std::vector<VertexId> make_seeds(const CsrGraph& graph, std::uint32_t n,
+                                 std::uint64_t seed);
+
+/// n frontier pools of `pool_size` vertices each (MDRW instances).
+std::vector<std::vector<VertexId>> make_pools(const CsrGraph& graph,
+                                              std::uint32_t n,
+                                              std::uint32_t pool_size,
+                                              std::uint64_t seed);
+
+/// Prints the standard bench banner: what paper artifact this regenerates
+/// and at which scale.
+void print_banner(const std::string& title, const std::string& paper_ref);
+
+/// Device parameters for out-of-memory benches. The generated stand-in is
+/// ~1000-10000x smaller than the published graph while instance counts are
+/// at paper scale, which would make partition transfers unrealistically
+/// cheap; this scales the simulated host link by (standin bytes / paper
+/// CSR bytes) so one partition transfer costs what it would on the
+/// paper's testbed, times a single global calibration constant
+/// compensating the analytic kernel model's under-costing of divergence
+/// (see DeviceParams::cycles_per_round).
+sim::DeviceParams oom_device_params(const DatasetSpec& spec,
+                                    const CsrGraph& graph);
+
+/// The four in-memory SELECT configurations of Fig. 10's legend.
+struct InMemConfig {
+  std::string label;
+  SelectConfig select;
+};
+const std::vector<InMemConfig>& fig10_configs();
+
+/// The four applications of Figs. 10-13 (biased neighbor sampling, forest
+/// fire, layer sampling, unbiased neighbor sampling) built at the paper's
+/// §VI parameters (NeighborSize = Depth = 2, Pf = 0.7).
+struct BenchApp {
+  std::string label;
+  AlgorithmSetup setup;
+  bool oom_capable = true;
+};
+const std::vector<BenchApp>& inmem_apps();
+/// Fig. 13's application list swaps layer sampling for biased random walk
+/// (whose length is scaled by `walk_length`).
+std::vector<BenchApp> oom_apps(std::uint32_t walk_length);
+
+}  // namespace csaw::bench

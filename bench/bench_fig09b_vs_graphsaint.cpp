@@ -1,0 +1,70 @@
+// Fig. 9(b): C-SAW vs GraphSAINT (C++ sampler) on multi-dimensional
+// random walk, MSEPS with 1 and 6 GPUs.
+//
+// GraphSAINT's C++ implementation supports exactly this sampler; it runs
+// in wall-clock on this host while C-SAW runs on the simulator — shape,
+// not absolute numbers (paper: 8.1x / 11.5x average).
+#include <iostream>
+
+#include "algorithms/mdrw.hpp"
+#include "baselines/graphsaint.hpp"
+#include "bench_common.hpp"
+#include "multigpu/multi_device.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace csaw;
+  const auto env = bench::BenchEnv::from_env();
+  // Paper setup: FrontierSize 2,000 per instance, 4,000 instances; scaled
+  // to pool 200 x walk_instances, with steps chosen to land near the
+  // paper's ~1,700 sampled edges per instance at 1/10 scale.
+  const auto pool_size = static_cast<std::uint32_t>(
+      env_int_or("CSAW_POOL_SIZE", 200));
+  const std::uint32_t steps = env.walk_length;
+  bench::print_banner(
+      "Fig. 9(b) — C-SAW vs GraphSAINT, multi-dimensional random walk",
+      "Fig. 9(b); scaled: " + std::to_string(env.mdrw_instances) +
+          " instances, pool " + std::to_string(pool_size) + ", " +
+          std::to_string(steps) + " steps");
+
+  auto setup = multi_dimensional_random_walk(steps);
+  TablePrinter table({"graph", "GraphSAINT MSEPS", "C-SAW 1 GPU MSEPS",
+                      "C-SAW 6 GPU MSEPS", "speedup 1 GPU",
+                      "speedup 6 GPU"});
+
+  for (const DatasetSpec& spec : paper_datasets()) {
+    const CsrGraph& g = bench::dataset(spec.abbr);
+
+    const auto saint = graphsaint_mdrw(g, env.mdrw_instances, pool_size,
+                                       steps, env.seed);
+
+    const auto pools =
+        bench::make_pools(g, env.mdrw_instances, pool_size, env.seed);
+    auto run_devices = [&](std::uint32_t devices) {
+      MultiDeviceConfig config;
+      config.num_devices = devices;
+      // MDRW needs whole-pool frontier state: in-memory engine only (the
+      // paper likewise benchmarks MDRW on the in-memory path).
+      config.out_of_memory = false;
+      return run_multi_device(g, setup.policy, setup.spec, pools, config);
+    };
+    const auto one = run_devices(1);
+    const auto six = run_devices(6);
+
+    const double saint_mseps = saint.seps() / 1e6;
+    const double one_mseps = one.seps() / 1e6;
+    const double six_mseps = six.seps() / 1e6;
+    table.row()
+        .cell(spec.abbr)
+        .cell(saint_mseps, 2)
+        .cell(one_mseps, 2)
+        .cell(six_mseps, 2)
+        .cell(saint_mseps > 0 ? one_mseps / saint_mseps : 0.0, 1)
+        .cell(saint_mseps > 0 ? six_mseps / saint_mseps : 0.0, 1);
+  }
+  table.print(std::cout);
+  std::cout << "Paper shape: C-SAW ~8.1x (1 GPU) and ~11.5x (6 GPUs) over "
+               "GraphSAINT on average.\n";
+  return 0;
+}

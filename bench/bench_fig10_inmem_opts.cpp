@@ -1,0 +1,53 @@
+// Fig. 10: performance impact of the in-memory optimizations. For each of
+// the four applications and eight in-memory graphs, runs the four SELECT
+// configurations — repeated sampling (baseline), updated sampling,
+// bipartite region search, bipartite + strided bitmap — and reports
+// speedup over repeated sampling in simulated kernel time.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace csaw;
+  const auto env = bench::BenchEnv::from_env();
+  bench::print_banner(
+      "Fig. 10 — in-memory optimization speedups",
+      "Fig. 10(a-d); paper setup: NeighborSize=Depth=2, 2,000 instances "
+      "(scaled to " + std::to_string(env.sampling_instances) + ")");
+
+  for (const bench::BenchApp& app : bench::inmem_apps()) {
+    std::cout << "-- " << app.label << " (speedup vs repeated sampling)\n";
+    TablePrinter table(
+        {"graph", "repeated", "updated", "bipartite", "bipartite+bitmap"});
+
+    for (const DatasetSpec& spec : in_memory_datasets()) {
+      const CsrGraph& g = bench::dataset(spec.abbr);
+      CsrGraphView view(g);
+      const auto seeds =
+          bench::make_seeds(g, env.sampling_instances, env.seed);
+
+      std::vector<double> seconds;
+      for (const bench::InMemConfig& config : bench::fig10_configs()) {
+        EngineConfig engine_config;
+        engine_config.select = config.select;
+        SamplingEngine engine(view, app.setup.policy, app.setup.spec,
+                              engine_config);
+        sim::Device device;
+        seconds.push_back(engine.run_single_seed(device, seeds).sim_seconds);
+      }
+
+      auto row = table.row();
+      row.cell(spec.abbr);
+      for (double s : seconds) {
+        row.cell(s > 0.0 ? seconds[0] / s : 0.0, 2);
+      }
+    }
+    table.print(std::cout);
+  }
+  std::cout << "Paper shape: bipartite > updated > repeated; bitmap adds a "
+               "further increment (avg 1.8x/1.5x/1.8x/1.28x with bitmap on "
+               "the four apps); low-degree graphs (AM, CP, WG) gain most; "
+               "layer sampling gains least.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 14: workload balance across concurrent kernels, measured as the
+// mean coefficient of variation of per-stream kernel time per scheduling
+// round (the paper plots a normalized standard deviation; lower is
+// better). Compared: even-resource baseline (instance-grained kernels),
+// +BA (batched), +BA+BAL (block-count balancing).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "oom/oom_engine.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace csaw;
+  const auto env = bench::BenchEnv::from_env();
+  const std::uint32_t walk_length = std::max(8u, env.walk_length / 10);
+  bench::print_banner("Fig. 14 — kernel-time imbalance",
+                      "Fig. 14(a-d); mean per-round CV of per-stream kernel "
+                      "time (lower is better)");
+
+  for (const bench::BenchApp& app : bench::oom_apps(walk_length)) {
+    std::cout << "-- " << app.label << "\n";
+    TablePrinter table({"graph", "baseline", "BA", "BA+BAL"});
+
+    for (const DatasetSpec& spec : paper_datasets()) {
+      const CsrGraph& g = bench::dataset(spec.abbr);
+      const auto seeds =
+          bench::make_seeds(g, env.sampling_instances, env.seed);
+
+      auto imbalance = [&](bool batched, bool balancing) {
+        OomConfig config;
+        config.num_partitions = 4;
+        config.resident_partitions = 2;
+        config.num_streams = 2;
+        config.batched = batched;
+        config.workload_aware = true;
+        config.block_balancing = balancing;
+        OomEngine engine(g, app.setup.policy, app.setup.spec, config);
+        sim::Device device(0, bench::oom_device_params(spec, g));
+        return engine.run_single_seed(device, seeds)
+            .metrics.kernel_imbalance;
+      };
+
+      table.row()
+          .cell(spec.abbr)
+          .cell(imbalance(false, false), 3)
+          .cell(imbalance(true, false), 3)
+          .cell(imbalance(true, true), 3);
+    }
+    table.print(std::cout);
+  }
+  std::cout << "Paper shape: BA and BAL shrink the deviation (12-27% "
+               "average kernel-time reduction); random-walk apps benefit "
+               "least because frontiers stay small.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 16(b): biased neighbor sampling time as the number of instances
+// grows (2k, 4k, 8k, 16k in the paper; scaled 1/10 here) at
+// NeighborSize=8, Depth=3. Shape: time grows with instances; high-degree
+// graphs are slowest.
+#include <iostream>
+
+#include "algorithms/neighbor_sampling.hpp"
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace csaw;
+  const auto env = bench::BenchEnv::from_env();
+  const auto base = static_cast<std::uint32_t>(
+      env_int_or("CSAW_FIG16_BASE_INSTANCES", 200));  // paper: 2k
+  bench::print_banner("Fig. 16(b) — sampling time vs #instances",
+                      "Fig. 16(b); NeighborSize=8, Depth=3, instance sweep " +
+                          std::to_string(base) + "x{1,2,4,8}");
+
+  const std::vector<std::uint32_t> multipliers = {1, 2, 4, 8};
+  TablePrinter table({"graph", "1x ms", "2x ms", "4x ms", "8x ms"});
+  std::vector<double> averages(multipliers.size(), 0.0);
+
+  auto setup = biased_neighbor_sampling(/*neighbor_size=*/8, /*depth=*/3);
+  for (const DatasetSpec& spec : paper_datasets()) {
+    const CsrGraph& g = bench::dataset(spec.abbr);
+    CsrGraphView view(g);
+
+    auto row = table.row();
+    row.cell(spec.abbr);
+    for (std::size_t i = 0; i < multipliers.size(); ++i) {
+      const auto seeds =
+          bench::make_seeds(g, base * multipliers[i], env.seed);
+      SamplingEngine engine(view, setup.policy, setup.spec);
+      sim::Device device;
+      const double ms =
+          engine.run_single_seed(device, seeds).sim_seconds * 1e3;
+      averages[i] += ms / static_cast<double>(paper_datasets().size());
+      row.cell(ms, 2);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "Average ms per instance count:";
+  for (std::size_t i = 0; i < multipliers.size(); ++i) {
+    std::cout << "  " << multipliers[i] << "x: " << fmt(averages[i], 2);
+  }
+  std::cout << "\nPaper shape: averages 2/5/9/15 ms for 2k/4k/8k/16k — "
+               "roughly linear in instance count.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 16(a): biased neighbor sampling time as NeighborSize grows
+// (1, 2, 4, 8) at Depth 3. The paper reports average sampling times of
+// 3/4/7/14 ms on a V100 with 16k instances; the shape to check is the
+// roughly linear growth with NeighborSize and high-degree graphs (TW, RE,
+// OR) being slowest.
+#include <iostream>
+
+#include "algorithms/neighbor_sampling.hpp"
+#include "bench_common.hpp"
+#include "core/engine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace csaw;
+  const auto env = bench::BenchEnv::from_env();
+  const auto instances = static_cast<std::uint32_t>(
+      env_int_or("CSAW_FIG16_INSTANCES", 1600));  // paper: 16k
+  bench::print_banner("Fig. 16(a) — sampling time vs NeighborSize",
+                      "Fig. 16(a); Depth=3, " + std::to_string(instances) +
+                          " instances (paper: 16k), simulated ms");
+
+  const std::vector<std::uint32_t> sizes = {1, 2, 4, 8};
+  TablePrinter table({"graph", "NS=1 ms", "NS=2 ms", "NS=4 ms", "NS=8 ms"});
+  std::vector<double> averages(sizes.size(), 0.0);
+
+  for (const DatasetSpec& spec : paper_datasets()) {
+    const CsrGraph& g = bench::dataset(spec.abbr);
+    CsrGraphView view(g);
+    const auto seeds = bench::make_seeds(g, instances, env.seed);
+
+    auto row = table.row();
+    row.cell(spec.abbr);
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      auto setup = biased_neighbor_sampling(sizes[i], /*depth=*/3);
+      SamplingEngine engine(view, setup.policy, setup.spec);
+      sim::Device device;
+      const double ms =
+          engine.run_single_seed(device, seeds).sim_seconds * 1e3;
+      averages[i] += ms / static_cast<double>(paper_datasets().size());
+      row.cell(ms, 2);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "Average ms per NeighborSize:";
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::cout << "  NS=" << sizes[i] << ": " << fmt(averages[i], 2);
+  }
+  std::cout << "\nPaper shape: averages 3/4/7/14 ms — near-linear growth "
+               "in NeighborSize; graph size secondary to degree.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// GraphSAINT-style GCN minibatch sampling — the paper's headline
+// application (§I cites GraphSAINT/GCN training on sampled subgraphs).
+//
+// Uses multi-dimensional random walk (frontier sampling) to draw
+// minibatch subgraphs and checks the property GCN training cares about:
+// the sampled subgraphs preserve the degree distribution of the original
+// graph far better than uniform random node sampling at equal budget.
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+#include "algorithms/mdrw.hpp"
+#include "algorithms/one_pass.hpp"
+#include "analysis/metrics.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace csaw;
+  const CsrGraph graph = generate_rmat(16384, 131072, 0x6C1);
+  std::cout << "full graph: " << graph.num_vertices() << " vertices, "
+            << graph.num_edges() << " edges, avg degree "
+            << graph.average_degree() << "\n\n";
+
+  const std::uint32_t kBatches = 8;
+  const std::uint32_t kPoolSize = 64;
+  const std::uint32_t kSteps = 512;
+
+  // MDRW minibatches through the C-SAW engine.
+  auto setup = multi_dimensional_random_walk(kSteps);
+  CsrGraphView view(graph);
+  SamplingEngine engine(view, setup.policy, setup.spec);
+  sim::Device device;
+
+  Xoshiro256 rng(77);
+  std::vector<std::vector<VertexId>> pools(kBatches);
+  for (auto& pool : pools) {
+    pool.resize(kPoolSize);
+    for (auto& v : pool) {
+      v = static_cast<VertexId>(rng.bounded(graph.num_vertices()));
+    }
+  }
+  const SampleRun run = engine.run(device, pools);
+
+  TablePrinter table({"batch", "vertices", "edges", "avg degree",
+                      "KS vs full", "KS uniform-node"});
+  for (std::uint32_t b = 0; b < kBatches; ++b) {
+    // Vertex set touched by this minibatch -> induced subgraph.
+    std::set<VertexId> touched(pools[b].begin(), pools[b].end());
+    for (const Edge& e : run.samples.edges(b)) {
+      touched.insert(e.src);
+      touched.insert(e.dst);
+    }
+    const std::vector<VertexId> vertices(touched.begin(), touched.end());
+    const CsrGraph sub = induced_subgraph(graph, vertices);
+
+    // Uniform node sample of the same size, as the naive baseline.
+    const auto uniform = random_node_sampling(
+        graph, static_cast<std::uint32_t>(vertices.size()), rng);
+    const CsrGraph uniform_sub = induced_subgraph(graph, uniform);
+
+    table.row()
+        .cell(static_cast<std::int64_t>(b))
+        .cell(static_cast<std::int64_t>(sub.num_vertices()))
+        .cell(static_cast<std::int64_t>(sub.num_edges()))
+        .cell(sub.average_degree(), 2)
+        .cell(degree_ks_distance(graph, sub), 3)
+        .cell(degree_ks_distance(graph, uniform_sub), 3);
+  }
+  table.print(std::cout);
+  std::cout << "MDRW minibatches should sit closer to the full graph's "
+               "degree distribution (smaller KS) than uniform node "
+               "sampling, and carry far more edges per vertex.\n"
+            << "sampler device time: " << run.sim_seconds * 1e3 << " ms ("
+            << run.seps() / 1e6 << " MSEPS)\n";
+  return 0;
+}

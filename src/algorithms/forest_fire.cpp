@@ -1,0 +1,36 @@
+#include "algorithms/forest_fire.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace csaw {
+
+std::uint32_t forest_fire_burn_count(double pf, double r) {
+  CSAW_CHECK(pf > 0.0 && pf < 1.0);
+  // Inversion of the geometric CDF: k = floor(ln(1-r) / ln(pf)).
+  // r < 1 - pf^1 = 1-pf ... maps to k=0?  P(k=0) = 1-pf. Check: k >= 1
+  // iff 1-r <= pf iff r >= 1-pf, which has probability pf. Correct.
+  const double k = std::floor(std::log1p(-r) / std::log(pf));
+  return static_cast<std::uint32_t>(std::max(0.0, k));
+}
+
+AlgorithmSetup forest_fire(double pf, std::uint32_t depth,
+                           std::uint32_t max_burn) {
+  CSAW_CHECK(max_burn >= 1);
+  AlgorithmSetup setup;
+  setup.spec.depth = depth;
+  setup.spec.with_replacement = false;
+  setup.spec.filter_visited = true;
+  setup.spec.branching_cap = max_burn;
+  setup.spec.neighbor_size = max_burn;  // upper bound; variable draw rules
+  setup.spec.variable_neighbor_size = [pf](EdgeIndex degree, double r) {
+    const std::uint32_t burn = forest_fire_burn_count(pf, r);
+    return std::min<std::uint32_t>(burn,
+                                   static_cast<std::uint32_t>(degree));
+  };
+  return setup;
+}
+
+}  // namespace csaw

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "algorithms/registry.hpp"
+
+namespace csaw {
+
+/// Forest fire sampling (Leskovec & Faloutsos, KDD'06; paper §II-A): a
+/// probabilistic neighbor sampler. Each burning vertex ignites a
+/// geometrically distributed number of its neighbors with burning
+/// probability `pf` (the paper's evaluation uses pf = 0.7, giving a mean
+/// of pf/(1-pf) ≈ 2.33 neighbors); burned vertices never re-burn.
+///
+/// `max_burn` caps the per-vertex burn count; it doubles as the branching
+/// cap that keeps RNG slots order-independent for the out-of-memory
+/// engine.
+AlgorithmSetup forest_fire(double pf, std::uint32_t depth,
+                           std::uint32_t max_burn = 16);
+
+/// The geometric burn-count draw, exposed for tests: number of neighbors
+/// k >= 0 with P(k >= 1) = pf, P(k = j) = (1-pf) * pf^j.
+std::uint32_t forest_fire_burn_count(double pf, double r);
+
+}  // namespace csaw

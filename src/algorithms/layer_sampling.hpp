@@ -1,0 +1,17 @@
+#pragma once
+
+#include "algorithms/registry.hpp"
+
+namespace csaw {
+
+/// Layer sampling (Gao et al., KDD'18; paper §II-A): unlike neighbor
+/// sampling, which selects per vertex, layer sampling pools the neighbors
+/// of *every* frontier vertex and selects a constant `layer_size` from
+/// the combined pool per round (Table I: per-layer, static bias). The
+/// bias of a pooled edge is the degree of its endpoint, so hubs are kept
+/// preferentially — and because one selection spans a large pool, the
+/// collision rate is low (the paper's explanation for layer sampling
+/// benefiting least from bipartite region search).
+AlgorithmSetup layer_sampling(std::uint32_t layer_size, std::uint32_t depth);
+
+}  // namespace csaw

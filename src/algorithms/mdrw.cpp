@@ -1,0 +1,21 @@
+#include "algorithms/mdrw.hpp"
+
+namespace csaw {
+
+AlgorithmSetup multi_dimensional_random_walk(std::uint32_t steps) {
+  AlgorithmSetup setup;
+  setup.spec.select_frontier = true;
+  setup.spec.frontier_size = 1;
+  setup.spec.neighbor_size = 1;
+  setup.spec.depth = steps;
+  setup.spec.with_replacement = true;
+  setup.spec.filter_visited = false;
+  setup.policy.vertex_bias = [](const GraphView& view, VertexId v,
+                                const InstanceContext&) {
+    return static_cast<float>(view.degree(v));
+  };
+  // EDGEBIAS = 1 and UPDATE = e.u are the defaults (paper Fig. 3(b)).
+  return setup;
+}
+
+}  // namespace csaw

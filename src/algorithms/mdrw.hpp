@@ -1,0 +1,17 @@
+#pragma once
+
+#include "algorithms/registry.hpp"
+
+namespace csaw {
+
+/// Multi-dimensional random walk / frontier sampling (Ribeiro & Towsley;
+/// paper Figs. 3(b) and 4): an instance owns a pool of seed vertices. At
+/// each step one pool vertex is selected with probability proportional to
+/// its degree (VERTEXBIAS), a uniform neighbor of it is sampled
+/// (EDGEBIAS = 1), and that neighbor replaces the chosen vertex in the
+/// pool. This is the GraphSAINT random-walk sampler the paper benchmarks
+/// in Fig. 9(b); seed the engine with `frontier_pool_size` vertices per
+/// instance.
+AlgorithmSetup multi_dimensional_random_walk(std::uint32_t steps);
+
+}  // namespace csaw

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "algorithms/registry.hpp"
+
+namespace csaw {
+
+/// Unbiased neighbor sampling (paper Table I, DGL NeighborSampler): each
+/// frontier vertex independently samples `neighbor_size` distinct
+/// neighbors uniformly; sampled vertices form the next frontier; vertices
+/// never repeat within an instance.
+AlgorithmSetup unbiased_neighbor_sampling(std::uint32_t neighbor_size,
+                                          std::uint32_t depth);
+
+/// Biased neighbor sampling: identical traversal, but neighbors are
+/// selected with probability proportional to their degree (the paper's
+/// running example bias, Fig. 1). Degree bias on a power-law graph makes
+/// the CTPS highly skewed — the collision-heavy workload of Figs. 10-11.
+AlgorithmSetup biased_neighbor_sampling(std::uint32_t neighbor_size,
+                                        std::uint32_t depth);
+
+}  // namespace csaw

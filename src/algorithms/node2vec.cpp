@@ -1,0 +1,26 @@
+#include "algorithms/node2vec.hpp"
+
+#include "util/check.hpp"
+
+namespace csaw {
+
+AlgorithmSetup node2vec(std::uint32_t length, double p, double q) {
+  CSAW_CHECK(p > 0.0 && q > 0.0);
+  AlgorithmSetup setup;
+  setup.spec.neighbor_size = 1;
+  setup.spec.depth = length;
+  setup.spec.with_replacement = true;
+  setup.spec.filter_visited = false;
+  setup.policy.edge_bias = [inv_p = 1.0f / static_cast<float>(p),
+                            inv_q = 1.0f / static_cast<float>(q)](
+                               const GraphView& view, const EdgeRef& e,
+                               const InstanceContext& ctx) {
+    if (ctx.prev_vertex == kInvalidVertex) return e.weight;  // first step
+    if (e.u == ctx.prev_vertex) return e.weight * inv_p;
+    if (view.has_edge(ctx.prev_vertex, e.u)) return e.weight;
+    return e.weight * inv_q;
+  };
+  return setup;
+}
+
+}  // namespace csaw

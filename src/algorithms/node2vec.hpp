@@ -1,0 +1,17 @@
+#pragma once
+
+#include "algorithms/registry.hpp"
+
+namespace csaw {
+
+/// node2vec (Grover & Leskovec, KDD'16; paper Fig. 3(a)): a second-order
+/// walk whose bias depends on the distance between the candidate u and
+/// the previously visited vertex `prev`:
+///   u == prev           -> weight * (1/p)   (return)
+///   u is prev's neighbor -> weight          (distance 1)
+///   otherwise           -> weight * (1/q)   (explore)
+/// The dynamic bias is the paper's canonical example of a distribution
+/// that cannot be pre-computed (KnightKing must fall back to rejection).
+AlgorithmSetup node2vec(std::uint32_t length, double p, double q);
+
+}  // namespace csaw

@@ -1,0 +1,96 @@
+#include "algorithms/one_pass.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+#include "util/bitmap.hpp"
+#include "util/check.hpp"
+
+namespace csaw {
+
+std::vector<VertexId> random_node_sampling(const CsrGraph& graph,
+                                           std::uint32_t count,
+                                           Xoshiro256& rng) {
+  const VertexId n = graph.num_vertices();
+  CSAW_CHECK(count <= n);
+  // Floyd's algorithm: uniform distinct sample in O(count) expected time.
+  Bitset taken(n);
+  std::vector<VertexId> out;
+  out.reserve(count);
+  for (VertexId j = n - count; j < n; ++j) {
+    const auto t = static_cast<VertexId>(rng.bounded(j + 1));
+    if (taken.test(t)) {
+      taken.set(j);
+      out.push_back(j);
+    } else {
+      taken.set(t);
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::vector<Edge> random_edge_sampling(const CsrGraph& graph,
+                                       std::uint64_t count, Xoshiro256& rng) {
+  const EdgeIndex m = graph.num_edges();
+  CSAW_CHECK(count <= m);
+  Bitset taken(m);
+  std::vector<EdgeIndex> picks;
+  picks.reserve(count);
+  for (EdgeIndex j = m - count; j < m; ++j) {
+    const EdgeIndex t = rng.bounded(j + 1);
+    if (taken.test(t)) {
+      taken.set(j);
+      picks.push_back(j);
+    } else {
+      taken.set(t);
+      picks.push_back(t);
+    }
+  }
+
+  // Translate flat edge indices back to (src, dst) via the row pointers.
+  std::sort(picks.begin(), picks.end());
+  std::vector<Edge> out;
+  out.reserve(count);
+  VertexId src = 0;
+  const auto row_ptr = graph.row_ptr();
+  const auto col_idx = graph.col_idx();
+  for (EdgeIndex pick : picks) {
+    while (row_ptr[src + 1] <= pick) ++src;
+    const EdgeIndex k = pick - row_ptr[src];
+    out.push_back(Edge{src, col_idx[pick], graph.edge_weight(src, k)});
+  }
+  return out;
+}
+
+CsrGraph induced_subgraph(const CsrGraph& graph,
+                          std::span<const VertexId> vertices) {
+  std::vector<VertexId> sorted(vertices.begin(), vertices.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::unordered_map<VertexId, VertexId> remap;
+  remap.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    remap.emplace(sorted[i], static_cast<VertexId>(i));
+  }
+
+  std::vector<Edge> edges;
+  for (VertexId v : sorted) {
+    const auto adj = graph.neighbors(v);
+    for (std::size_t k = 0; k < adj.size(); ++k) {
+      const auto it = remap.find(adj[k]);
+      if (it == remap.end()) continue;
+      edges.push_back(Edge{remap.at(v), it->second,
+                           graph.edge_weight(v, static_cast<EdgeIndex>(k))});
+    }
+  }
+  BuildOptions options;
+  options.symmetrize = false;  // edges already appear in both directions
+  options.keep_weights = graph.has_weights();
+  return build_csr(std::move(edges),
+                   static_cast<VertexId>(sorted.size()), options);
+}
+
+}  // namespace csaw

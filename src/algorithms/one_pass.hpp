@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace csaw {
+
+/// One-pass sampling (paper §II-A): a single scan over the original graph
+/// rather than a traversal. These do not go through the bias-centric
+/// engine — they are the trivial baselines the taxonomy contrasts with.
+
+/// Uniformly selects `count` distinct vertices.
+std::vector<VertexId> random_node_sampling(const CsrGraph& graph,
+                                           std::uint32_t count,
+                                           Xoshiro256& rng);
+
+/// Uniformly selects `count` distinct directed edges.
+std::vector<Edge> random_edge_sampling(const CsrGraph& graph,
+                                       std::uint64_t count, Xoshiro256& rng);
+
+/// The induced subgraph over `vertices` (the usual consumer of one-pass
+/// node sampling): keeps every edge with both endpoints selected, with
+/// endpoints renumbered to 0..|vertices|-1 in sorted order.
+CsrGraph induced_subgraph(const CsrGraph& graph,
+                          std::span<const VertexId> vertices);
+
+}  // namespace csaw

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "algorithms/registry.hpp"
+
+namespace csaw {
+
+/// Simple (unbiased) random walk: at every step move to a uniformly
+/// random neighbor. Deepwalk's walk generator is exactly this.
+AlgorithmSetup simple_random_walk(std::uint32_t length);
+
+/// Biased random walk (Biased Deepwalk, paper §II-A): a static bias —
+/// each neighbor is selected with probability proportional to its degree
+/// (times the edge weight on weighted graphs). This is the workload of
+/// the paper's Fig. 9(a) KnightKing comparison.
+AlgorithmSetup biased_random_walk(std::uint32_t length);
+
+/// Metropolis-Hastings random walk (paper §II-A): propose a uniform
+/// neighbor u of v, accept with min(1, degree(v)/degree(u)), otherwise
+/// stay at v. The acceptance rule makes the stationary distribution
+/// uniform over vertices (tested).
+AlgorithmSetup metropolis_hastings_walk(std::uint32_t length);
+
+/// Random walk with jump: with probability `jump_probability` teleport to
+/// a uniformly random vertex, otherwise take a simple-random-walk step.
+/// Escapes local traps (paper §II-A).
+AlgorithmSetup random_walk_with_jump(std::uint32_t length,
+                                     double jump_probability);
+
+/// Random walk with restart: with probability `restart_probability` jump
+/// back to the instance's seed vertex. The classic PPR estimator.
+AlgorithmSetup random_walk_with_restart(std::uint32_t length,
+                                        double restart_probability);
+
+}  // namespace csaw

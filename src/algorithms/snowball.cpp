@@ -1,0 +1,14 @@
+#include "algorithms/snowball.hpp"
+
+namespace csaw {
+
+AlgorithmSetup snowball(std::uint32_t depth) {
+  AlgorithmSetup setup;
+  setup.spec.depth = depth;
+  setup.spec.sample_all_neighbors = true;
+  setup.spec.filter_visited = true;
+  setup.spec.with_replacement = false;
+  return setup;
+}
+
+}  // namespace csaw

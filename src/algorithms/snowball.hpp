@@ -1,0 +1,13 @@
+#pragma once
+
+#include "algorithms/registry.hpp"
+
+namespace csaw {
+
+/// Snowball sampling (paper §II-A): starting from uniformly selected
+/// seeds, iteratively add *all* neighbors of every sampled vertex until
+/// the requested depth. No SELECT is involved — the sample is the full
+/// BFS ball, deduplicated by the visited filter.
+AlgorithmSetup snowball(std::uint32_t depth);
+
+}  // namespace csaw

@@ -1,0 +1,167 @@
+#include "analysis/estimators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algorithms/random_walks.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace csaw {
+namespace {
+
+/// Runs `walks` simple random walks of `length` steps from degree-spread
+/// seeds and calls `visit(v)` for every post-burn-in position.
+template <typename Visit>
+void walk_positions(const CsrGraph& graph, std::uint32_t walks,
+                    std::uint32_t length, std::uint32_t burn_in,
+                    std::uint64_t seed, Visit&& visit) {
+  CSAW_CHECK(burn_in < length);
+  auto setup = simple_random_walk(length);
+  CsrGraphView view(graph);
+  EngineConfig config;
+  config.seed = seed;
+  SamplingEngine engine(view, setup.policy, setup.spec, config);
+  sim::Device device;
+
+  Xoshiro256 rng(seed ^ 0x5EEDull);
+  std::vector<VertexId> seeds(walks);
+  for (auto& s : seeds) {
+    s = static_cast<VertexId>(rng.bounded(graph.num_vertices()));
+  }
+  const SampleRun run = engine.run_single_seed(device, seeds);
+
+  for (std::uint32_t w = 0; w < walks; ++w) {
+    const auto& path = run.samples.edges(w);
+    for (std::size_t s = burn_in; s < path.size(); ++s) {
+      // path[s].src is the walk's position before step s; post burn-in
+      // positions approximate the degree-proportional stationary
+      // distribution.
+      visit(path[s].src);
+    }
+  }
+}
+
+}  // namespace
+
+double estimate_average_degree(const CsrGraph& graph, std::uint32_t walks,
+                               std::uint32_t length, std::uint32_t burn_in,
+                               std::uint64_t seed) {
+  // Stationary visits ~ deg(v)/2m. E[1/deg] under the walk = n/2m, so
+  // avg degree = 2m/n = 1 / E_walk[1/deg].
+  double inverse_sum = 0.0;
+  std::uint64_t count = 0;
+  walk_positions(graph, walks, length, burn_in, seed, [&](VertexId v) {
+    inverse_sum += 1.0 / static_cast<double>(graph.degree(v));
+    ++count;
+  });
+  CSAW_CHECK_MSG(count > 0, "no walk positions collected");
+  return static_cast<double>(count) / inverse_sum;
+}
+
+std::vector<double> estimate_degree_distribution(const CsrGraph& graph,
+                                                 std::uint32_t walks,
+                                                 std::uint32_t length,
+                                                 std::uint32_t burn_in,
+                                                 std::uint64_t seed) {
+  // P(deg-bin = i) = E_walk[ 1/deg * 1{deg in bin i} ] / E_walk[ 1/deg ].
+  std::vector<double> weighted(32, 0.0);
+  double inverse_sum = 0.0;
+  walk_positions(graph, walks, length, burn_in, seed, [&](VertexId v) {
+    const double d = static_cast<double>(graph.degree(v));
+    const auto bin =
+        static_cast<std::size_t>(std::min(31.0, std::log2(d + 1.0)));
+    weighted[bin] += 1.0 / d;
+    inverse_sum += 1.0 / d;
+  });
+  CSAW_CHECK(inverse_sum > 0.0);
+  for (auto& w : weighted) w /= inverse_sum;
+  return weighted;
+}
+
+double estimate_clustering_coefficient(const CsrGraph& graph,
+                                       std::uint32_t walks,
+                                       std::uint32_t length,
+                                       std::uint64_t seed) {
+  // Global coefficient = sum_v closed_wedges(v) / sum_v wedges(v). With
+  // stationary visits ~ deg(v), weight each probed wedge by
+  // wedges(v)/deg(v) to get an estimate of both sums up to one constant.
+  Xoshiro256 rng(seed ^ 0xC0FFEEull);
+  double weighted_closed = 0.0, weighted_wedges = 0.0;
+  walk_positions(graph, walks, length, /*burn_in=*/1, seed, [&](VertexId v) {
+    const auto adj = graph.neighbors(v);
+    const double d = static_cast<double>(adj.size());
+    if (adj.size() < 2) return;
+    const double wedges = d * (d - 1.0) / 2.0;
+    // One uniformly random wedge probe at v.
+    const auto i = static_cast<std::size_t>(rng.bounded(adj.size()));
+    auto j = static_cast<std::size_t>(rng.bounded(adj.size() - 1));
+    if (j >= i) ++j;
+    const double weight = wedges / d;
+    weighted_wedges += weight;
+    if (graph.has_edge(adj[i], adj[j])) weighted_closed += weight;
+  });
+  return weighted_wedges == 0.0 ? 0.0 : weighted_closed / weighted_wedges;
+}
+
+std::vector<double> estimate_ppr(const CsrGraph& graph, VertexId source,
+                                 double alpha, std::uint32_t walks,
+                                 std::uint32_t length, std::uint64_t seed) {
+  CSAW_CHECK(source < graph.num_vertices());
+  auto setup = random_walk_with_restart(length, alpha);
+  CsrGraphView view(graph);
+  EngineConfig config;
+  config.seed = seed;
+  SamplingEngine engine(view, setup.policy, setup.spec, config);
+  sim::Device device;
+
+  const std::vector<VertexId> seeds(walks, source);
+  const SampleRun run = engine.run_single_seed(device, seeds);
+
+  std::vector<double> estimate(graph.num_vertices(), 0.0);
+  std::uint64_t positions = 0;
+  for (std::uint32_t w = 0; w < walks; ++w) {
+    for (const Edge& e : run.samples.edges(w)) {
+      estimate[e.src] += 1.0;
+      ++positions;
+    }
+  }
+  CSAW_CHECK(positions > 0);
+  for (auto& x : estimate) x /= static_cast<double>(positions);
+  return estimate;
+}
+
+std::vector<double> exact_ppr(const CsrGraph& graph, VertexId source,
+                              double alpha, int iterations) {
+  CSAW_CHECK(source < graph.num_vertices());
+  std::vector<double> pi(graph.num_vertices(), 0.0);
+  std::vector<double> next(graph.num_vertices());
+  pi[source] = 1.0;
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    next[source] += alpha;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      if (pi[v] == 0.0) continue;
+      const auto adj = graph.neighbors(v);
+      if (adj.empty()) {
+        next[source] += (1.0 - alpha) * pi[v];
+        continue;
+      }
+      const double share =
+          (1.0 - alpha) * pi[v] / static_cast<double>(adj.size());
+      for (VertexId u : adj) next[u] += share;
+    }
+    pi.swap(next);
+  }
+  return pi;
+}
+
+double l1_distance(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  CSAW_CHECK(a.size() == b.size());
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) l1 += std::abs(a[i] - b[i]);
+  return l1;
+}
+
+}  // namespace csaw

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/csr.hpp"
+
+namespace csaw {
+
+/// Sample-based property estimators — the downstream consumers the paper
+/// motivates sampling with (§I-II; cf. Ribeiro & Towsley's frontier
+/// sampling, FAST-PPR). Each estimator drives the C-SAW engine and
+/// corrects the sampling bias analytically, so the test suite can check
+/// them against exact references on small graphs.
+
+/// Estimates the average degree from a stationary simple random walk: the
+/// walk visits v proportionally to degree(v), so the harmonic mean of
+/// visited degrees is an unbiased estimate of the average degree
+/// ("respondent-driven" estimator). `walks x length` positions are used
+/// after discarding `burn_in` steps per walk.
+double estimate_average_degree(const CsrGraph& graph, std::uint32_t walks,
+                               std::uint32_t length, std::uint32_t burn_in,
+                               std::uint64_t seed);
+
+/// Estimates the degree distribution (log2-binned, 32 bins, comparable to
+/// degree_distribution()) from random-walk visits with inverse-degree
+/// importance weights.
+std::vector<double> estimate_degree_distribution(const CsrGraph& graph,
+                                                 std::uint32_t walks,
+                                                 std::uint32_t length,
+                                                 std::uint32_t burn_in,
+                                                 std::uint64_t seed);
+
+/// Estimates the global clustering coefficient by wedge sampling: visit
+/// vertices by random walk, sample one wedge (random neighbor pair) per
+/// visit, check closure. Wedge-count weighting corrects the walk's
+/// degree bias.
+double estimate_clustering_coefficient(const CsrGraph& graph,
+                                       std::uint32_t walks,
+                                       std::uint32_t length,
+                                       std::uint64_t seed);
+
+/// Personalized PageRank by Monte-Carlo restart walks through the C-SAW
+/// engine: pi[v] ~ fraction of walk positions at v.
+std::vector<double> estimate_ppr(const CsrGraph& graph, VertexId source,
+                                 double alpha, std::uint32_t walks,
+                                 std::uint32_t length, std::uint64_t seed);
+
+/// Exact PPR by power iteration (reference): pi = alpha e_s +
+/// (1 - alpha) P^T pi, with dangling mass restarted at the source.
+std::vector<double> exact_ppr(const CsrGraph& graph, VertexId source,
+                              double alpha, int iterations);
+
+/// L1 distance between two (probability) vectors, for estimator error
+/// reporting.
+double l1_distance(const std::vector<double>& a,
+                   const std::vector<double>& b);
+
+}  // namespace csaw

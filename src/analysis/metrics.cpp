@@ -1,0 +1,82 @@
+#include "analysis/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitmap.hpp"
+#include "util/check.hpp"
+
+namespace csaw {
+namespace {
+constexpr std::size_t kBins = 32;
+}
+
+std::vector<double> degree_distribution(const CsrGraph& graph) {
+  std::vector<double> bins(kBins, 0.0);
+  const VertexId n = graph.num_vertices();
+  CSAW_CHECK(n > 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto bin = static_cast<std::size_t>(std::min(
+        31.0, std::log2(static_cast<double>(graph.degree(v)) + 1.0)));
+    bins[bin] += 1.0;
+  }
+  for (auto& b : bins) b /= static_cast<double>(n);
+  return bins;
+}
+
+std::vector<double> degree_cdf(const CsrGraph& graph) {
+  auto cdf = degree_distribution(graph);
+  for (std::size_t i = 1; i < cdf.size(); ++i) cdf[i] += cdf[i - 1];
+  return cdf;
+}
+
+double degree_ks_distance(const CsrGraph& a, const CsrGraph& b) {
+  const auto ca = degree_cdf(a);
+  const auto cb = degree_cdf(b);
+  double ks = 0.0;
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    ks = std::max(ks, std::abs(ca[i] - cb[i]));
+  }
+  return ks;
+}
+
+double clustering_coefficient_exact(const CsrGraph& graph) {
+  std::uint64_t wedges = 0;
+  std::uint64_t closed = 0;  // ordered closed wedges = 6 x triangles
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto adj = graph.neighbors(v);
+    if (adj.size() < 2) continue;
+    wedges += adj.size() * (adj.size() - 1) / 2;
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      for (std::size_t j = i + 1; j < adj.size(); ++j) {
+        closed += graph.has_edge(adj[i], adj[j]) ? 1 : 0;
+      }
+    }
+  }
+  return wedges == 0 ? 0.0
+                     : static_cast<double>(closed) /
+                           static_cast<double>(wedges);
+}
+
+double reachable_fraction(const CsrGraph& graph, VertexId source) {
+  CSAW_CHECK(source < graph.num_vertices());
+  Bitset seen(graph.num_vertices());
+  std::vector<VertexId> stack = {source};
+  seen.set(source);
+  std::size_t count = 1;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (VertexId u : graph.neighbors(v)) {
+      if (!seen.test(u)) {
+        seen.set(u);
+        ++count;
+        stack.push_back(u);
+      }
+    }
+  }
+  return static_cast<double>(count) /
+         static_cast<double>(graph.num_vertices());
+}
+
+}  // namespace csaw

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace csaw {
+
+/// Graph-level metrics used to judge sample quality — the consumer-side
+/// counterpart of the sampling framework (graph learning and mining care
+/// that samples preserve these properties; paper §I).
+
+/// Log2-binned degree distribution: fraction of vertices with degree in
+/// [2^i, 2^(i+1)). `bins` fixed at 32 so distributions are comparable
+/// across graphs.
+std::vector<double> degree_distribution(const CsrGraph& graph);
+
+/// Cumulative form of degree_distribution.
+std::vector<double> degree_cdf(const CsrGraph& graph);
+
+/// Kolmogorov-Smirnov distance between two graphs' log-binned degree
+/// CDFs, in [0, 1]. 0 = identical shape.
+double degree_ks_distance(const CsrGraph& a, const CsrGraph& b);
+
+/// Exact global clustering coefficient (3 x triangles / wedges) — O(sum
+/// of degree^2); for small graphs and test references.
+double clustering_coefficient_exact(const CsrGraph& graph);
+
+/// Fraction of vertices reachable from `source` (connectivity probe used
+/// by sampling-quality checks).
+double reachable_fraction(const CsrGraph& graph, VertexId source);
+
+}  // namespace csaw

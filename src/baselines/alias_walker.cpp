@@ -1,0 +1,6 @@
+#include "baselines/alias_walker.hpp"
+
+// VertexAliasIndex is header-only (templated constructor); this TU anchors
+// the module in the build.
+
+namespace csaw {}  // namespace csaw

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "select/alias.hpp"
+#include "util/rng.hpp"
+
+namespace csaw {
+
+/// Pre-built per-vertex alias tables over a static edge bias — the
+/// preprocessing step KnightKing performs for static transition
+/// probabilities (paper §VII). Construction is O(m); a step is O(1).
+class VertexAliasIndex {
+ public:
+  /// `bias(v, k)` gives the static bias of v's k-th out-edge.
+  template <typename BiasFn>
+  VertexAliasIndex(const CsrGraph& graph, BiasFn&& bias) : graph_(&graph) {
+    tables_.resize(graph.num_vertices());
+    std::vector<float> scratch;
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      const EdgeIndex degree = graph.degree(v);
+      if (degree == 0) continue;
+      scratch.resize(degree);
+      for (EdgeIndex k = 0; k < degree; ++k) {
+        scratch[k] = bias(v, k);
+      }
+      tables_[v].build(scratch);
+    }
+  }
+
+  /// One O(1) biased step from v; kInvalidVertex at dead ends.
+  VertexId step(VertexId v, Xoshiro256& rng) const {
+    if (tables_[v].empty()) return kInvalidVertex;
+    const std::uint32_t k = tables_[v].sample(rng);
+    return graph_->neighbors(v)[k];
+  }
+
+  /// Total preprocessing footprint in bytes (prob + alias arrays).
+  std::uint64_t bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& t : tables_) {
+      total += t.size() * (sizeof(float) + sizeof(std::uint32_t));
+    }
+    return total;
+  }
+
+ private:
+  const CsrGraph* graph_;
+  std::vector<AliasTable> tables_;
+};
+
+}  // namespace csaw

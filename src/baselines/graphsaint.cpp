@@ -1,0 +1,62 @@
+#include "baselines/graphsaint.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace csaw {
+
+GraphSaintResult graphsaint_mdrw(const CsrGraph& graph,
+                                 std::uint32_t num_instances,
+                                 std::uint32_t pool_size, std::uint32_t steps,
+                                 std::uint64_t seed) {
+  CSAW_CHECK(pool_size >= 1);
+  CSAW_CHECK(graph.num_vertices() >= 1);
+
+  GraphSaintResult result;
+  result.samples.resize(num_instances);
+
+  Xoshiro256 rng(seed);
+  std::vector<VertexId> pool(pool_size);
+  std::vector<double> prefix(pool_size);
+
+  WallTimer timer;
+  for (std::uint32_t i = 0; i < num_instances; ++i) {
+    for (auto& v : pool) {
+      v = static_cast<VertexId>(rng.bounded(graph.num_vertices()));
+    }
+    auto& sample = result.samples[i];
+    sample.reserve(steps);
+
+    for (std::uint32_t s = 0; s < steps; ++s) {
+      // Degree-proportional pool selection by inverse transform sampling
+      // (prefix sum + binary search), recomputed per step as GraphSAINT
+      // does — the pool changes every step.
+      double acc = 0.0;
+      for (std::size_t p = 0; p < pool.size(); ++p) {
+        acc += static_cast<double>(graph.degree(pool[p]));
+        prefix[p] = acc;
+      }
+      if (acc <= 0.0) break;  // every pool vertex is a dead end
+
+      const double r = rng.uniform() * acc;
+      std::size_t chosen =
+          std::lower_bound(prefix.begin(), prefix.end(), r) - prefix.begin();
+      if (chosen >= pool.size()) chosen = pool.size() - 1;
+
+      const VertexId v = pool[chosen];
+      const auto adj = graph.neighbors(v);
+      if (adj.empty()) continue;  // degree-biased choice excludes this
+      const auto k = static_cast<EdgeIndex>(rng.bounded(adj.size()));
+      const VertexId u = adj[k];
+      sample.push_back(Edge{v, u, graph.edge_weight(v, k)});
+      pool[chosen] = u;
+    }
+  }
+  result.sample_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace csaw

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace csaw {
+
+/// A GraphSAINT-style CPU multi-dimensional random walk sampler (paper
+/// §VI-A benchmarks the GraphSAINT C++ implementation, which supports
+/// exactly this sampler): each instance keeps a frontier pool; per step
+/// one pool vertex is chosen with probability proportional to its degree
+/// via CPU inverse transform sampling, a uniform neighbor of it is taken
+/// into the sample and replaces it in the pool.
+struct GraphSaintResult {
+  /// Per-instance sampled edges.
+  std::vector<std::vector<Edge>> samples;
+  double sample_seconds = 0.0;
+
+  std::uint64_t total_edges() const {
+    std::uint64_t total = 0;
+    for (const auto& s : samples) total += s.size();
+    return total;
+  }
+  double seps() const {
+    return sample_seconds > 0.0
+               ? static_cast<double>(total_edges()) / sample_seconds
+               : 0.0;
+  }
+};
+
+/// Runs `num_instances` independent MDRW samplers; instance i's pool is
+/// seeded with `pool_size` vertices drawn uniformly.
+GraphSaintResult graphsaint_mdrw(const CsrGraph& graph,
+                                 std::uint32_t num_instances,
+                                 std::uint32_t pool_size, std::uint32_t steps,
+                                 std::uint64_t seed);
+
+}  // namespace csaw

@@ -1,0 +1,119 @@
+#include "baselines/knightking.hpp"
+
+#include <algorithm>
+
+#include "baselines/alias_walker.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace csaw {
+namespace {
+
+/// Advances all walkers superstep by superstep (BSP), one step per round —
+/// the KnightKing execution shape.
+template <typename StepFn>
+WalkerRunResult run_walkers(std::span<const VertexId> seeds,
+                            std::uint32_t length, std::uint64_t seed,
+                            StepFn&& step) {
+  WalkerRunResult result;
+  result.walks.resize(seeds.size());
+  std::vector<VertexId> current(seeds.begin(), seeds.end());
+  std::vector<VertexId> previous(seeds.size(), kInvalidVertex);
+  std::vector<bool> alive(seeds.size(), true);
+  for (std::size_t w = 0; w < seeds.size(); ++w) {
+    result.walks[w].reserve(length + 1);
+    result.walks[w].push_back(seeds[w]);
+  }
+
+  Xoshiro256 rng(seed);
+  WallTimer timer;
+  for (std::uint32_t s = 0; s < length; ++s) {
+    for (std::size_t w = 0; w < seeds.size(); ++w) {
+      if (!alive[w]) continue;
+      const VertexId next = step(current[w], previous[w], rng);
+      if (next == kInvalidVertex) {
+        alive[w] = false;
+        continue;
+      }
+      previous[w] = current[w];
+      current[w] = next;
+      result.walks[w].push_back(next);
+    }
+  }
+  result.walk_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace
+
+WalkerRunResult knightking_biased_walk(const CsrGraph& graph,
+                                       std::span<const VertexId> seeds,
+                                       std::uint32_t length,
+                                       std::uint64_t seed) {
+  WallTimer pre;
+  const VertexAliasIndex index(graph, [&graph](VertexId v, EdgeIndex k) {
+    const VertexId u = graph.neighbors(v)[k];
+    return graph.edge_weight(v, k) * static_cast<float>(graph.degree(u));
+  });
+  const double preprocess = pre.seconds();
+
+  auto result = run_walkers(
+      seeds, length, seed,
+      [&index](VertexId v, VertexId, Xoshiro256& rng) {
+        return index.step(v, rng);
+      });
+  result.preprocess_seconds = preprocess;
+  return result;
+}
+
+WalkerRunResult knightking_simple_walk(const CsrGraph& graph,
+                                       std::span<const VertexId> seeds,
+                                       std::uint32_t length,
+                                       std::uint64_t seed) {
+  return run_walkers(seeds, length, seed,
+                     [&graph](VertexId v, VertexId, Xoshiro256& rng) {
+                       const auto adj = graph.neighbors(v);
+                       if (adj.empty()) return kInvalidVertex;
+                       return adj[rng.bounded(adj.size())];
+                     });
+}
+
+WalkerRunResult knightking_node2vec(const CsrGraph& graph,
+                                    std::span<const VertexId> seeds,
+                                    std::uint32_t length, double p, double q,
+                                    std::uint64_t seed) {
+  CSAW_CHECK(p > 0.0 && q > 0.0);
+  WallTimer pre;
+  // Static proposal distribution: edge weights only.
+  const VertexAliasIndex index(graph, [&graph](VertexId v, EdgeIndex k) {
+    return graph.edge_weight(v, k);
+  });
+  const double preprocess = pre.seconds();
+
+  // Rejection: the dynamic node2vec bias divided by the proposal is one of
+  // {1/p, 1, 1/q}; accept with bias_ratio / max_ratio.
+  const double max_ratio = std::max({1.0, 1.0 / p, 1.0 / q});
+  auto result = run_walkers(
+      seeds, length, seed,
+      [&, max_ratio](VertexId v, VertexId prev, Xoshiro256& rng) {
+        if (graph.degree(v) == 0) return kInvalidVertex;
+        for (;;) {
+          const VertexId u = index.step(v, rng);
+          double ratio = 1.0;
+          if (prev != kInvalidVertex) {
+            if (u == prev) {
+              ratio = 1.0 / p;
+            } else if (graph.has_edge(prev, u)) {
+              ratio = 1.0;
+            } else {
+              ratio = 1.0 / q;
+            }
+          }
+          if (rng.uniform() * max_ratio < ratio) return u;
+        }
+      });
+  result.preprocess_seconds = preprocess;
+  return result;
+}
+
+}  // namespace csaw

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace csaw {
+
+/// A KnightKing-style walker-centric CPU engine (paper §VII): walkers are
+/// the unit of work, advanced in bulk-synchronous supersteps; static
+/// transition probabilities are served from pre-built per-vertex alias
+/// tables (O(1) per step), dynamic ones by dartboard rejection.
+///
+/// This reproduction runs on the benchmark host so the Fig. 9(a)
+/// comparison retains its semantics: a specialized CPU walker engine
+/// versus C-SAW on the (simulated) GPU.
+struct WalkerRunResult {
+  /// walks[i] is the vertex path of walker i (seed included).
+  std::vector<std::vector<VertexId>> walks;
+  /// Wall-clock seconds of the walk phase (excludes preprocessing, like
+  /// the paper's kernel-time SEPS).
+  double walk_seconds = 0.0;
+  /// Alias-table preprocessing seconds.
+  double preprocess_seconds = 0.0;
+
+  std::uint64_t total_steps() const {
+    std::uint64_t total = 0;
+    for (const auto& w : walks) total += w.empty() ? 0 : w.size() - 1;
+    return total;
+  }
+  /// Sampled (traversed) edges per second.
+  double seps() const {
+    return walk_seconds > 0.0
+               ? static_cast<double>(total_steps()) / walk_seconds
+               : 0.0;
+  }
+};
+
+/// Biased random walk: bias of neighbor u is weight(v,u) * degree(u)
+/// (static — alias tables apply). One walker per seed, `length` steps.
+WalkerRunResult knightking_biased_walk(const CsrGraph& graph,
+                                       std::span<const VertexId> seeds,
+                                       std::uint32_t length,
+                                       std::uint64_t seed);
+
+/// Unbiased (simple) random walk via uniform neighbor picks.
+WalkerRunResult knightking_simple_walk(const CsrGraph& graph,
+                                       std::span<const VertexId> seeds,
+                                       std::uint32_t length,
+                                       std::uint64_t seed);
+
+/// node2vec walk served by KnightKing's dynamic strategy: propose from the
+/// static (weight-only) alias table, accept by rejection against the
+/// p/q-adjusted bias upper bound.
+WalkerRunResult knightking_node2vec(const CsrGraph& graph,
+                                    std::span<const VertexId> seeds,
+                                    std::uint32_t length, double p, double q,
+                                    std::uint64_t seed);
+
+}  // namespace csaw

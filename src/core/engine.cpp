@@ -1,0 +1,452 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace csaw {
+
+namespace rng_slots {
+std::uint32_t frontier_slot_base(std::uint32_t slot) {
+  CSAW_CHECK_MSG(slot <= kMaxFrontierSlot,
+                 "frontier slot " << slot << " exceeds the RNG slot space; "
+                 "set SamplingSpec::branching_cap or reduce depth");
+  return (slot + 1) << kPerFrontierShift;
+}
+}  // namespace rng_slots
+
+FrontierResult process_frontier_vertex(
+    const GraphView& view, const Policy& policy, const SamplingSpec& spec,
+    const CounterStream& rng, ItsSelector& selector, InstanceState& instance,
+    const FrontierWorkItem& item, sim::WarpContext& warp,
+    std::vector<float>& bias_scratch) {
+  FrontierResult result;
+
+  // GATHERNEIGHBORS (Fig. 2(b) line 5): one row_ptr pair plus the
+  // adjacency list stream in from global memory.
+  const EdgeIndex degree = view.degree(item.vertex);
+  warp.charge_global(2 * sizeof(EdgeIndex) +
+                     degree * sizeof(VertexId));
+  if (degree == 0) return result;
+
+  const std::uint32_t slot_base = rng_slots::frontier_slot_base(item.slot);
+
+  // NeighborSize: constant, or drawn per vertex (forest fire).
+  std::uint32_t k = spec.neighbor_size;
+  if (spec.variable_neighbor_size) {
+    const double r =
+        rng.uniform(item.instance, item.depth,
+                    slot_base + rng_slots::kVariableSizeOffset, 0);
+    k = spec.variable_neighbor_size(degree, r);
+    if (spec.branching_cap > 0) k = std::min(k, spec.branching_cap);
+    warp.charge_rounds(2);
+    if (k == 0) return result;
+  }
+
+  const InstanceContext ctx{
+      item.instance, item.depth, instance.prev_vertex, instance.seed_vertex,
+      instance.visited.size() > 0 ? &instance.visited : nullptr};
+
+  const auto adj = view.neighbors(item.vertex);
+  std::vector<std::uint32_t> selected;
+  if (spec.sample_all_neighbors) {
+    // Snowball: the whole neighbor list is the sample; no SELECT.
+    selected.resize(adj.size());
+    std::iota(selected.begin(), selected.end(), 0u);
+    warp.charge_rounds((adj.size() + sim::WarpContext::kLanes - 1) /
+                       sim::WarpContext::kLanes);
+  } else {
+    // EDGEBIAS over the NeighborPool, evaluated lane-parallel (one
+    // lock-step round per 32 edges).
+    bias_scratch.resize(adj.size());
+    double total_bias = 0.0;
+    for (std::size_t e = 0; e < adj.size(); ++e) {
+      const EdgeRef edge{item.vertex, adj[e],
+                         view.edge_weight(item.vertex, e),
+                         static_cast<EdgeIndex>(e)};
+      bias_scratch[e] = policy.eval_edge_bias(view, edge, ctx);
+      total_bias += bias_scratch[e];
+    }
+    warp.charge_rounds((adj.size() + sim::WarpContext::kLanes - 1) /
+                       sim::WarpContext::kLanes);
+    if (total_bias <= 0.0) return result;  // nothing selectable
+
+    // Sampling without replacement collides against the instance's whole
+    // sample so far: the persistent per-warp bitmap already holds bits for
+    // visited candidates (paper §II-A, Fig. 7).
+    std::vector<std::uint32_t> pre_selected;
+    if (spec.filter_visited && instance.visited.size() > 0) {
+      for (std::size_t e = 0; e < adj.size(); ++e) {
+        if (instance.visited.test(adj[e])) {
+          pre_selected.push_back(static_cast<std::uint32_t>(e));
+        }
+      }
+    }
+
+    selected = selector.select(
+        bias_scratch, k, rng,
+        SelectCoords{item.instance, item.depth, slot_base}, warp,
+        pre_selected);
+  }
+
+  // UPDATE (line 7) + Samples.INSERT (line 8).
+  const std::uint32_t cap = spec.effective_branching_cap();
+  for (std::size_t s = 0; s < selected.size(); ++s) {
+    const std::uint32_t e = selected[s];
+    const EdgeRef edge{item.vertex, adj[e],
+                       view.edge_weight(item.vertex, e),
+                       static_cast<EdgeIndex>(e)};
+    result.sampled.push_back(Edge{edge.v, edge.u, edge.weight});
+
+    const double r_update =
+        rng.uniform(item.instance, item.depth,
+                    slot_base + rng_slots::kUpdateOffset +
+                        static_cast<std::uint32_t>(s),
+                    0);
+    warp.charge_rounds(1);
+    const VertexId next = policy.eval_update(view, edge, ctx, r_update);
+    if (next == kInvalidVertex) continue;
+    CSAW_CHECK_MSG(next < view.num_vertices(),
+                   "UPDATE returned out-of-range vertex " << next);
+    if (spec.filter_visited && !instance.mark_visited(next)) continue;
+
+    const std::uint32_t child_slot =
+        cap > 0 ? item.slot * cap + static_cast<std::uint32_t>(s)
+                : 0;  // ordinal slots are assigned by advance_pools
+    result.next.emplace_back(next, child_slot);
+  }
+  warp.charge_global(result.sampled.size() * sizeof(Edge));
+  return result;
+}
+
+struct SamplingEngine::StepScratch {
+  /// Selected pool positions per local instance (frontier of this step).
+  std::vector<std::vector<std::uint32_t>> frontier_positions;
+  /// UPDATE results per local instance, keyed by pool position so
+  /// select-frontier mode can replace in place.
+  std::vector<std::vector<
+      std::pair<std::uint32_t, std::vector<std::pair<VertexId, std::uint32_t>>>>>
+      results;
+
+  void reset(std::size_t num_instances) {
+    frontier_positions.assign(num_instances, {});
+    results.assign(num_instances, {});
+  }
+};
+
+SamplingEngine::SamplingEngine(const GraphView& view, Policy policy,
+                               SamplingSpec spec, EngineConfig config)
+    : view_(&view),
+      policy_(std::move(policy)),
+      spec_(std::move(spec)),
+      config_(config),
+      rng_(config.seed),
+      neighbor_selector_([&] {
+        SelectConfig c = config.select;
+        c.with_replacement = spec_.with_replacement;
+        return c;
+      }()),
+      frontier_selector_([&] {
+        SelectConfig c = config.select;
+        c.with_replacement = false;  // pool positions are picked distinct
+        return c;
+      }()) {
+  CSAW_CHECK(spec_.depth >= 1);
+  CSAW_CHECK(spec_.neighbor_size >= 1);
+  CSAW_CHECK(spec_.frontier_size >= 1);
+  CSAW_CHECK_MSG(!(spec_.layer_mode && spec_.select_frontier),
+                 "layer sampling selects its frontier implicitly");
+}
+
+SampleRun SamplingEngine::run(sim::Device& device,
+                              std::span<const std::vector<VertexId>> seeds) {
+  const auto num_instances = static_cast<std::uint32_t>(seeds.size());
+  std::vector<InstanceState> instances(num_instances);
+  for (std::uint32_t i = 0; i < num_instances; ++i) {
+    instances[i].init(config_.instance_id_offset + i, seeds[i],
+                      view_->num_vertices(), spec_.filter_visited);
+  }
+
+  SampleRun run_result;
+  run_result.samples.reset(num_instances);
+
+  const std::size_t log_begin = device.kernel_log().size();
+  const double t0 = device.synchronize();
+
+  StepScratch scratch;
+  for (std::uint32_t step = 0; step < spec_.depth; ++step) {
+    scratch.reset(num_instances);
+
+    if (spec_.layer_mode) {
+      sample_layer(device, instances, step, scratch, run_result.samples);
+    } else {
+      if (spec_.select_frontier) {
+        select_frontiers(device, instances, step, scratch);
+      } else {
+        for (std::uint32_t i = 0; i < num_instances; ++i) {
+          if (!instances[i].active) continue;
+          auto& positions = scratch.frontier_positions[i];
+          positions.resize(instances[i].pool.size());
+          std::iota(positions.begin(), positions.end(), 0u);
+        }
+      }
+      sample_neighbors(device, instances, step, scratch, run_result.samples);
+    }
+
+    advance_pools(instances, scratch);
+    if (std::none_of(instances.begin(), instances.end(),
+                     [](const InstanceState& s) { return s.active; })) {
+      break;
+    }
+  }
+
+  run_result.sim_seconds = device.synchronize() - t0;
+  for (std::size_t i = log_begin; i < device.kernel_log().size(); ++i) {
+    run_result.stats.merge(device.kernel_log()[i].stats);
+  }
+  return run_result;
+}
+
+SampleRun SamplingEngine::run_single_seed(sim::Device& device,
+                                          std::span<const VertexId> seeds) {
+  std::vector<std::vector<VertexId>> per_instance(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    per_instance[i] = {seeds[i]};
+  }
+  return run(device, per_instance);
+}
+
+void SamplingEngine::select_frontiers(sim::Device& device,
+                                      std::vector<InstanceState>& instances,
+                                      std::uint32_t step,
+                                      StepScratch& scratch) {
+  std::vector<std::uint32_t> tasks;
+  for (std::uint32_t i = 0; i < instances.size(); ++i) {
+    if (instances[i].active && !instances[i].pool.empty()) tasks.push_back(i);
+  }
+
+  device.run_kernel(
+      "vertex_select", tasks.size(),
+      [&](std::uint64_t t, sim::WarpContext& warp) {
+        InstanceState& inst = instances[tasks[t]];
+        const InstanceContext ctx{
+            inst.id, step, inst.prev_vertex, inst.seed_vertex,
+            inst.visited.size() > 0 ? &inst.visited : nullptr};
+
+        // VERTEXBIAS over the FrontierPool (Fig. 2(b) line 4).
+        warp.charge_global(inst.pool.size() * sizeof(VertexId));
+        bias_scratch_.resize(inst.pool.size());
+        double total = 0.0;
+        for (std::size_t p = 0; p < inst.pool.size(); ++p) {
+          bias_scratch_[p] = policy_.eval_vertex_bias(*view_, inst.pool[p], ctx);
+          total += bias_scratch_[p];
+        }
+        warp.charge_rounds((inst.pool.size() + sim::WarpContext::kLanes - 1) /
+                           sim::WarpContext::kLanes);
+        if (total <= 0.0) return;
+
+        scratch.frontier_positions[tasks[t]] = frontier_selector_.select(
+            bias_scratch_, spec_.frontier_size, rng_,
+            SelectCoords{inst.id, step, /*slot_base=*/0}, warp);
+      });
+}
+
+void SamplingEngine::sample_neighbors(sim::Device& device,
+                                      std::vector<InstanceState>& instances,
+                                      std::uint32_t step, StepScratch& scratch,
+                                      SampleStore& samples) {
+  // One warp per (instance, frontier vertex) — the paper's intra-warp
+  // parallelism unit (§IV-A).
+  struct Task {
+    std::uint32_t local_instance;
+    std::uint32_t pool_position;
+  };
+  std::vector<Task> tasks;
+  for (std::uint32_t i = 0; i < instances.size(); ++i) {
+    if (!instances[i].active) continue;
+    for (std::uint32_t position : scratch.frontier_positions[i]) {
+      tasks.push_back(Task{i, position});
+    }
+  }
+
+  device.run_kernel(
+      "neighbor_select", tasks.size(),
+      [&](std::uint64_t t, sim::WarpContext& warp) {
+        const Task task = tasks[t];
+        InstanceState& inst = instances[task.local_instance];
+        const FrontierWorkItem item{inst.pool[task.pool_position], inst.id,
+                                    step, inst.pool_slots[task.pool_position]};
+        FrontierResult result =
+            process_frontier_vertex(*view_, policy_, spec_, rng_,
+                                    neighbor_selector_, inst, item, warp,
+                                    bias_scratch_);
+        for (const Edge& e : result.sampled) {
+          samples.add(task.local_instance, e);
+        }
+        scratch.results[task.local_instance].emplace_back(
+            task.pool_position, std::move(result.next));
+      });
+}
+
+void SamplingEngine::sample_layer(sim::Device& device,
+                                  std::vector<InstanceState>& instances,
+                                  std::uint32_t step, StepScratch& scratch,
+                                  SampleStore& samples) {
+  std::vector<std::uint32_t> tasks;
+  for (std::uint32_t i = 0; i < instances.size(); ++i) {
+    if (instances[i].active && !instances[i].pool.empty()) tasks.push_back(i);
+  }
+
+  device.run_kernel(
+      "layer_select", tasks.size(),
+      [&](std::uint64_t t, sim::WarpContext& warp) {
+        InstanceState& inst = instances[tasks[t]];
+        const InstanceContext ctx{
+            inst.id, step, inst.prev_vertex, inst.seed_vertex,
+            inst.visited.size() > 0 ? &inst.visited : nullptr};
+
+        // Combined NeighborPool over every frontier vertex (paper §II-A:
+        // layer sampling selects per layer, not per vertex).
+        struct PoolEdge {
+          VertexId v;
+          VertexId u;
+          float w;
+          EdgeIndex k;
+        };
+        std::vector<PoolEdge> pool_edges;
+        for (VertexId v : inst.pool) {
+          const auto adj = view_->neighbors(v);
+          warp.charge_global(2 * sizeof(EdgeIndex) +
+                             adj.size() * sizeof(VertexId));
+          for (std::size_t e = 0; e < adj.size(); ++e) {
+            pool_edges.push_back(PoolEdge{
+                v, adj[e], view_->edge_weight(v, e),
+                static_cast<EdgeIndex>(e)});
+          }
+        }
+        if (pool_edges.empty()) return;
+
+        bias_scratch_.resize(pool_edges.size());
+        double total = 0.0;
+        for (std::size_t e = 0; e < pool_edges.size(); ++e) {
+          const EdgeRef edge{pool_edges[e].v, pool_edges[e].u,
+                             pool_edges[e].w, pool_edges[e].k};
+          bias_scratch_[e] = policy_.eval_edge_bias(*view_, edge, ctx);
+          total += bias_scratch_[e];
+        }
+        warp.charge_rounds((pool_edges.size() + sim::WarpContext::kLanes - 1) /
+                           sim::WarpContext::kLanes);
+        if (total <= 0.0) return;
+
+        // Pool entries whose endpoint is already sampled collide (the
+        // persistent bitmap is vertex-indexed). Note: two pool entries can
+        // share an endpoint via different frontier vertices; selecting one
+        // does not block the other within this call.
+        std::vector<std::uint32_t> pre_selected;
+        if (spec_.filter_visited && inst.visited.size() > 0) {
+          for (std::size_t e = 0; e < pool_edges.size(); ++e) {
+            if (inst.visited.test(pool_edges[e].u)) {
+              pre_selected.push_back(static_cast<std::uint32_t>(e));
+            }
+          }
+        }
+
+        const std::uint32_t slot_base = rng_slots::frontier_slot_base(0);
+        const auto selected = neighbor_selector_.select(
+            bias_scratch_, spec_.neighbor_size, rng_,
+            SelectCoords{inst.id, step, slot_base}, warp, pre_selected);
+
+        std::vector<std::pair<VertexId, std::uint32_t>> next;
+        for (std::size_t s = 0; s < selected.size(); ++s) {
+          const PoolEdge& pe = pool_edges[selected[s]];
+          const EdgeRef edge{pe.v, pe.u, pe.w, pe.k};
+          samples.add(tasks[t], Edge{pe.v, pe.u, pe.w});
+          const double r_update = rng_.uniform(
+              inst.id, step,
+              slot_base + rng_slots::kUpdateOffset +
+                  static_cast<std::uint32_t>(s),
+              0);
+          const VertexId nxt = policy_.eval_update(*view_, edge, ctx, r_update);
+          if (nxt == kInvalidVertex) continue;
+          if (spec_.filter_visited && !inst.mark_visited(nxt)) continue;
+          next.emplace_back(nxt, static_cast<std::uint32_t>(s));
+        }
+        scratch.results[tasks[t]].emplace_back(0u, std::move(next));
+      });
+}
+
+void SamplingEngine::advance_pools(std::vector<InstanceState>& instances,
+                                   StepScratch& scratch) const {
+  const std::uint32_t cap = spec_.effective_branching_cap();
+  for (std::uint32_t i = 0; i < instances.size(); ++i) {
+    InstanceState& inst = instances[i];
+    if (!inst.active) continue;
+    auto& results = scratch.results[i];
+
+    // node2vec context: the vertex explored at this step. Meaningful for
+    // walk-shaped specs (single frontier vertex per step).
+    if (!scratch.frontier_positions[i].empty()) {
+      inst.prev_vertex = inst.pool[scratch.frontier_positions[i].back()];
+    }
+
+    if (spec_.select_frontier) {
+      // Replace each consumed pool position in place with its UPDATE
+      // results (multi-dimensional random walk semantics, Fig. 4).
+      std::vector<VertexId> new_pool;
+      std::vector<std::uint32_t> new_slots;
+      new_pool.reserve(inst.pool.size());
+      new_slots.reserve(inst.pool.size());
+      auto result_for = [&results](std::uint32_t position)
+          -> const std::vector<std::pair<VertexId, std::uint32_t>>* {
+        for (const auto& [pos, next] : results) {
+          if (pos == position) return &next;
+        }
+        return nullptr;
+      };
+      const auto& consumed = scratch.frontier_positions[i];
+      for (std::uint32_t p = 0; p < inst.pool.size(); ++p) {
+        const bool was_consumed =
+            std::find(consumed.begin(), consumed.end(), p) != consumed.end();
+        if (!was_consumed) {
+          new_pool.push_back(inst.pool[p]);
+          new_slots.push_back(inst.pool_slots[p]);
+          continue;
+        }
+        if (const auto* next = result_for(p)) {
+          for (const auto& [vertex, slot] : *next) {
+            new_pool.push_back(vertex);
+            // ns=1 select-frontier keeps the replaced entry's slot, which
+            // both keeps slots unique within the pool and bounds growth.
+            new_slots.push_back(cap == 1 ? inst.pool_slots[p] : slot);
+          }
+        }
+      }
+      inst.pool = std::move(new_pool);
+      inst.pool_slots = std::move(new_slots);
+    } else {
+      // BFS-style: next pool is the concatenation of UPDATE results in
+      // task order.
+      std::vector<VertexId> new_pool;
+      std::vector<std::uint32_t> new_slots;
+      for (const auto& [pos, next] : results) {
+        for (const auto& [vertex, slot] : next) {
+          new_pool.push_back(vertex);
+          new_slots.push_back(slot);
+        }
+      }
+      if (cap == 0) {
+        // Unbounded branching: ordinal slots.
+        for (std::size_t s = 0; s < new_slots.size(); ++s) {
+          new_slots[s] = static_cast<std::uint32_t>(s);
+        }
+      }
+      inst.pool = std::move(new_pool);
+      inst.pool_slots = std::move(new_slots);
+    }
+
+    if (inst.pool.empty()) inst.active = false;
+  }
+}
+
+}  // namespace csaw

@@ -1,0 +1,190 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/policy.hpp"
+#include "core/sample_store.hpp"
+#include "gpusim/device.hpp"
+#include "select/its.hpp"
+#include "util/rng.hpp"
+
+namespace csaw {
+
+/// Draws the per-vertex neighbor count for algorithms with a variable
+/// NeighborSize (forest fire): given the vertex degree and one uniform
+/// draw, return how many neighbors to sample.
+using VariableNeighborSize =
+    std::function<std::uint32_t(EdgeIndex degree, double r)>;
+
+/// The parameter-based options of the framework (paper Fig. 2(b)):
+/// everything an algorithm configures without writing API code.
+struct SamplingSpec {
+  /// Vertices selected from the FrontierPool per iteration (line 4).
+  std::uint32_t frontier_size = 1;
+  /// Neighbors selected per frontier vertex (line 6).
+  std::uint32_t neighbor_size = 1;
+  /// Iterations of the main loop (line 3). For random walks this is the
+  /// walk length.
+  std::uint32_t depth = 2;
+  /// Random walks may revisit vertices; traversal-based sampling must not
+  /// (paper §II-A).
+  bool with_replacement = false;
+  /// When true, VERTEXBIAS + SELECT choose `frontier_size` vertices from
+  /// the pool each iteration and the chosen ones are *replaced in place*
+  /// by their UPDATE results (multi-dimensional random walk). When false
+  /// the whole pool is the frontier and the next pool is the concatenated
+  /// UPDATE results (BFS-style advance).
+  bool select_frontier = false;
+  /// Drop UPDATE results that this instance already sampled.
+  bool filter_visited = true;
+  /// Layer sampling: pool the neighbors of *all* frontier vertices into
+  /// one NeighborPool per instance and select `neighbor_size` from it,
+  /// instead of per-vertex selection.
+  bool layer_mode = false;
+  /// Snowball sampling: skip SELECT entirely and take every neighbor of
+  /// every frontier vertex (paper §II-A: "adds all neighbors of every
+  /// sampled vertex"). Implies unbounded branching.
+  bool sample_all_neighbors = false;
+  /// Upper bound on UPDATE results per frontier vertex, used to assign
+  /// order-independent RNG slots to children (child_slot =
+  /// parent_slot * cap + s). 0 means "neighbor_size" — set explicitly for
+  /// variable NeighborSize, or to 0 with unbounded branching (snowball),
+  /// in which case children get ordinal slots (still deterministic, but
+  /// only the in-memory engine supports it).
+  std::uint32_t branching_cap = 0;
+  /// Non-null for variable NeighborSize (forest fire). The result is
+  /// clamped to branching_cap when a cap is set.
+  VariableNeighborSize variable_neighbor_size;
+
+  /// Effective cap (0 = unbounded / ordinal slot assignment).
+  std::uint32_t effective_branching_cap() const noexcept {
+    if (sample_all_neighbors) return 0;
+    if (branching_cap > 0) return branching_cap;
+    return variable_neighbor_size ? 0 : neighbor_size;
+  }
+};
+
+/// Engine-level configuration.
+struct EngineConfig {
+  SelectConfig select;
+  std::uint64_t seed = 0xC5A30001ull;
+  /// Added to local instance indices to form the global instance id used
+  /// in RNG coordinates. Multi-device runs give each device a disjoint
+  /// range so the union of samples is independent of the device count.
+  std::uint32_t instance_id_offset = 0;
+};
+
+/// Result of one sampling run.
+struct SampleRun {
+  SampleStore samples;
+  /// Simulated device seconds spent in sampling kernels.
+  double sim_seconds = 0.0;
+  /// Aggregated kernel stats over the run.
+  sim::KernelStats stats;
+
+  std::uint64_t sampled_edges() const { return samples.total_edges(); }
+  /// Sampled edges per second, the paper's SEPS metric (§VI).
+  double seps() const {
+    return sim_seconds > 0.0
+               ? static_cast<double>(samples.total_edges()) / sim_seconds
+               : 0.0;
+  }
+};
+
+/// RNG-coordinate layout shared by the in-memory and out-of-memory
+/// engines. Every SELECT/UPDATE draw is addressed by
+/// (global instance id, depth, slot, attempt); these helpers carve the
+/// 32-bit slot space so no two draws collide:
+///   - the frontier entry with slot s owns slots [(s+1)<<11, (s+2)<<11)
+///   - within that range: selection slots first, the variable-size draw
+///     at +1023, then UPDATE draws at +1024+i.
+/// Frontier selection (VERTEXBIAS) uses slot_base 0 of the same depth.
+namespace rng_slots {
+constexpr std::uint32_t kPerFrontierShift = 11;
+constexpr std::uint32_t kVariableSizeOffset = 1023;
+constexpr std::uint32_t kUpdateOffset = 1024;
+constexpr std::uint32_t kMaxFrontierSlot = (1u << 20) - 1;
+
+std::uint32_t frontier_slot_base(std::uint32_t slot);
+}  // namespace rng_slots
+
+/// One frontier vertex awaiting neighbor sampling — the unit of work both
+/// engines share. `slot` is the RNG slot of this frontier entry within
+/// (instance, depth); it is assigned at entry creation so processing order
+/// never changes the random draws.
+struct FrontierWorkItem {
+  VertexId vertex = 0;
+  std::uint32_t instance = 0;  ///< global instance id
+  std::uint32_t depth = 0;
+  std::uint32_t slot = 0;
+};
+
+/// Output of processing one frontier vertex.
+struct FrontierResult {
+  std::vector<Edge> sampled;
+  /// UPDATE results with their pre-assigned child slots.
+  std::vector<std::pair<VertexId, std::uint32_t>> next;
+};
+
+/// Executes GATHERNEIGHBORS + EDGEBIAS + SELECT + UPDATE for one frontier
+/// vertex against any GraphView. Both engines call exactly this function,
+/// which is what makes the OOM ≡ in-memory equivalence tests meaningful.
+/// Visited filtering mutates `instance` when the spec requires it.
+FrontierResult process_frontier_vertex(
+    const GraphView& view, const Policy& policy, const SamplingSpec& spec,
+    const CounterStream& rng, ItsSelector& selector, InstanceState& instance,
+    const FrontierWorkItem& item, sim::WarpContext& warp,
+    std::vector<float>& bias_scratch);
+
+/// The in-memory C-SAW engine: executes the Fig. 2(b) MAIN loop as a
+/// sequence of simulated GPU kernels (one warp per instance for frontier
+/// selection, one warp per frontier vertex for neighbor selection).
+class SamplingEngine {
+ public:
+  SamplingEngine(const GraphView& view, Policy policy, SamplingSpec spec,
+                 EngineConfig config = {});
+
+  const SamplingSpec& spec() const noexcept { return spec_; }
+  const EngineConfig& config() const noexcept { return config_; }
+
+  /// Runs all instances to completion on `device`. `seeds[i]` holds the
+  /// seed vertices of instance i.
+  SampleRun run(sim::Device& device,
+                std::span<const std::vector<VertexId>> seeds);
+
+  /// Convenience: every instance starts from one seed vertex.
+  SampleRun run_single_seed(sim::Device& device,
+                            std::span<const VertexId> seeds);
+
+ private:
+  struct StepScratch;
+
+  void select_frontiers(sim::Device& device,
+                        std::vector<InstanceState>& instances,
+                        std::uint32_t step, StepScratch& scratch);
+  void sample_neighbors(sim::Device& device,
+                        std::vector<InstanceState>& instances,
+                        std::uint32_t step, StepScratch& scratch,
+                        SampleStore& samples);
+  void sample_layer(sim::Device& device,
+                    std::vector<InstanceState>& instances, std::uint32_t step,
+                    StepScratch& scratch, SampleStore& samples);
+  void advance_pools(std::vector<InstanceState>& instances,
+                     StepScratch& scratch) const;
+
+  const GraphView* view_;
+  Policy policy_;
+  SamplingSpec spec_;
+  EngineConfig config_;
+  CounterStream rng_;
+  ItsSelector neighbor_selector_;
+  ItsSelector frontier_selector_;
+  std::vector<float> bias_scratch_;
+};
+
+}  // namespace csaw

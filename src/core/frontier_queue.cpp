@@ -1,0 +1,13 @@
+#include "core/frontier_queue.hpp"
+
+namespace csaw {
+
+std::vector<FrontierEntry> FrontierQueue::drain() {
+  std::vector<FrontierEntry> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back(at(i));
+  clear();
+  return out;
+}
+
+}  // namespace csaw

@@ -1,0 +1,32 @@
+#include "core/instance.hpp"
+
+namespace csaw {
+
+void InstanceState::init(std::uint32_t instance_id,
+                         std::span<const VertexId> seeds,
+                         VertexId num_vertices, bool track_visited) {
+  id = instance_id;
+  pool.assign(seeds.begin(), seeds.end());
+  seed_vertex = pool.empty() ? kInvalidVertex : pool.front();
+  pool_slots.resize(pool.size());
+  for (std::size_t i = 0; i < pool_slots.size(); ++i) {
+    pool_slots[i] = static_cast<std::uint32_t>(i);
+  }
+  prev_vertex = kInvalidVertex;
+  active = !pool.empty();
+  if (track_visited) {
+    visited.resize(num_vertices);
+    for (VertexId seed : pool) visited.set(seed);
+  } else {
+    visited.resize(0);
+  }
+}
+
+bool InstanceState::mark_visited(VertexId v) {
+  if (visited.size() == 0) return true;
+  if (visited.test(v)) return false;
+  visited.set(v);
+  return true;
+}
+
+}  // namespace csaw

@@ -1,0 +1,10 @@
+#include "core/policy.hpp"
+
+// Policy and the graph views are header-only; this translation unit exists
+// to anchor the vtable of GraphView implementations defined in the header.
+
+namespace csaw {
+
+// Intentionally empty.
+
+}  // namespace csaw

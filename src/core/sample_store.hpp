@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace csaw {
+
+/// Collects the sampled edges of every instance. One instance's sample is
+/// an edge list (the subgraph for traversal sampling; the path for random
+/// walks). Append order is deterministic given the engine's task order.
+class SampleStore {
+ public:
+  explicit SampleStore(std::uint32_t num_instances = 0) {
+    reset(num_instances);
+  }
+
+  void reset(std::uint32_t num_instances) {
+    edges_.assign(num_instances, {});
+  }
+
+  std::uint32_t num_instances() const noexcept {
+    return static_cast<std::uint32_t>(edges_.size());
+  }
+
+  void add(std::uint32_t instance, const Edge& e) {
+    edges_[instance].push_back(e);
+  }
+
+  const std::vector<Edge>& edges(std::uint32_t instance) const {
+    return edges_[instance];
+  }
+
+  std::uint64_t total_edges() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& per_instance : edges_) total += per_instance.size();
+    return total;
+  }
+
+  /// Average sampled edges per instance (the paper reports 1,703 per
+  /// instance for its standard setup).
+  double average_edges() const noexcept {
+    return edges_.empty() ? 0.0
+                          : static_cast<double>(total_edges()) /
+                                static_cast<double>(edges_.size());
+  }
+
+ private:
+  std::vector<std::vector<Edge>> edges_;
+};
+
+}  // namespace csaw

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace csaw::sim {
+
+/// Parameters of the simulated device. Defaults approximate one NVIDIA
+/// V100 of the paper's Summit nodes (16 GB HBM2 @ 900 GB/s, 80 SMs @
+/// 1.38 GHz, NVLink2 host link at 50 GB/s).
+///
+/// The simulator is *analytic*: kernels execute for real on the host and
+/// count the events a CUDA kernel would generate (lock-step warp
+/// instruction rounds, global-memory bytes, atomics and same-word atomic
+/// conflicts). This model converts those counts into time with a roofline:
+///
+///   compute = rounds / (issue slots actually usable)    [instruction-bound]
+///   memory  = bytes / bandwidth                          [bandwidth-bound]
+///   kernel  = max(compute, memory) + atomic serialization + launch cost
+///
+/// Underutilization is modeled through the issue-slot term: a kernel with
+/// fewer warps than the device needs to keep its SMs busy pays a stall
+/// penalty, which is what makes multi-GPU scaling flatten when instances
+/// are scarce (paper Fig. 17).
+struct DeviceParams {
+  double clock_ghz = 1.38;
+  std::uint32_t sm_count = 80;
+  /// Average cycles one lock-step round costs per SM. Sampling kernels
+  /// are chains of *dependent* memory operations (gather row_ptr -> load
+  /// adjacency -> scan -> binary-search steps), so a round is not one
+  /// issue slot but one partially-hidden memory latency. 40 cycles
+  /// calibrates simulated kernel times into the millisecond range the
+  /// paper reports for its Fig. 16 sweeps; ratios between configurations
+  /// depend on counted rounds, not on this constant.
+  double cycles_per_round = 40.0;
+  /// Warps per SM needed to hide memory latency; below this the stall
+  /// penalty grows proportionally. Sampling kernels are chains of
+  /// dependent global loads, so they need deep warp occupancy (~20/SM)
+  /// before adding devices stops helping — the mechanism behind the
+  /// paper's flat 2k-instance scaling curve (Fig. 17(a)).
+  double latency_hiding_warps_per_sm = 20.0;
+  double hbm_gbytes_per_sec = 900.0;
+  /// Host-to-device link (Summit NVLink2). PCIe-class systems would use
+  /// ~12-16.
+  double link_gbytes_per_sec = 50.0;
+  double link_latency_us = 10.0;
+  double kernel_launch_us = 5.0;
+  /// Extra serialization cycles charged per same-word atomic conflict.
+  double atomic_conflict_cycles = 24.0;
+  /// Device memory capacity; partitions must fit (out-of-memory engine).
+  std::uint64_t memory_bytes = 16ull << 30;
+
+  std::uint64_t clock_hz() const noexcept {
+    return static_cast<std::uint64_t>(clock_ghz * 1e9);
+  }
+};
+
+/// Event counts accumulated by the warps of one kernel.
+struct KernelStats {
+  // Hardware-level events (drive the cost model).
+  std::uint64_t lockstep_rounds = 0;   ///< warp-wide instructions issued
+  std::uint64_t global_bytes = 0;      ///< global memory traffic
+  std::uint64_t atomic_ops = 0;
+  std::uint64_t atomic_conflicts = 0;  ///< same-word conflicts within a round
+  std::uint64_t warps = 0;             ///< warp-tasks executed
+  /// Rounds of the longest-running single warp — the kernel's critical
+  /// path. Instance-grained work distribution (the paper's non-batched
+  /// baseline) makes one warp carry a whole instance, so the straggler
+  /// term dominates when workloads are skewed (§V-C).
+  std::uint64_t max_warp_rounds = 0;
+  /// Warp-slot rounds *occupied* including intra-block imbalance bubbles:
+  /// a thread block's slots are held until its longest warp retires, so
+  /// occupied >= lockstep_rounds, with the gap measuring wasted residency.
+  /// Filled in by Device::launch; 0 means "not measured" and the cost
+  /// model falls back to lockstep_rounds.
+  std::uint64_t occupied_slot_rounds = 0;
+
+  // Algorithm-level events (drive Figs. 11-12 and sanity checks).
+  std::uint64_t select_iterations = 0;  ///< do-while trips in SELECT
+  std::uint64_t collision_searches = 0; ///< collision-detection probes
+  std::uint64_t collisions = 0;         ///< detected duplicate selections
+  std::uint64_t sampled_vertices = 0;
+
+  void merge(const KernelStats& other) noexcept;
+};
+
+/// Converts kernel stats into simulated seconds.
+class CostModel {
+ public:
+  explicit CostModel(DeviceParams params) : params_(params) {}
+
+  const DeviceParams& params() const noexcept { return params_; }
+
+  /// `resource_fraction` is the share of the device's SMs granted to this
+  /// kernel (thread-block based workload balancing, paper §V-B assigns
+  /// block counts proportional to active vertices).
+  double kernel_seconds(const KernelStats& stats,
+                        double resource_fraction = 1.0) const;
+
+  /// Host-to-device copy duration for `bytes` over the (exclusive) link.
+  double transfer_seconds(std::uint64_t bytes) const;
+
+ private:
+  DeviceParams params_;
+};
+
+}  // namespace csaw::sim

@@ -1,0 +1,96 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace csaw::sim {
+
+Device::Device(std::uint32_t id, DeviceParams params)
+    : id_(id), cost_(params), transfer_(cost_) {
+  streams_.emplace_back(0);
+}
+
+Stream& Device::stream(std::size_t i) {
+  while (streams_.size() <= i) {
+    streams_.emplace_back(static_cast<int>(streams_.size()));
+  }
+  return streams_[i];
+}
+
+const KernelRecord& Device::launch(std::string name, Stream& stream,
+                                   double resource_fraction,
+                                   std::uint64_t num_tasks,
+                                   const WarpBody& body) {
+  KernelStats stats;
+  std::vector<std::uint64_t> warp_rounds;
+  warp_rounds.reserve(num_tasks);
+  for (std::uint64_t task = 0; task < num_tasks; ++task) {
+    const std::uint64_t before = stats.lockstep_rounds;
+    {
+      WarpContext warp(stats);
+      body(task, warp);
+    }
+    warp_rounds.push_back(stats.lockstep_rounds - before);
+  }
+
+  // Intra-block imbalance: a block's warp slots are occupied until its
+  // longest warp retires (8 warps = 256 threads per block).
+  constexpr std::uint64_t kWarpsPerBlock = 8;
+  std::uint64_t occupied = 0;
+  for (std::size_t base = 0; base < warp_rounds.size();
+       base += kWarpsPerBlock) {
+    const std::uint64_t width =
+        std::min<std::uint64_t>(kWarpsPerBlock, warp_rounds.size() - base);
+    std::uint64_t longest = 0;
+    for (std::uint64_t w = 0; w < width; ++w) {
+      longest = std::max(longest, warp_rounds[base + w]);
+    }
+    occupied += width * longest;
+  }
+  stats.occupied_slot_rounds = occupied;
+
+  const double duration =
+      num_tasks == 0 ? 0.0 : cost_.kernel_seconds(stats, resource_fraction);
+  const double start = stream.ready_time();
+  stream.push(start, duration);
+
+  kernel_log_.push_back(KernelRecord{std::move(name), stream.id(), start,
+                                     start + duration, resource_fraction,
+                                     stats});
+  return kernel_log_.back();
+}
+
+const KernelRecord& Device::run_kernel(std::string name,
+                                       std::uint64_t num_tasks,
+                                       const WarpBody& body) {
+  return launch(std::move(name), stream(0), 1.0, num_tasks, body);
+}
+
+double Device::synchronize() const noexcept {
+  double t = 0.0;
+  for (const auto& s : streams_) t = std::max(t, s.ready_time());
+  return t;
+}
+
+std::vector<double> Device::kernel_durations(std::string_view prefix) const {
+  std::vector<double> result;
+  for (const auto& record : kernel_log_) {
+    if (record.name.starts_with(prefix)) result.push_back(record.duration());
+  }
+  return result;
+}
+
+KernelStats Device::total_stats() const {
+  KernelStats total;
+  for (const auto& record : kernel_log_) total.merge(record.stats);
+  return total;
+}
+
+void Device::reset() {
+  kernel_log_.clear();
+  transfer_.reset();
+  for (auto& s : streams_) s.reset();
+}
+
+}  // namespace csaw::sim

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/stream.hpp"
+#include "gpusim/transfer.hpp"
+#include "gpusim/warp.hpp"
+
+namespace csaw::sim {
+
+/// Record of one simulated kernel launch.
+struct KernelRecord {
+  std::string name;
+  int stream_id = 0;
+  double start = 0.0;
+  double end = 0.0;
+  double resource_fraction = 1.0;
+  KernelStats stats;
+
+  double duration() const noexcept { return end - start; }
+};
+
+/// One simulated GPU. Kernel bodies run eagerly on the host, one warp-task
+/// at a time, accumulating KernelStats; the CostModel turns the stats into
+/// a simulated duration placed on the launch stream.
+class Device {
+ public:
+  using WarpBody = std::function<void(std::uint64_t task, WarpContext&)>;
+
+  explicit Device(std::uint32_t id = 0, DeviceParams params = {});
+
+  std::uint32_t id() const noexcept { return id_; }
+  const CostModel& cost_model() const noexcept { return cost_; }
+  TransferEngine& transfer() noexcept { return transfer_; }
+
+  /// Returns stream `i`, creating streams up to that index. Stream 0 is
+  /// the default stream.
+  Stream& stream(std::size_t i = 0);
+  std::size_t stream_count() const noexcept { return streams_.size(); }
+
+  /// Launches `num_tasks` warp-tasks of `body` on `stream`, holding
+  /// `resource_fraction` of the device's SMs. Returns the launch record
+  /// (also appended to the kernel log).
+  const KernelRecord& launch(std::string name, Stream& stream,
+                             double resource_fraction, std::uint64_t num_tasks,
+                             const WarpBody& body);
+
+  /// Convenience: full-device launch on the default stream.
+  const KernelRecord& run_kernel(std::string name, std::uint64_t num_tasks,
+                                 const WarpBody& body);
+
+  /// Simulated time at which all streams drain.
+  double synchronize() const noexcept;
+
+  const std::vector<KernelRecord>& kernel_log() const noexcept {
+    return kernel_log_;
+  }
+  /// Durations of logged kernels whose name starts with `prefix`.
+  std::vector<double> kernel_durations(std::string_view prefix) const;
+  /// Sum of stats across all logged kernels.
+  KernelStats total_stats() const;
+
+  /// Clears logs and rewinds all stream clocks (bench reuse).
+  void reset();
+
+ private:
+  std::uint32_t id_;
+  CostModel cost_;
+  TransferEngine transfer_;
+  std::vector<Stream> streams_;
+  std::vector<KernelRecord> kernel_log_;
+};
+
+}  // namespace csaw::sim

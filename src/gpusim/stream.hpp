@@ -1,0 +1,38 @@
+#pragma once
+
+namespace csaw::sim {
+
+/// A CUDA-stream analogue: an ordered timeline of transfers and kernels.
+/// Work on one stream serializes; work on different streams overlaps
+/// (subject to the shared host link and the SM fractions granted to
+/// concurrent kernels). Only simulated time lives here — the host executes
+/// kernel bodies eagerly.
+class Stream {
+ public:
+  explicit Stream(int id = 0) noexcept : id_(id) {}
+
+  int id() const noexcept { return id_; }
+  /// Simulated time at which previously enqueued work completes.
+  double ready_time() const noexcept { return ready_; }
+
+  /// Blocks this stream until at least `t` (used for cross-stream event
+  /// dependencies, e.g. a kernel consuming another stream's transfer).
+  void wait_until(double t) noexcept {
+    if (t > ready_) ready_ = t;
+  }
+
+  /// Appends an operation spanning [start, start+duration); returns its
+  /// completion time. `start` must be >= ready_time().
+  double push(double start, double duration) noexcept {
+    ready_ = start + duration;
+    return ready_;
+  }
+
+  void reset() noexcept { ready_ = 0.0; }
+
+ private:
+  int id_;
+  double ready_ = 0.0;
+};
+
+}  // namespace csaw::sim

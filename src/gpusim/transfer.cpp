@@ -1,0 +1,20 @@
+#include "gpusim/transfer.hpp"
+
+#include <algorithm>
+
+namespace csaw::sim {
+
+double TransferEngine::host_to_device(Stream& stream, std::uint64_t bytes,
+                                      std::string label) {
+  const double start = std::max(stream.ready_time(), link_free_);
+  const double duration = cost_->transfer_seconds(bytes);
+  const double end = start + duration;
+  link_free_ = end;
+  stream.wait_until(start);
+  stream.push(start, duration);
+  log_.push_back(TransferRecord{std::move(label), bytes, stream.id(), start, end});
+  total_bytes_ += bytes;
+  return end;
+}
+
+}  // namespace csaw::sim

@@ -1,0 +1,66 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace csaw {
+
+CsrGraph build_csr(std::vector<Edge> edges, VertexId num_vertices,
+                   const BuildOptions& options) {
+  if (options.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+  if (options.symmetrize) {
+    const std::size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+      edges.push_back(Edge{edges[i].dst, edges[i].src, edges[i].weight});
+    }
+  }
+
+  VertexId n = num_vertices;
+  for (const Edge& e : edges) {
+    n = std::max({n, e.src + 1, e.dst + 1});
+  }
+
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  if (options.deduplicate) {
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+  }
+
+  std::vector<EdgeIndex> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges) ++row_ptr[e.src + 1];
+  for (std::size_t v = 1; v < row_ptr.size(); ++v) row_ptr[v] += row_ptr[v - 1];
+
+  std::vector<VertexId> col_idx(edges.size());
+  std::vector<float> weights;
+  if (options.keep_weights) weights.resize(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    col_idx[i] = edges[i].dst;
+    if (options.keep_weights) weights[i] = edges[i].weight;
+  }
+
+  return CsrGraph(std::move(row_ptr), std::move(col_idx), std::move(weights));
+}
+
+std::vector<Edge> to_edge_list(const CsrGraph& graph) {
+  std::vector<Edge> edges;
+  edges.reserve(graph.num_edges());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto adj = graph.neighbors(v);
+    for (std::size_t k = 0; k < adj.size(); ++k) {
+      edges.push_back(
+          Edge{v, adj[k], graph.edge_weight(v, static_cast<EdgeIndex>(k))});
+    }
+  }
+  return edges;
+}
+
+}  // namespace csaw

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace csaw {
+
+/// Options controlling COO → CSR conversion.
+struct BuildOptions {
+  /// Insert the reverse of every edge (most paper datasets are treated as
+  /// undirected by the sampling algorithms).
+  bool symmetrize = true;
+  /// Drop u→u edges; self-loops make neighbor sampling degenerate.
+  bool remove_self_loops = true;
+  /// Collapse parallel edges (keeping the first weight seen).
+  bool deduplicate = true;
+  /// Keep per-edge weights. When false the CSR is unweighted and
+  /// edge_weight() returns 1.
+  bool keep_weights = false;
+};
+
+/// Builds a CSR graph from an edge list. `num_vertices` of 0 means "infer
+/// from the maximum endpoint id + 1".
+CsrGraph build_csr(std::vector<Edge> edges, VertexId num_vertices = 0,
+                   const BuildOptions& options = {});
+
+/// Extracts the full edge list back out of a CSR graph (src sorted).
+std::vector<Edge> to_edge_list(const CsrGraph& graph);
+
+}  // namespace csaw

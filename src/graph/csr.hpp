@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace csaw {
+
+/// Vertex identifier. 32 bits covers every graph in the paper's Table II
+/// after scaling; the CSR row index is 64-bit so edge counts above 4B
+/// would still work.
+using VertexId = std::uint32_t;
+using EdgeIndex = std::uint64_t;
+
+constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// A directed edge endpoint pair with an optional weight, used by builders
+/// and one-pass samplers.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  float weight = 1.0f;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Compressed Sparse Row graph. Adjacency lists are sorted by destination
+/// id, which the sampling framework relies on for two things:
+///  - O(log d) `has_edge` checks (node2vec's "is u a neighbor of the
+///    previous vertex" bias);
+///  - deterministic neighbor ordering, so CTPS construction is identical
+///    across engines and devices.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+  CsrGraph(std::vector<EdgeIndex> row_ptr, std::vector<VertexId> col_idx,
+           std::vector<float> weights);
+
+  VertexId num_vertices() const noexcept {
+    return row_ptr_.empty() ? 0
+                            : static_cast<VertexId>(row_ptr_.size() - 1);
+  }
+  EdgeIndex num_edges() const noexcept {
+    return row_ptr_.empty() ? 0 : row_ptr_.back();
+  }
+  bool has_weights() const noexcept { return !weights_.empty(); }
+
+  EdgeIndex degree(VertexId v) const;
+  double average_degree() const noexcept;
+  /// Largest out-degree in the graph.
+  EdgeIndex max_degree() const noexcept;
+
+  /// Neighbors of v, sorted ascending.
+  std::span<const VertexId> neighbors(VertexId v) const;
+  /// Weights aligned with neighbors(v); empty span if unweighted.
+  std::span<const float> edge_weights(VertexId v) const;
+  /// Weight of the k-th out-edge of v (1.0 if unweighted).
+  float edge_weight(VertexId v, EdgeIndex k) const;
+
+  /// First edge index of v's adjacency (global CSR offset).
+  EdgeIndex edge_begin(VertexId v) const;
+
+  /// Binary search in v's sorted adjacency. O(log degree(v)).
+  bool has_edge(VertexId v, VertexId u) const;
+
+  /// Size of the CSR arrays in bytes — what a device transfer would move.
+  std::uint64_t bytes() const noexcept;
+
+  std::span<const EdgeIndex> row_ptr() const noexcept { return row_ptr_; }
+  std::span<const VertexId> col_idx() const noexcept { return col_idx_; }
+  std::span<const float> weights() const noexcept { return weights_; }
+
+ private:
+  std::vector<EdgeIndex> row_ptr_;  // n + 1 entries
+  std::vector<VertexId> col_idx_;   // m entries, sorted within each row
+  std::vector<float> weights_;      // m entries or empty
+};
+
+}  // namespace csaw

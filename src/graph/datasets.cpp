@@ -1,0 +1,115 @@
+#include "graph/datasets.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/philox.hpp"
+
+namespace csaw {
+
+DatasetScale DatasetScale::from_env() {
+  DatasetScale scale;
+  scale.edge_cap = static_cast<EdgeIndex>(
+      env_int_or("CSAW_EDGE_CAP", static_cast<std::int64_t>(scale.edge_cap)));
+  scale.min_scale = env_double_or("CSAW_SCALE", scale.min_scale);
+  scale.seed = static_cast<std::uint64_t>(
+      env_int_or("CSAW_SEED", static_cast<std::int64_t>(scale.seed)));
+  return scale;
+}
+
+const std::vector<DatasetSpec>& paper_datasets() {
+  // Skew profiles: social networks use the classic highly skewed
+  // (0.57,.19,.19,.05); web/citation graphs a slightly flatter split;
+  // forum graphs (RE, YE) sit between. Profiles only need to preserve the
+  // *ordering* of collision rates across datasets, which is dominated by
+  // average degree.
+  static const RmatParams kSocial{0.57, 0.19, 0.19, 0.05, 0.1};
+  static const RmatParams kWeb{0.60, 0.20, 0.15, 0.05, 0.1};
+  static const RmatParams kFlat{0.45, 0.22, 0.22, 0.11, 0.1};
+  constexpr std::uint64_t kMB = 1024ull * 1024;
+  constexpr std::uint64_t kGB = 1024ull * kMB;
+  static const std::vector<DatasetSpec> specs = {
+      {"Amazon0601", "AM", 400'000, 3'400'000, 8.39, 59 * kMB, kFlat, false,
+       false},
+      {"As-skitter", "AS", 1'700'000, 11'100'000, 6.54, 325 * kMB, kWeb,
+       false, false},
+      {"cit-Patents", "CP", 3'800'000, 16'500'000, 4.38, 293 * kMB, kFlat,
+       false, false},
+      {"LiveJournal", "LJ", 4'800'000, 68'900'000, 14.23,
+       static_cast<std::uint64_t>(1.1 * kGB), kSocial, false, false},
+      {"Orkut", "OR", 3'100'000, 117'200'000, 38.14,
+       static_cast<std::uint64_t>(1.8 * kGB), kSocial, false, false},
+      {"Reddit", "RE", 200'000, 11'600'000, 49.82, 179 * kMB, kSocial, false,
+       false},
+      {"web-Google", "WG", 800'000, 5'100'000, 5.83, 85 * kMB, kWeb, false,
+       false},
+      {"Yelp", "YE", 700'000, 6'900'000, 9.73, 111 * kMB, kSocial, false,
+       false},
+      {"Friendster", "FR", 65'600'000, 1'800'000'000, 27.53, 29 * kGB,
+       kSocial, false, true},
+      {"Twitter", "TW", 41'600'000, 1'500'000'000, 35.25, 22 * kGB, kSocial,
+       false, true},
+  };
+  return specs;
+}
+
+std::vector<DatasetSpec> in_memory_datasets() {
+  std::vector<DatasetSpec> result;
+  for (const auto& spec : paper_datasets()) {
+    if (!spec.exceeds_device_memory) result.push_back(spec);
+  }
+  return result;
+}
+
+const DatasetSpec& dataset_by_abbr(const std::string& abbr) {
+  for (const auto& spec : paper_datasets()) {
+    if (spec.abbr == abbr) return spec;
+  }
+  CSAW_CHECK_MSG(false, "unknown dataset abbreviation: " << abbr);
+  // Unreachable; CSAW_CHECK_MSG throws.
+  throw CheckError("unreachable");
+}
+
+CsrGraph make_dataset(const DatasetSpec& spec, const DatasetScale& scale) {
+  CSAW_CHECK(scale.min_scale >= 1.0);
+  const double by_min = static_cast<double>(spec.paper_edges) / scale.min_scale;
+  const double target_edges_d =
+      std::min(by_min, static_cast<double>(scale.edge_cap));
+  const auto target_edges =
+      std::max<EdgeIndex>(1024, static_cast<EdgeIndex>(target_edges_d));
+
+  // Generated edges are symmetrized (each input pair becomes 2 directed
+  // edges) and deduplicated, which removes roughly 10-20% on skewed
+  // profiles; oversample the pair count to land near the target. The
+  // vertex budget follows from the paper's average degree; R-MAT id
+  // compaction then decides the exact count.
+  const auto pairs = static_cast<EdgeIndex>(
+      static_cast<double>(target_edges) / 2.0 * 1.18);
+  // R-MAT rounds the cell count up to a power of two, and id compaction
+  // then keeps roughly 70% of cells. Pick the power of two whose
+  // *predicted realized degree* is closest to the paper's, so the scaled
+  // stand-ins preserve the cross-dataset degree ordering that drives the
+  // evaluation shapes.
+  constexpr double kUsedCellFraction = 0.70;
+  const double ideal_cells = static_cast<double>(target_edges) /
+                             (spec.paper_avg_degree * kUsedCellFraction);
+  const auto lo = std::max<VertexId>(
+      64, std::bit_floor(static_cast<VertexId>(ideal_cells)));
+  const VertexId hi = lo << 1;
+  auto degree_error = [&](VertexId cells) {
+    const double predicted = static_cast<double>(target_edges) /
+                             (kUsedCellFraction * cells);
+    return std::abs(predicted - spec.paper_avg_degree);
+  };
+  const VertexId vertices = degree_error(lo) <= degree_error(hi) ? lo : hi;
+
+  const std::uint64_t seed = mix64(scale.seed ^ mix64(spec.abbr.size() +
+                                                      (spec.abbr[0] << 8) +
+                                                      (spec.abbr[1] << 16)));
+  return generate_rmat(vertices, pairs, seed, spec.rmat, spec.weighted);
+}
+
+}  // namespace csaw

@@ -1,0 +1,203 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace csaw {
+namespace {
+
+/// Remaps vertex ids so that every id in [0, n') has at least one edge.
+/// R-MAT leaves a large isolated tail; compacting matches how published
+/// dataset CSRs look (dense id space) and keeps per-vertex arrays small.
+std::vector<Edge> compact_ids(std::vector<Edge> edges) {
+  VertexId max_id = 0;
+  for (const Edge& e : edges) max_id = std::max({max_id, e.src, e.dst});
+  std::vector<VertexId> remap(static_cast<std::size_t>(max_id) + 1,
+                              kInvalidVertex);
+  for (const Edge& e : edges) {
+    remap[e.src] = 0;
+    remap[e.dst] = 0;
+  }
+  VertexId next = 0;
+  for (auto& slot : remap) {
+    if (slot != kInvalidVertex) slot = next++;
+  }
+  for (Edge& e : edges) {
+    e.src = remap[e.src];
+    e.dst = remap[e.dst];
+  }
+  return edges;
+}
+
+float maybe_weight(Xoshiro256& rng, bool weighted) {
+  if (!weighted) return 1.0f;
+  // (0, 1]: avoid zero-weight edges, which would make biased selection
+  // regions empty.
+  return static_cast<float>(1.0 - rng.uniform());
+}
+
+}  // namespace
+
+CsrGraph generate_rmat(VertexId num_vertices, EdgeIndex num_edges,
+                       std::uint64_t seed, const RmatParams& params,
+                       bool weighted) {
+  CSAW_CHECK(num_vertices >= 2);
+  CSAW_CHECK(num_edges >= 1);
+  const double sum = params.a + params.b + params.c + params.d;
+  CSAW_CHECK_MSG(sum > 0.99 && sum < 1.01, "R-MAT quadrants must sum to 1");
+
+  const int levels = std::bit_width(std::bit_ceil(num_vertices)) - 1;
+  Xoshiro256 rng(seed);
+
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  for (EdgeIndex i = 0; i < num_edges; ++i) {
+    VertexId src = 0, dst = 0;
+    for (int level = 0; level < levels; ++level) {
+      // Multiplicative noise, renormalized, per level.
+      const double na = params.a * (1.0 + params.noise * (rng.uniform() - 0.5));
+      const double nb = params.b * (1.0 + params.noise * (rng.uniform() - 0.5));
+      const double nc = params.c * (1.0 + params.noise * (rng.uniform() - 0.5));
+      const double nd = params.d * (1.0 + params.noise * (rng.uniform() - 0.5));
+      const double total = na + nb + nc + nd;
+      const double r = rng.uniform() * total;
+      src <<= 1;
+      dst <<= 1;
+      if (r < na) {
+        // upper-left: neither bit set
+      } else if (r < na + nb) {
+        dst |= 1;
+      } else if (r < na + nb + nc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    edges.push_back(Edge{src, dst, maybe_weight(rng, weighted)});
+  }
+
+  edges = compact_ids(std::move(edges));
+  BuildOptions options;
+  options.keep_weights = weighted;
+  return build_csr(std::move(edges), 0, options);
+}
+
+CsrGraph generate_erdos_renyi(VertexId num_vertices, EdgeIndex num_edges,
+                              std::uint64_t seed, bool weighted) {
+  CSAW_CHECK(num_vertices >= 2);
+  const EdgeIndex possible = static_cast<EdgeIndex>(num_vertices) *
+                             (num_vertices - 1) / 2;
+  CSAW_CHECK_MSG(num_edges <= possible, "too many edges for simple graph");
+
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Edge> edges;
+  edges.reserve(num_edges);
+  while (edges.size() < num_edges) {
+    const auto u = static_cast<VertexId>(rng.bounded(num_vertices));
+    const auto v = static_cast<VertexId>(rng.bounded(num_vertices));
+    if (u == v) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(u, v)) << 32) | std::max(u, v);
+    if (!seen.insert(key).second) continue;
+    edges.push_back(Edge{u, v, maybe_weight(rng, weighted)});
+  }
+  BuildOptions options;
+  options.keep_weights = weighted;
+  return build_csr(std::move(edges), num_vertices, options);
+}
+
+CsrGraph generate_barabasi_albert(VertexId num_vertices,
+                                  VertexId edges_per_vertex,
+                                  std::uint64_t seed, bool weighted) {
+  CSAW_CHECK(edges_per_vertex >= 1);
+  CSAW_CHECK(num_vertices > edges_per_vertex);
+
+  Xoshiro256 rng(seed);
+  // Repeated-endpoint list: picking a uniform element of `endpoints` is
+  // degree-proportional attachment.
+  std::vector<VertexId> endpoints;
+  std::vector<Edge> edges;
+  // Seed clique over the first m+1 vertices.
+  for (VertexId u = 0; u <= edges_per_vertex; ++u) {
+    for (VertexId v = u + 1; v <= edges_per_vertex; ++v) {
+      edges.push_back(Edge{u, v, maybe_weight(rng, weighted)});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (VertexId v = edges_per_vertex + 1; v < num_vertices; ++v) {
+    std::unordered_set<VertexId> targets;
+    while (targets.size() < edges_per_vertex) {
+      targets.insert(endpoints[rng.bounded(endpoints.size())]);
+    }
+    for (VertexId t : targets) {
+      edges.push_back(Edge{v, t, maybe_weight(rng, weighted)});
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  BuildOptions options;
+  options.keep_weights = weighted;
+  return build_csr(std::move(edges), num_vertices, options);
+}
+
+CsrGraph make_path(VertexId n) {
+  CSAW_CHECK(n >= 2);
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v + 1 < n; ++v) edges.push_back(Edge{v, v + 1});
+  return build_csr(std::move(edges), n);
+}
+
+CsrGraph make_cycle(VertexId n) {
+  CSAW_CHECK(n >= 3);
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < n; ++v) edges.push_back(Edge{v, (v + 1) % n});
+  return build_csr(std::move(edges), n);
+}
+
+CsrGraph make_star(VertexId n) {
+  CSAW_CHECK(n >= 2);
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < n; ++v) edges.push_back(Edge{0, v});
+  return build_csr(std::move(edges), n);
+}
+
+CsrGraph make_complete(VertexId n) {
+  CSAW_CHECK(n >= 2);
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) edges.push_back(Edge{u, v});
+  return build_csr(std::move(edges), n);
+}
+
+CsrGraph make_grid(VertexId rows, VertexId cols) {
+  CSAW_CHECK(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  std::vector<Edge> edges;
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back(Edge{id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) edges.push_back(Edge{id(r, c), id(r + 1, c)});
+    }
+  }
+  return build_csr(std::move(edges), rows * cols);
+}
+
+CsrGraph make_paper_toy_graph() {
+  // Degrees of v8's neighbors must be {v5:3, v7:6, v9:2, v10:2, v11:2} so
+  // the Fig. 1(b) prefix sum {0,3,9,11,13,15} falls out of the structure.
+  std::vector<Edge> edges = {
+      {0, 7},  {1, 7},  {4, 7},  {5, 7},  {6, 7},  {7, 8},
+      {4, 5},  {5, 8},  {8, 9},  {8, 10}, {8, 11}, {9, 12},
+      {10, 11}, {2, 3}, {3, 4},
+  };
+  return build_csr(std::move(edges), 13);
+}
+
+}  // namespace csaw

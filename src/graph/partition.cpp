@@ -1,0 +1,87 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace csaw {
+
+GraphPartition::GraphPartition(const CsrGraph& graph, VertexId first,
+                               VertexId last, std::uint32_t id)
+    : id_(id), first_(first), last_(last) {
+  CSAW_CHECK(first <= last);
+  CSAW_CHECK(last <= graph.num_vertices());
+  row_ptr_.reserve(static_cast<std::size_t>(last - first) + 1);
+  row_ptr_.push_back(0);
+  const EdgeIndex base =
+      first < graph.num_vertices() ? graph.edge_begin(first) : 0;
+  for (VertexId v = first; v < last; ++v) {
+    row_ptr_.push_back(graph.edge_begin(v) + graph.degree(v) - base);
+  }
+  const auto cols = graph.col_idx();
+  col_idx_.assign(cols.begin() + static_cast<std::ptrdiff_t>(base),
+                  cols.begin() + static_cast<std::ptrdiff_t>(base + num_edges()));
+  if (graph.has_weights()) {
+    const auto w = graph.weights();
+    weights_.assign(w.begin() + static_cast<std::ptrdiff_t>(base),
+                    w.begin() + static_cast<std::ptrdiff_t>(base + num_edges()));
+  }
+}
+
+EdgeIndex GraphPartition::degree(VertexId v) const {
+  CSAW_CHECK_MSG(owns(v), "vertex " << v << " not in partition " << id_);
+  const VertexId local = v - first_;
+  return row_ptr_[local + 1] - row_ptr_[local];
+}
+
+std::span<const VertexId> GraphPartition::neighbors(VertexId v) const {
+  CSAW_CHECK_MSG(owns(v), "vertex " << v << " not in partition " << id_);
+  const VertexId local = v - first_;
+  return {col_idx_.data() + row_ptr_[local],
+          static_cast<std::size_t>(row_ptr_[local + 1] - row_ptr_[local])};
+}
+
+std::span<const float> GraphPartition::edge_weights(VertexId v) const {
+  CSAW_CHECK_MSG(owns(v), "vertex " << v << " not in partition " << id_);
+  if (weights_.empty()) return {};
+  const VertexId local = v - first_;
+  return {weights_.data() + row_ptr_[local],
+          static_cast<std::size_t>(row_ptr_[local + 1] - row_ptr_[local])};
+}
+
+float GraphPartition::edge_weight(VertexId v, EdgeIndex k) const {
+  CSAW_CHECK(k < degree(v));
+  if (weights_.empty()) return 1.0f;
+  return weights_[row_ptr_[v - first_] + k];
+}
+
+bool GraphPartition::has_edge(VertexId v, VertexId u) const {
+  const auto adj = neighbors(v);
+  return std::binary_search(adj.begin(), adj.end(), u);
+}
+
+std::uint64_t GraphPartition::bytes() const noexcept {
+  return row_ptr_.size() * sizeof(EdgeIndex) +
+         col_idx_.size() * sizeof(VertexId) + weights_.size() * sizeof(float);
+}
+
+RangePartitioner::RangePartitioner(const CsrGraph& graph,
+                                   std::uint32_t num_parts) {
+  CSAW_CHECK(num_parts >= 1);
+  const VertexId n = graph.num_vertices();
+  CSAW_CHECK(n >= num_parts);
+  range_size_ = (n + num_parts - 1) / num_parts;  // ceil
+  parts_.reserve(num_parts);
+  for (std::uint32_t p = 0; p < num_parts; ++p) {
+    const VertexId first = std::min<VertexId>(p * range_size_, n);
+    const VertexId last = std::min<VertexId>(first + range_size_, n);
+    parts_.emplace_back(graph, first, last, p);
+  }
+}
+
+const GraphPartition& RangePartitioner::part(std::uint32_t p) const {
+  CSAW_CHECK(p < parts_.size());
+  return parts_[p];
+}
+
+}  // namespace csaw

@@ -1,0 +1,76 @@
+#include "multigpu/multi_device.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace csaw {
+
+MultiDeviceRun run_multi_device(const CsrGraph& graph, const Policy& policy,
+                                const SamplingSpec& spec,
+                                std::span<const std::vector<VertexId>> seeds,
+                                const MultiDeviceConfig& config) {
+  CSAW_CHECK(config.num_devices >= 1);
+  const auto num_instances = static_cast<std::uint32_t>(seeds.size());
+
+  MultiDeviceRun result;
+  result.samples.reset(num_instances);
+  result.device_seconds.assign(config.num_devices, 0.0);
+
+  // Equal contiguous instance groups (paper §V-D): group d gets
+  // [d*per, min((d+1)*per, n)).
+  const std::uint32_t per_device =
+      (num_instances + config.num_devices - 1) / config.num_devices;
+
+  for (std::uint32_t d = 0; d < config.num_devices; ++d) {
+    const std::uint32_t begin = std::min(d * per_device, num_instances);
+    const std::uint32_t end = std::min(begin + per_device, num_instances);
+    if (begin == end) continue;
+
+    sim::Device device(d, config.device_params);
+    const auto group = seeds.subspan(begin, end - begin);
+
+    EngineConfig engine_config = config.engine;
+    engine_config.instance_id_offset += begin;
+
+    if (config.out_of_memory) {
+      OomConfig oom_config = config.oom;
+      oom_config.engine = engine_config;
+      OomEngine engine(graph, policy, spec, oom_config);
+      OomRun run = engine.run(device, group);
+      for (std::uint32_t i = begin; i < end; ++i) {
+        for (const Edge& e : run.samples.edges(i - begin)) {
+          result.samples.add(i, e);
+        }
+      }
+      result.device_seconds[d] = run.sim_seconds;
+      result.stats.merge(run.stats);
+    } else {
+      CsrGraphView view(graph);
+      SamplingEngine engine(view, policy, spec, engine_config);
+      SampleRun run = engine.run(device, group);
+      for (std::uint32_t i = begin; i < end; ++i) {
+        for (const Edge& e : run.samples.edges(i - begin)) {
+          result.samples.add(i, e);
+        }
+      }
+      result.device_seconds[d] = run.sim_seconds;
+      result.stats.merge(run.stats);
+    }
+  }
+
+  result.sim_seconds =
+      *std::max_element(result.device_seconds.begin(),
+                        result.device_seconds.end());
+  return result;
+}
+
+MultiDeviceRun run_multi_device_single_seed(
+    const CsrGraph& graph, const Policy& policy, const SamplingSpec& spec,
+    std::span<const VertexId> seeds, const MultiDeviceConfig& config) {
+  std::vector<std::vector<VertexId>> per_instance(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) per_instance[i] = {seeds[i]};
+  return run_multi_device(graph, policy, spec, per_instance, config);
+}
+
+}  // namespace csaw

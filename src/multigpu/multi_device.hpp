@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "oom/oom_engine.hpp"
+
+namespace csaw {
+
+/// Multi-GPU C-SAW (paper §V-D): sampling instances are divided into
+/// disjoint equal groups, one per device; every device runs independently
+/// (no inter-GPU communication) and the run completes when the slowest
+/// device drains its group.
+struct MultiDeviceConfig {
+  std::uint32_t num_devices = 1;
+  sim::DeviceParams device_params;
+  EngineConfig engine;
+  /// Use the out-of-memory engine per device (graphs exceeding device
+  /// memory); otherwise the in-memory engine.
+  bool out_of_memory = false;
+  /// OOM settings when out_of_memory is set (its engine field is
+  /// overridden per device with the right instance offset).
+  OomConfig oom;
+};
+
+struct MultiDeviceRun {
+  /// Samples in global instance order (identical layout to a 1-device
+  /// run — the split is invisible to consumers).
+  SampleStore samples;
+  std::vector<double> device_seconds;
+  /// Makespan across devices.
+  double sim_seconds = 0.0;
+  sim::KernelStats stats;
+
+  double seps() const {
+    return sim_seconds > 0.0
+               ? static_cast<double>(samples.total_edges()) / sim_seconds
+               : 0.0;
+  }
+};
+
+/// Runs `seeds.size()` instances across `config.num_devices` simulated
+/// devices.
+MultiDeviceRun run_multi_device(const CsrGraph& graph, const Policy& policy,
+                                const SamplingSpec& spec,
+                                std::span<const std::vector<VertexId>> seeds,
+                                const MultiDeviceConfig& config);
+
+/// Convenience: one seed vertex per instance.
+MultiDeviceRun run_multi_device_single_seed(
+    const CsrGraph& graph, const Policy& policy, const SamplingSpec& spec,
+    std::span<const VertexId> seeds, const MultiDeviceConfig& config);
+
+}  // namespace csaw

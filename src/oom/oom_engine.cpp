@@ -1,0 +1,278 @@
+#include "oom/oom_engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace csaw {
+namespace {
+
+/// Deterministic batch order: entries sorted by (instance, depth, slot).
+/// The random draws do not depend on this order (counter-based RNG), but
+/// visited-filter races within an instance resolve deterministically.
+void sort_batch(std::vector<FrontierEntry>& batch) {
+  std::sort(batch.begin(), batch.end(),
+            [](const FrontierEntry& a, const FrontierEntry& b) {
+              if (a.instance != b.instance) return a.instance < b.instance;
+              if (a.depth != b.depth) return a.depth < b.depth;
+              return a.slot < b.slot;
+            });
+}
+
+}  // namespace
+
+OomEngine::OomEngine(const CsrGraph& graph, Policy policy, SamplingSpec spec,
+                     OomConfig config)
+    : graph_(&graph),
+      policy_(std::move(policy)),
+      spec_(std::move(spec)),
+      config_(config),
+      rng_(config.engine.seed),
+      selector_([&] {
+        SelectConfig c = config.engine.select;
+        c.with_replacement = spec_.with_replacement;
+        return c;
+      }()),
+      parts_(graph, config.num_partitions) {
+  CSAW_CHECK_MSG(!spec_.select_frontier && !spec_.layer_mode &&
+                     !spec_.sample_all_neighbors,
+                 "spec requires whole-graph frontier state; "
+                 "use the in-memory engine");
+  CSAW_CHECK_MSG(spec_.effective_branching_cap() > 0,
+                 "out-of-order sampling needs order-independent RNG slots; "
+                 "set SamplingSpec::branching_cap");
+  CSAW_CHECK(config.resident_partitions >= 1);
+  CSAW_CHECK(config.resident_partitions <= config.num_partitions);
+  CSAW_CHECK(config.num_streams >= 1);
+}
+
+OomRun OomEngine::run(sim::Device& device,
+                      std::span<const std::vector<VertexId>> seeds) {
+  const auto num_instances = static_cast<std::uint32_t>(seeds.size());
+  instances_.assign(num_instances, InstanceState());
+  for (std::uint32_t i = 0; i < num_instances; ++i) {
+    instances_[i].init(config_.engine.instance_id_offset + i, seeds[i],
+                       graph_->num_vertices(), spec_.filter_visited);
+  }
+
+  OomRun result;
+  result.samples.reset(num_instances);
+  samples_ = &result.samples;
+
+  queues_.assign(config_.num_partitions, FrontierQueue{});
+
+  const std::size_t log_begin = device.kernel_log().size();
+  const double t0 = device.synchronize();
+  std::uint32_t round_robin_cursor = 0;
+  RunningStat imbalance;
+
+  // Batched multi-instance sampling keeps every instance in one merged
+  // queue set; the non-batched baseline can only keep a gang of
+  // per-instance queues resident and pays transfers per gang (§V-C).
+  const std::uint32_t gang =
+      config_.batched ? std::max(num_instances, 1u)
+                      : std::max(config_.unbatched_gang_size, 1u);
+
+  for (std::uint32_t gang_begin = 0;
+       gang_begin < std::max(num_instances, 1u); gang_begin += gang) {
+    const std::uint32_t gang_end =
+        std::min(num_instances, gang_begin + gang);
+    for (std::uint32_t i = gang_begin; i < gang_end; ++i) {
+      for (std::size_t s = 0; s < seeds[i].size(); ++s) {
+        const VertexId seed = seeds[i][s];
+        CSAW_CHECK(seed < graph_->num_vertices());
+        queues_[parts_.part_of(seed)].push(FrontierEntry{
+            seed, config_.engine.instance_id_offset + i, /*depth=*/0,
+            static_cast<std::uint32_t>(s), kInvalidVertex});
+      }
+    }
+
+    schedule_until_drained(device, result, round_robin_cursor, imbalance);
+  }
+
+  result.sim_seconds = device.synchronize() - t0;
+  result.metrics.kernel_imbalance = imbalance.mean();
+  for (std::size_t i = log_begin; i < device.kernel_log().size(); ++i) {
+    result.stats.merge(device.kernel_log()[i].stats);
+  }
+  samples_ = nullptr;
+  return result;
+}
+
+void OomEngine::schedule_until_drained(sim::Device& device, OomRun& result,
+                                       std::uint32_t& round_robin_cursor,
+                                       RunningStat& imbalance) {
+  for (;;) {
+    // --- Plan: which partitions get the device this round (1 in Fig. 8).
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t p = 0; p < config_.num_partitions; ++p) {
+      if (!queues_[p].empty()) candidates.push_back(p);
+    }
+    if (candidates.empty()) break;
+
+    RoundPlan plan;
+    if (config_.workload_aware) {
+      // Most active vertices first (stable for determinism).
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [this](std::uint32_t a, std::uint32_t b) {
+                         return queues_[a].size() > queues_[b].size();
+                       });
+      candidates.resize(std::min<std::size_t>(candidates.size(),
+                                              config_.resident_partitions));
+      plan.partitions = candidates;
+    } else {
+      // Baseline: next active partitions in id order from a cursor.
+      for (std::uint32_t step = 0;
+           step < config_.num_partitions &&
+           plan.partitions.size() < config_.resident_partitions;
+           ++step) {
+        const std::uint32_t p =
+            (round_robin_cursor + step) % config_.num_partitions;
+        if (!queues_[p].empty()) plan.partitions.push_back(p);
+      }
+      round_robin_cursor =
+          (plan.partitions.back() + 1) % config_.num_partitions;
+    }
+
+    // --- Thread-block based workload balancing (3 in Fig. 8): SM share
+    // proportional to active vertices; baseline splits evenly.
+    const std::size_t chosen = plan.partitions.size();
+    plan.fractions.assign(chosen, 1.0 / static_cast<double>(chosen));
+    if (config_.block_balancing && chosen > 1) {
+      double total = 0.0;
+      for (std::uint32_t p : plan.partitions) {
+        total += static_cast<double>(queues_[p].size());
+      }
+      for (std::size_t i = 0; i < chosen; ++i) {
+        plan.fractions[i] =
+            std::max(0.05, static_cast<double>(queues_[plan.partitions[i]].size()) / total);
+      }
+      const double sum =
+          std::accumulate(plan.fractions.begin(), plan.fractions.end(), 0.0);
+      for (double& f : plan.fractions) f /= sum;
+    }
+
+    // --- Transfer each chosen partition onto its stream (2 in Fig. 8);
+    // transfers share the host link, kernels share SMs by fraction.
+    for (std::size_t i = 0; i < chosen; ++i) {
+      const std::uint32_t p = plan.partitions[i];
+      sim::Stream& stream = device.stream(i % config_.num_streams);
+      device.transfer().host_to_device(stream, parts_.part(p).bytes(),
+                                       "partition " + std::to_string(p));
+      ++result.metrics.partition_transfers;
+      result.metrics.bytes_transferred += parts_.part(p).bytes();
+    }
+
+    // --- Sample the resident partitions. All chosen partitions are
+    // resident *simultaneously*: with workload-aware scheduling each is
+    // released only when its frontier queue drains, and entries one
+    // resident partition inserts into another resident partition's queue
+    // are consumed within the same residency (paper §V-B). The baseline
+    // processes a single wave per transfer.
+    std::vector<double> kernel_time(chosen, 0.0);
+    const std::size_t log_mark = device.kernel_log().size();
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t i = 0; i < chosen; ++i) {
+        const std::uint32_t p = plan.partitions[i];
+        if (queues_[p].empty()) continue;
+        sim::Stream& stream = device.stream(i % config_.num_streams);
+        run_wave(device, stream, p, plan.fractions[i], result.metrics);
+        progress = config_.workload_aware;
+      }
+    }
+    for (std::size_t k = log_mark; k < device.kernel_log().size(); ++k) {
+      const auto& record = device.kernel_log()[k];
+      for (std::size_t i = 0; i < chosen; ++i) {
+        if (record.name ==
+            "oom_sample_p" + std::to_string(plan.partitions[i])) {
+          kernel_time[i] += record.duration();
+        }
+      }
+    }
+    ++result.metrics.scheduling_rounds;
+
+    if (chosen >= 2) {
+      RunningStat per_round;
+      for (double t : kernel_time) per_round.add(t);
+      if (per_round.mean() > 0.0) {
+        imbalance.add(per_round.stddev() / per_round.mean());
+      }
+    }
+  }
+}
+
+OomRun OomEngine::run_single_seed(sim::Device& device,
+                                  std::span<const VertexId> seeds) {
+  std::vector<std::vector<VertexId>> per_instance(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) per_instance[i] = {seeds[i]};
+  return run(device, per_instance);
+}
+
+void OomEngine::run_wave(sim::Device& device, sim::Stream& stream,
+                         std::uint32_t p, double fraction,
+                         OomMetrics& metrics) {
+  std::vector<FrontierEntry> batch = queues_[p].drain();
+  if (batch.empty()) return;
+  sort_batch(batch);
+
+  if (config_.batched) {
+    // BA: one kernel over the interleaved entries of all instances — any
+    // warp takes any entry (vertex-grained work distribution, §V-C).
+    device.launch(
+        "oom_sample_p" + std::to_string(p), stream, fraction, batch.size(),
+        [&](std::uint64_t t, sim::WarpContext& warp) {
+          process_entry(p, batch[t], warp);
+        });
+  } else {
+    // Instance-grained baseline: one warp owns all of an instance's
+    // entries and processes them serially, so skewed instances straggle
+    // (the imbalance BA removes, §V-C).
+    std::vector<std::pair<std::size_t, std::size_t>> groups;
+    std::size_t begin = 0;
+    while (begin < batch.size()) {
+      std::size_t end = begin + 1;
+      while (end < batch.size() &&
+             batch[end].instance == batch[begin].instance) {
+        ++end;
+      }
+      groups.emplace_back(begin, end);
+      begin = end;
+    }
+    device.launch(
+        "oom_sample_p" + std::to_string(p), stream, fraction, groups.size(),
+        [&](std::uint64_t t, sim::WarpContext& warp) {
+          for (std::size_t i = groups[t].first; i < groups[t].second; ++i) {
+            process_entry(p, batch[i], warp);
+          }
+        });
+  }
+  ++metrics.kernel_launches;
+}
+
+void OomEngine::process_entry(std::uint32_t p, const FrontierEntry& entry,
+                              sim::WarpContext& warp) {
+  const PartitionView& view = parts_.view(p);
+  const std::uint32_t local =
+      entry.instance - config_.engine.instance_id_offset;
+  InstanceState& inst = instances_[local];
+  inst.prev_vertex = entry.prev;
+
+  const FrontierWorkItem item{entry.vertex, entry.instance, entry.depth,
+                              entry.slot};
+  FrontierResult result = process_frontier_vertex(
+      view, policy_, spec_, rng_, selector_, inst, item, warp, bias_scratch_);
+  for (const Edge& e : result.sampled) samples_->add(local, e);
+
+  if (entry.depth + 1 >= spec_.depth) return;  // walk/tree complete
+  for (const auto& [vertex, slot] : result.next) {
+    queues_[parts_.part_of(vertex)].push(FrontierEntry{
+        vertex, entry.instance, entry.depth + 1, slot, entry.vertex});
+  }
+}
+
+
+}  // namespace csaw

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/frontier_queue.hpp"
+#include "oom/partitioned_graph.hpp"
+#include "util/stats.hpp"
+
+namespace csaw {
+
+/// Configuration of the out-of-memory engine (paper §V). The three
+/// optimization toggles map one-to-one onto the legend of Fig. 13:
+///   batched          — BA, batched multi-instance sampling (§V-C)
+///   workload_aware   — WS, workload-aware partition scheduling (§V-B)
+///   block_balancing  — BAL, thread-block based workload balancing (§V-B)
+struct OomConfig {
+  std::uint32_t num_partitions = 4;
+  /// Partitions the device memory can hold at once (the paper's Fig. 13
+  /// setup: 4 partitions, 2 resident, 2 CUDA streams).
+  std::uint32_t resident_partitions = 2;
+  std::uint32_t num_streams = 2;
+  bool batched = true;
+  bool workload_aware = true;
+  bool block_balancing = true;
+  /// Without batching, per-instance frontier queues and bitmaps occupy
+  /// device memory, so only a gang of instances can be in flight at once;
+  /// each gang pays its own partition transfers (the amortization loss
+  /// batched multi-instance sampling removes, §V-C). Gang size in
+  /// instances.
+  std::uint32_t unbatched_gang_size = 1024;
+  EngineConfig engine;
+};
+
+/// Metrics regenerating Figs. 13-15.
+struct OomMetrics {
+  /// Host-to-device partition copies (Fig. 15).
+  std::size_t partition_transfers = 0;
+  std::uint64_t bytes_transferred = 0;
+  /// Mean over scheduling rounds of the coefficient of variation of
+  /// per-stream kernel time — the workload-imbalance measure of Fig. 14
+  /// (0 = perfectly balanced kernels).
+  double kernel_imbalance = 0.0;
+  /// Number of scheduling rounds executed.
+  std::size_t scheduling_rounds = 0;
+  /// Number of kernel launches.
+  std::size_t kernel_launches = 0;
+};
+
+struct OomRun {
+  SampleStore samples;
+  OomMetrics metrics;
+  sim::KernelStats stats;
+  /// Simulated makespan including transfers (the paper's out-of-memory
+  /// SEPS definition includes partition transfer time).
+  double sim_seconds = 0.0;
+
+  double seps() const {
+    return sim_seconds > 0.0
+               ? static_cast<double>(samples.total_edges()) / sim_seconds
+               : 0.0;
+  }
+};
+
+/// Out-of-memory C-SAW (paper §V): contiguous vertex-range partitions are
+/// paged into simulated device memory; per-partition frontier queues carry
+/// (VertexID, InstanceID, CurrDepth) entries; sampling is asynchronous and
+/// out of (BFS) order, which the counter-based RNG keeps equivalent to the
+/// in-memory schedule.
+///
+/// Restrictions: specs using select_frontier, layer_mode or
+/// sample_all_neighbors are in-memory-only (checked).
+class OomEngine {
+ public:
+  OomEngine(const CsrGraph& graph, Policy policy, SamplingSpec spec,
+            OomConfig config);
+
+  /// Runs all instances; seeds[i] are instance i's seed vertices.
+  OomRun run(sim::Device& device,
+             std::span<const std::vector<VertexId>> seeds);
+
+  OomRun run_single_seed(sim::Device& device,
+                         std::span<const VertexId> seeds);
+
+ private:
+  struct RoundPlan {
+    std::vector<std::uint32_t> partitions;  // chosen for residency
+    std::vector<double> fractions;          // SM share per chosen partition
+  };
+
+  /// Runs the workload-aware / round-robin scheduling loop until every
+  /// partition queue is empty (one gang's worth of sampling).
+  void schedule_until_drained(sim::Device& device, OomRun& result,
+                              std::uint32_t& round_robin_cursor,
+                              RunningStat& imbalance);
+
+  /// Processes one wave (the current queue contents) of partition p as a
+  /// single kernel: vertex-grained (warp per entry) when batched,
+  /// instance-grained (warp per instance) otherwise.
+  void run_wave(sim::Device& device, sim::Stream& stream, std::uint32_t p,
+                double fraction, OomMetrics& metrics);
+
+  /// Samples one frontier entry against partition p and routes results.
+  void process_entry(std::uint32_t p, const FrontierEntry& entry,
+                     sim::WarpContext& warp);
+
+  const CsrGraph* graph_;
+  Policy policy_;
+  SamplingSpec spec_;
+  OomConfig config_;
+  CounterStream rng_;
+  ItsSelector selector_;
+  PartitionedGraph parts_;
+
+  // Per-run state.
+  std::vector<FrontierQueue> queues_;
+  std::vector<InstanceState> instances_;
+  SampleStore* samples_ = nullptr;
+  std::vector<float> bias_scratch_;
+};
+
+}  // namespace csaw

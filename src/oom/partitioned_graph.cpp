@@ -1,0 +1,15 @@
+#include "oom/partitioned_graph.hpp"
+
+namespace csaw {
+
+PartitionedGraph::PartitionedGraph(const CsrGraph& graph,
+                                   std::uint32_t num_parts)
+    : graph_(&graph), partitioner_(graph, num_parts) {
+  views_.reserve(num_parts);
+  for (std::uint32_t p = 0; p < num_parts; ++p) {
+    views_.push_back(
+        std::make_unique<PartitionView>(graph, partitioner_.part(p)));
+  }
+}
+
+}  // namespace csaw

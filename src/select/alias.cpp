@@ -1,0 +1,73 @@
+#include "select/alias.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace csaw {
+
+void AliasTable::build(std::span<const float> biases) {
+  const std::size_t n = biases.size();
+  CSAW_CHECK(n > 0);
+  double total = 0.0;
+  for (float b : biases) {
+    CSAW_CHECK(b >= 0.0f);
+    total += b;
+  }
+  CSAW_CHECK_MSG(total > 0.0, "all alias biases are zero");
+
+  prob_.assign(n, 0.0f);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities: mean 1 per bin.
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = static_cast<double>(biases[i]) * static_cast<double>(n) / total;
+  }
+
+  // Vose's two-worklist construction.
+  std::vector<std::uint32_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = static_cast<float>(scaled[s]);
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Residuals are exactly 1 up to rounding.
+  for (std::uint32_t i : large) prob_[i] = 1.0f;
+  for (std::uint32_t i : small) prob_[i] = 1.0f;
+}
+
+std::uint32_t AliasTable::sample(Xoshiro256& rng) const {
+  return sample(rng.uniform(), rng.uniform());
+}
+
+std::uint32_t AliasTable::sample(double bin_r, double flip_r) const {
+  CSAW_CHECK(!empty());
+  const auto bin = static_cast<std::size_t>(
+      bin_r * static_cast<double>(prob_.size()));
+  const std::size_t clamped = bin < prob_.size() ? bin : prob_.size() - 1;
+  return flip_r < prob_[clamped] ? static_cast<std::uint32_t>(clamped)
+                                 : alias_[clamped];
+}
+
+double AliasTable::probability(std::size_t i) const {
+  CSAW_CHECK(i < prob_.size());
+  const double n = static_cast<double>(prob_.size());
+  double p = prob_[i] / n;
+  for (std::size_t bin = 0; bin < prob_.size(); ++bin) {
+    if (alias_[bin] == i && prob_[bin] < 1.0f) {
+      p += (1.0 - prob_[bin]) / n;
+    }
+  }
+  return p;
+}
+
+}  // namespace csaw

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace csaw {
+
+/// Walker/Vose alias method, paper §II-B Fig. 1(d): O(n) preprocessing
+/// flattens the bias bars into n bins of equal width, each holding at most
+/// two candidates; a draw is then O(1) — one bin pick plus one coin flip.
+///
+/// This is what KnightKing pre-computes for *static* transition
+/// probabilities; the preprocessing cost (and the impossibility of
+/// pre-computing dynamic biases) is why C-SAW uses ITS instead (§VII).
+class AliasTable {
+ public:
+  AliasTable() = default;
+  explicit AliasTable(std::span<const float> biases) { build(biases); }
+
+  void build(std::span<const float> biases);
+
+  bool empty() const noexcept { return prob_.empty(); }
+  std::size_t size() const noexcept { return prob_.size(); }
+
+  /// One O(1) draw.
+  std::uint32_t sample(Xoshiro256& rng) const;
+
+  /// Deterministic draw from two uniforms in [0,1) — used by tests to
+  /// verify the construction without an RNG.
+  std::uint32_t sample(double bin_r, double flip_r) const;
+
+  /// Reconstructs candidate i's selection probability from the table
+  /// (test hook: must equal b_i / sum b).
+  double probability(std::size_t i) const;
+
+ private:
+  std::vector<float> prob_;          // acceptance threshold per bin
+  std::vector<std::uint32_t> alias_; // fallback candidate per bin
+};
+
+}  // namespace csaw

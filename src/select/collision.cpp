@@ -1,0 +1,82 @@
+#include "select/collision.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace csaw {
+
+std::unique_ptr<CollisionDetector> make_detector(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kLinearSearch:
+      return std::make_unique<LinearSearchDetector>();
+    case DetectorKind::kBitmapContiguous:
+      return std::make_unique<BitmapDetector>(BitmapLayout::kContiguous);
+    case DetectorKind::kBitmapStrided:
+      return std::make_unique<BitmapDetector>(BitmapLayout::kStrided);
+  }
+  CSAW_CHECK_MSG(false, "unknown detector kind");
+  throw CheckError("unreachable");
+}
+
+void LinearSearchDetector::reset(std::size_t) { selected_.clear(); }
+
+void LinearSearchDetector::preload(std::size_t idx) {
+  selected_.push_back(static_cast<std::uint32_t>(idx));
+}
+
+bool LinearSearchDetector::test_and_record(std::size_t idx,
+                                           sim::WarpContext& warp) {
+  // The baseline pays one shared-memory comparison per stored vertex
+  // (paper Fig. 12: "performs a linear search to detect collision").
+  // Lock-step instruction rounds for the scan are charged once per phase
+  // by the selector; the detector reports only probe counts.
+  warp.count_searches(std::max<std::size_t>(selected_.size(), 1));
+  const bool duplicate =
+      std::find(selected_.begin(), selected_.end(),
+                static_cast<std::uint32_t>(idx)) != selected_.end();
+  if (duplicate) {
+    warp.count_collisions();
+    return true;
+  }
+  selected_.push_back(static_cast<std::uint32_t>(idx));
+  return false;
+}
+
+bool LinearSearchDetector::is_selected(std::size_t idx) const {
+  return std::find(selected_.begin(), selected_.end(),
+                   static_cast<std::uint32_t>(idx)) != selected_.end();
+}
+
+BitmapDetector::BitmapDetector(BitmapLayout layout) : bitmap_(0, layout) {}
+
+void BitmapDetector::reset(std::size_t pool_size) {
+  selected_.clear();
+  bitmap_.reset(pool_size);
+}
+
+void BitmapDetector::preload(std::size_t idx) {
+  CSAW_CHECK(idx < bitmap_.size());
+  bitmap_.test_and_set(idx);
+}
+
+bool BitmapDetector::test_and_record(std::size_t idx,
+                                     sim::WarpContext& warp) {
+  CSAW_CHECK(idx < bitmap_.size());
+  // One probe: a single atomic compare-and-swap on the bit's word.
+  warp.count_searches(1);
+  const bool duplicate = warp.atomic_test_and_set(bitmap_, idx);
+  if (duplicate) {
+    warp.count_collisions();
+    return true;
+  }
+  selected_.push_back(static_cast<std::uint32_t>(idx));
+  return false;
+}
+
+bool BitmapDetector::is_selected(std::size_t idx) const {
+  CSAW_CHECK(idx < bitmap_.size());
+  return bitmap_.test(idx);
+}
+
+}  // namespace csaw

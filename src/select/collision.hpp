@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gpusim/warp.hpp"
+#include "util/bitmap.hpp"
+
+namespace csaw {
+
+/// Which collision-detection mechanism SELECT uses (paper §IV-B).
+enum class DetectorKind {
+  /// Baseline: selected vertices kept in (shared-memory) list, linear
+  /// scan per attempt. This is the Fig. 12 comparison baseline.
+  kLinearSearch,
+  /// One bit per candidate in contiguous 8-bit words (Fig. 7(a)).
+  kBitmapContiguous,
+  /// Strided bitmap: adjacent candidates scattered across words to cut
+  /// same-word atomic conflicts (Fig. 7(b)) — the paper's design.
+  kBitmapStrided,
+};
+
+/// Tracks which candidates a warp has already selected within one SELECT
+/// call and detects duplicate picks. Implementations report their probe
+/// cost through the WarpContext so Fig. 12's search-ratio experiment can
+/// be regenerated.
+class CollisionDetector {
+ public:
+  virtual ~CollisionDetector() = default;
+
+  /// Prepares for a fresh pool of `pool_size` candidates.
+  virtual void reset(std::size_t pool_size) = 0;
+
+  /// Marks `idx` as already selected without charging costs or counting a
+  /// probe. This models the paper's *persistent* per-warp bitmap: bits of
+  /// vertices sampled at earlier depths are already set when SELECT runs,
+  /// so selection collides with the instance's entire sample so far
+  /// (§II-A sampling without replacement, Fig. 7's VertexID-indexed
+  /// bitmap).
+  virtual void preload(std::size_t idx) = 0;
+
+  /// Atomically records candidate `idx` as selected. Returns true when it
+  /// was already selected (collision).
+  virtual bool test_and_record(std::size_t idx, sim::WarpContext& warp) = 0;
+
+  /// Non-mutating membership check.
+  virtual bool is_selected(std::size_t idx) const = 0;
+
+  /// Candidates recorded so far, in selection order.
+  std::span<const std::uint32_t> selected() const noexcept {
+    return selected_;
+  }
+
+ protected:
+  std::vector<std::uint32_t> selected_;
+};
+
+/// Factory for the configured detector kind.
+std::unique_ptr<CollisionDetector> make_detector(DetectorKind kind);
+
+/// Linear-search baseline detector.
+class LinearSearchDetector final : public CollisionDetector {
+ public:
+  void reset(std::size_t pool_size) override;
+  void preload(std::size_t idx) override;
+  bool test_and_record(std::size_t idx, sim::WarpContext& warp) override;
+  bool is_selected(std::size_t idx) const override;
+};
+
+/// Bitmap detector in either layout. Keeps the selection list too (the
+/// framework needs the chosen candidates, not only membership bits).
+class BitmapDetector final : public CollisionDetector {
+ public:
+  explicit BitmapDetector(BitmapLayout layout);
+
+  void reset(std::size_t pool_size) override;
+  void preload(std::size_t idx) override;
+  bool test_and_record(std::size_t idx, sim::WarpContext& warp) override;
+  bool is_selected(std::size_t idx) const override;
+
+ private:
+  AtomicBitmap bitmap_;
+};
+
+}  // namespace csaw

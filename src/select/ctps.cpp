@@ -1,0 +1,58 @@
+#include "select/ctps.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace csaw {
+
+void Ctps::build(std::span<const float> biases, sim::WarpContext* warp) {
+  CSAW_CHECK_MSG(!biases.empty(), "CTPS over empty candidate pool");
+  f_.resize(biases.size() + 1);
+  f_[0] = 0.0f;
+
+  positive_ = 0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < biases.size(); ++i) {
+    CSAW_CHECK_MSG(biases[i] >= 0.0f, "negative bias at candidate " << i);
+    if (biases[i] > 0.0f) ++positive_;
+    acc += biases[i];
+    f_[i + 1] = static_cast<float>(acc);
+  }
+  CSAW_CHECK_MSG(acc > 0.0, "all candidate biases are zero");
+
+  const auto inv = static_cast<float>(1.0 / acc);
+  for (std::size_t i = 1; i < f_.size(); ++i) f_[i] *= inv;
+  f_.back() = 1.0f;  // guard against rounding drift at the top end
+
+  if (warp != nullptr) {
+    // The GPU kernel computes the same array with a warp Kogge-Stone scan
+    // followed by a normalizing division pass (Fig. 5 lines 6-7).
+    std::vector<float> scratch(biases.begin(), biases.end());
+    warp->scan_inclusive(scratch);
+    warp->charge_rounds((biases.size() + sim::WarpContext::kLanes - 1) /
+                        sim::WarpContext::kLanes);
+  }
+}
+
+std::size_t Ctps::locate(double r, sim::WarpContext* warp) const {
+  CSAW_CHECK(!empty());
+  CSAW_CHECK_MSG(r >= 0.0 && r < 1.0, "random number out of [0,1): " << r);
+  if (warp != nullptr) warp->charge_binary_search(f_.size(), 1);
+
+  // First region whose upper boundary exceeds r: F[k] <= r < F[k+1].
+  const auto it = std::upper_bound(f_.begin() + 1, f_.end(),
+                                   static_cast<float>(r));
+  auto k = static_cast<std::size_t>(std::distance(f_.begin() + 1, it));
+  k = std::min(k, size() - 1);
+
+  // A zero-width region carries zero probability; r can only land on its
+  // boundary through floating-point ties. Walk to the nearest real region.
+  while (k + 1 < size() && hi(k) <= lo(k)) ++k;
+  while (k > 0 && hi(k) <= lo(k)) --k;
+  CSAW_CHECK_MSG(hi(k) > lo(k), "no positive-width region found");
+  return k;
+}
+
+}  // namespace csaw

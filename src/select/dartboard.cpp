@@ -1,0 +1,47 @@
+#include "select/dartboard.hpp"
+
+#include <algorithm>
+
+#include "util/bitmap.hpp"
+#include "util/check.hpp"
+
+namespace csaw {
+
+Dartboard::Dartboard(std::span<const float> biases) : biases_(biases) {
+  CSAW_CHECK(!biases.empty());
+  for (float b : biases) {
+    CSAW_CHECK(b >= 0.0f);
+    max_bias_ = std::max(max_bias_, b);
+    if (b > 0.0f) ++positive_;
+  }
+  CSAW_CHECK_MSG(max_bias_ > 0.0f, "all dartboard biases are zero");
+}
+
+std::uint32_t Dartboard::draw(Xoshiro256& rng, std::uint64_t* trials) const {
+  for (;;) {
+    if (trials != nullptr) ++*trials;
+    const auto idx =
+        static_cast<std::uint32_t>(rng.bounded(biases_.size()));
+    const double height = rng.uniform() * max_bias_;
+    if (height < biases_[idx]) return idx;
+  }
+}
+
+std::vector<std::uint32_t> Dartboard::draw_distinct(
+    std::uint32_t k, Xoshiro256& rng, std::uint64_t* trials) const {
+  CSAW_CHECK_MSG(k <= positive_,
+                 "cannot draw " << k << " distinct from " << positive_
+                                << " positive candidates");
+  Bitset taken(biases_.size());
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    const std::uint32_t idx = draw(rng, trials);
+    if (taken.test(idx)) continue;
+    taken.set(idx);
+    out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace csaw

@@ -1,0 +1,60 @@
+#include "util/bitmap.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace csaw {
+
+AtomicBitmap::AtomicBitmap(std::size_t bits, BitmapLayout layout)
+    : bits_(0), layout_(layout) {
+  reset(bits);
+}
+
+void AtomicBitmap::reset(std::size_t bits) {
+  const std::size_t words_needed = (bits + 7) / 8;
+  if (words_needed > words_.size()) {
+    // std::atomic is not movable; rebuilding the vector value-initializes
+    // every word to zero.
+    words_ = std::vector<std::atomic<std::uint8_t>>(words_needed);
+  } else {
+    for (std::size_t w = 0; w < words_needed; ++w)
+      words_[w].store(0, std::memory_order_relaxed);
+  }
+  bits_ = bits;
+}
+
+AtomicBitmap::Slot AtomicBitmap::slot(std::size_t i) const noexcept {
+  const std::size_t words_used = (bits_ + 7) / 8;
+  if (layout_ == BitmapLayout::kContiguous) {
+    return Slot{i >> 3, static_cast<std::uint8_t>(1u << (i & 7))};
+  }
+  // Strided: scatter adjacent bits across distinct bytes (Fig. 7(b)).
+  const std::size_t word = i % words_used;
+  const std::size_t bit = i / words_used;
+  return Slot{word, static_cast<std::uint8_t>(1u << (bit & 7))};
+}
+
+bool AtomicBitmap::test_and_set(std::size_t i) noexcept {
+  const Slot s = slot(i);
+  const std::uint8_t prev =
+      words_[s.word].fetch_or(s.mask, std::memory_order_acq_rel);
+  return (prev & s.mask) != 0;
+}
+
+bool AtomicBitmap::test(std::size_t i) const noexcept {
+  const Slot s = slot(i);
+  return (words_[s.word].load(std::memory_order_acquire) & s.mask) != 0;
+}
+
+std::size_t AtomicBitmap::word_index(std::size_t i) const noexcept {
+  return slot(i).word;
+}
+
+std::size_t Bitset::popcount() const noexcept {
+  std::size_t total = 0;
+  for (auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+}  // namespace csaw

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace csaw {
+
+/// Error type thrown by CSAW_CHECK failures. Distinct from std::logic_error
+/// so tests can assert on precondition violations specifically.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CSAW_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace csaw
+
+/// Precondition/invariant check that stays on in release builds. The cost
+/// model of this project is dominated by memory traffic, not branches, so
+/// always-on checks are affordable and keep the simulator trustworthy.
+#define CSAW_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::csaw::detail::check_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define CSAW_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream os_;                                         \
+      os_ << msg;                                                     \
+      ::csaw::detail::check_fail(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,44 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace csaw {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+std::optional<std::int64_t> env_int(const std::string& name) {
+  auto s = env_string(name);
+  if (!s) return std::nullopt;
+  try {
+    return std::stoll(*s);
+  } catch (const std::exception&) {
+    throw std::runtime_error("environment variable " + name +
+                             " is not an integer: " + *s);
+  }
+}
+
+std::int64_t env_int_or(const std::string& name, std::int64_t fallback) {
+  return env_int(name).value_or(fallback);
+}
+
+std::optional<double> env_double(const std::string& name) {
+  auto s = env_string(name);
+  if (!s) return std::nullopt;
+  try {
+    return std::stod(*s);
+  } catch (const std::exception&) {
+    throw std::runtime_error("environment variable " + name +
+                             " is not a number: " + *s);
+  }
+}
+
+double env_double_or(const std::string& name, double fallback) {
+  return env_double(name).value_or(fallback);
+}
+
+}  // namespace csaw

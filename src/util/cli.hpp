@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace csaw {
+
+/// Environment-variable knobs used by the bench harness so every bench
+/// binary can run with no arguments (`for b in build/bench/*; do $b; done`)
+/// yet still be scaled up for longer runs.
+///
+///   CSAW_SCALE      — divide paper dataset sizes by this factor (default
+///                     from datasets.hpp).
+///   CSAW_INSTANCES  — override the number of sampling instances.
+///   CSAW_SEED       — RNG seed shared by all benches.
+std::optional<std::int64_t> env_int(const std::string& name);
+std::int64_t env_int_or(const std::string& name, std::int64_t fallback);
+std::optional<double> env_double(const std::string& name);
+double env_double_or(const std::string& name, double fallback);
+std::optional<std::string> env_string(const std::string& name);
+
+}  // namespace csaw

@@ -1,0 +1,59 @@
+#include "util/philox.hpp"
+
+namespace csaw {
+namespace {
+
+inline std::uint32_t mulhi32(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(a) * b) >> 32);
+}
+
+inline std::uint32_t mullo32(std::uint32_t a, std::uint32_t b) noexcept {
+  return a * b;
+}
+
+}  // namespace
+
+Philox4x32::Counter Philox4x32::round10(Counter ctr, Key key) noexcept {
+  for (int round = 0; round < 10; ++round) {
+    const std::uint32_t hi0 = mulhi32(kMul0, ctr[0]);
+    const std::uint32_t lo0 = mullo32(kMul0, ctr[0]);
+    const std::uint32_t hi1 = mulhi32(kMul1, ctr[2]);
+    const std::uint32_t lo1 = mullo32(kMul1, ctr[2]);
+    ctr = Counter{hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+    key[0] += kWeyl0;
+    key[1] += kWeyl1;
+  }
+  return ctr;
+}
+
+std::uint32_t Philox4x32::word(std::uint64_t seed, std::uint32_t instance,
+                               std::uint32_t depth, std::uint32_t slot,
+                               std::uint32_t attempt) noexcept {
+  const Key key{static_cast<std::uint32_t>(seed),
+                static_cast<std::uint32_t>(seed >> 32)};
+  const Counter ctr{instance, depth, slot, attempt};
+  return round10(ctr, key)[0];
+}
+
+double Philox4x32::uniform(std::uint64_t seed, std::uint32_t instance,
+                           std::uint32_t depth, std::uint32_t slot,
+                           std::uint32_t attempt) noexcept {
+  // 2^-32 scaling; the largest representable result is (2^32-1)/2^32 < 1.
+  return static_cast<double>(word(seed, instance, depth, slot, attempt)) *
+         (1.0 / 4294967296.0);
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+}  // namespace csaw

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace csaw {
+
+/// Philox4x32-10 counter-based random number generator (Salmon et al.,
+/// SC'11), the same generator family cuRAND uses on GPUs.
+///
+/// Counter-based generation is the load-bearing choice of this
+/// reproduction: a random draw is a pure function of (key, counter), so a
+/// selection made for (instance, depth, slot, attempt) yields the same
+/// value no matter which warp, partition schedule, or device executes it.
+/// That is exactly the property C-SAW's out-of-order partition scheduling
+/// (paper §V-B) needs for correctness, and it lets the test suite assert
+/// bit-identical samples between the in-memory and out-of-memory engines.
+class Philox4x32 {
+ public:
+  using Counter = std::array<std::uint32_t, 4>;
+  using Key = std::array<std::uint32_t, 2>;
+
+  /// Runs the full 10-round Philox4x32 bijection on `ctr` under `key`.
+  static Counter round10(Counter ctr, Key key) noexcept;
+
+  /// Convenience: hash an (instance, depth, slot, attempt) coordinate plus
+  /// a 64-bit seed into one uniform 32-bit word.
+  static std::uint32_t word(std::uint64_t seed, std::uint32_t instance,
+                            std::uint32_t depth, std::uint32_t slot,
+                            std::uint32_t attempt) noexcept;
+
+  /// Uniform double in [0, 1) from the same coordinate. Never returns 1.0.
+  static double uniform(std::uint64_t seed, std::uint32_t instance,
+                        std::uint32_t depth, std::uint32_t slot,
+                        std::uint32_t attempt) noexcept;
+
+ private:
+  static constexpr std::uint32_t kMul0 = 0xD2511F53u;
+  static constexpr std::uint32_t kMul1 = 0xCD9E8D57u;
+  static constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+  static constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3)-1
+};
+
+/// SplitMix64: fast 64-bit mixer used for seeding and cheap hashing.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless SplitMix64 finalizer (one step from a fixed input).
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+}  // namespace csaw

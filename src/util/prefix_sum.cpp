@@ -1,0 +1,61 @@
+#include "util/prefix_sum.hpp"
+
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace csaw {
+
+void inclusive_scan_seq(std::span<const float> in, std::span<float> out) {
+  CSAW_CHECK(in.size() == out.size());
+  double acc = 0.0;  // accumulate in double to keep long scans stable
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc += in[i];
+    out[i] = static_cast<float>(acc);
+  }
+}
+
+void exclusive_scan_seq(std::span<const float> in, std::span<float> out) {
+  CSAW_CHECK(in.size() == out.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = static_cast<float>(acc);
+    acc += in[i];
+  }
+}
+
+int kogge_stone_scan_block(std::span<float> data, std::size_t width) {
+  CSAW_CHECK(std::has_single_bit(width));
+  CSAW_CHECK(data.size() <= width);
+  const std::size_t n = data.size();
+  int rounds = 0;
+  // Lanes beyond n hold an implicit 0 and never contribute; iterating only
+  // over real lanes in each lock-step round models predicated-off lanes.
+  for (std::size_t stride = 1; stride < width; stride <<= 1) {
+    ++rounds;
+    if (stride >= n) continue;  // every active lane predicated off
+    // Lock-step semantics: every lane reads its partner *before* any lane
+    // writes. Emulate by walking from high to low index, which is
+    // equivalent for this dependency pattern (lane i reads i - stride).
+    for (std::size_t i = n; i-- > stride;) {
+      data[i] += data[i - stride];
+    }
+  }
+  return rounds;
+}
+
+int kogge_stone_scan(std::span<float> data, std::size_t warp_width) {
+  int rounds = 0;
+  float carry = 0.0f;
+  for (std::size_t base = 0; base < data.size(); base += warp_width) {
+    const std::size_t len = std::min(warp_width, data.size() - base);
+    auto chunk = data.subspan(base, len);
+    rounds += kogge_stone_scan_block(chunk, warp_width);
+    for (auto& x : chunk) x += carry;  // one more lock-step add round
+    ++rounds;
+    carry = chunk[len - 1];
+  }
+  return rounds;
+}
+
+}  // namespace csaw

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace csaw {
+
+/// Sequential inclusive prefix sum: out[i] = sum(in[0..i]).
+/// Reference implementation for the warp-level scan.
+void inclusive_scan_seq(std::span<const float> in, std::span<float> out);
+
+/// Sequential exclusive prefix sum: out[i] = sum(in[0..i-1]), out[0] = 0.
+void exclusive_scan_seq(std::span<const float> in, std::span<float> out);
+
+/// Kogge-Stone inclusive scan over a block of up to `width` lanes,
+/// organized exactly as the warp-synchronous GPU kernel (paper §IV-A,
+/// citing Merrill & Grimshaw): log2(width) rounds, in round d every lane i
+/// with i >= 2^d adds the value held by lane i - 2^d. All lanes move in
+/// lock-step, which is what makes this valid without synchronization
+/// inside a warp.
+///
+/// `data.size()` must be <= width; width must be a power of two.
+/// Returns the number of lock-step rounds executed (for the cost model).
+int kogge_stone_scan_block(std::span<float> data, std::size_t width = 32);
+
+/// Inclusive scan over arbitrary-length data processed in warp-sized
+/// chunks: each chunk is scanned with Kogge-Stone, then the running total
+/// of preceding chunks is added (the standard warp-per-pool GPU pattern,
+/// where one warp walks a neighbor list tile by tile).
+/// Returns total lock-step rounds executed.
+int kogge_stone_scan(std::span<float> data, std::size_t warp_width = 32);
+
+}  // namespace csaw

@@ -1,0 +1,92 @@
+#include "util/rng.hpp"
+
+namespace csaw {
+namespace {
+
+inline std::uint64_t rotl64(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  // Seed the four words from SplitMix64, per the xoshiro authors'
+  // recommendation: never seed the state with all zeros.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl64(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl64(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() noexcept {
+  // 53-bit mantissa construction; uniform in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Xoshiro256::bounded(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's multiply-shift rejection method, 64-bit variant.
+  __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+  std::uint64_t lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(next()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAull, 0xD5A61266F0C9392Cull, 0xA9582618E03FC9AAull,
+      0x39ABDC4529B1661Cull};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump_word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump_word & (1ull << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      next();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+std::uint32_t CounterStream::bounded(std::uint32_t bound,
+                                     std::uint32_t instance,
+                                     std::uint32_t depth, std::uint32_t slot,
+                                     std::uint32_t attempt) const noexcept {
+  if (bound == 0) return 0;
+  // 32-bit Lemire reduction. Counter-based: if rejection is needed, bump
+  // the attempt coordinate (attempts share the same logical slot).
+  std::uint32_t a = attempt;
+  for (;;) {
+    const std::uint32_t x = word(instance, depth, slot, a);
+    const std::uint64_t m = static_cast<std::uint64_t>(x) * bound;
+    const std::uint32_t lo = static_cast<std::uint32_t>(m);
+    if (lo >= bound || lo >= (-bound % bound)) {
+      return static_cast<std::uint32_t>(m >> 32);
+    }
+    a += 0x10000u;  // well away from caller attempt numbering
+  }
+}
+
+}  // namespace csaw

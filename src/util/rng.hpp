@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/philox.hpp"
+
+namespace csaw {
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — a fast sequential PRNG used where
+/// an ordered stream is fine (graph generation, baseline CPU engines).
+/// The sampling engines themselves use counter-based Philox streams so
+/// results are schedule-independent; see Philox4x32.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853C49E6748FEA9Bull) noexcept;
+
+  std::uint64_t next() noexcept;
+  std::uint64_t operator()() noexcept { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Jump function: advances the state by 2^128 steps, for splitting one
+  /// seed into many non-overlapping streams.
+  void jump() noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// A logical random stream addressed by (instance, depth, slot, attempt).
+/// Thin wrapper over Philox4x32 that carries the seed; all C-SAW selection
+/// code draws through this type so the coordinate convention lives in one
+/// place.
+class CounterStream {
+ public:
+  explicit CounterStream(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  double uniform(std::uint32_t instance, std::uint32_t depth,
+                 std::uint32_t slot, std::uint32_t attempt) const noexcept {
+    return Philox4x32::uniform(seed_, instance, depth, slot, attempt);
+  }
+
+  std::uint32_t word(std::uint32_t instance, std::uint32_t depth,
+                     std::uint32_t slot,
+                     std::uint32_t attempt) const noexcept {
+    return Philox4x32::word(seed_, instance, depth, slot, attempt);
+  }
+
+  /// Uniform integer in [0, bound).
+  std::uint32_t bounded(std::uint32_t bound, std::uint32_t instance,
+                        std::uint32_t depth, std::uint32_t slot,
+                        std::uint32_t attempt) const noexcept;
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace csaw

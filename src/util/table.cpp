@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace csaw {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CSAW_CHECK(!headers_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  CSAW_CHECK_MSG(cells.size() == headers_.size(),
+                 "row arity " << cells.size() << " != header arity "
+                              << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::cell(
+    const std::string& s) {
+  cells_.push_back(s);
+  return *this;
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::cell(double v,
+                                                         int precision) {
+  cells_.push_back(fmt(v, precision));
+  return *this;
+}
+
+TablePrinter::RowBuilder& TablePrinter::RowBuilder::cell(std::int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+
+TablePrinter::RowBuilder::~RowBuilder() { table_.add_row(std::move(cells_)); }
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << " " << std::setw(static_cast<int>(widths[c])) << std::left
+         << cells[c] << " |";
+    os << "\n";
+  };
+  auto print_rule = [&] {
+    os << "+";
+    for (auto w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace csaw

@@ -1,0 +1,85 @@
+#include "algorithms/one_pass.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace csaw {
+namespace {
+
+TEST(RandomNodeSampling, DistinctAndInRange) {
+  const CsrGraph g = generate_rmat(500, 2000, 41);
+  Xoshiro256 rng(1);
+  const auto picked = random_node_sampling(g, 100, rng);
+  EXPECT_EQ(picked.size(), 100u);
+  std::set<VertexId> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (VertexId v : picked) EXPECT_LT(v, g.num_vertices());
+}
+
+TEST(RandomNodeSampling, FullSampleIsPermutation) {
+  const CsrGraph g = make_path(10);
+  Xoshiro256 rng(2);
+  const auto picked = random_node_sampling(g, 10, rng);
+  std::set<VertexId> unique(picked.begin(), picked.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RandomNodeSampling, IsApproximatelyUniform) {
+  const CsrGraph g = make_cycle(10);
+  std::vector<std::uint64_t> counts(10, 0);
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 20000; ++trial) {
+    for (VertexId v : random_node_sampling(g, 3, rng)) ++counts[v];
+  }
+  const std::vector<double> expected(10, 0.1);
+  EXPECT_LT(chi_square(counts, expected), 35.0);  // df=9
+}
+
+TEST(RandomEdgeSampling, DistinctValidEdges) {
+  const CsrGraph g = generate_rmat(300, 1500, 43);
+  Xoshiro256 rng(4);
+  const auto picked = random_edge_sampling(g, 200, rng);
+  EXPECT_EQ(picked.size(), 200u);
+  std::set<std::pair<VertexId, VertexId>> unique;
+  for (const Edge& e : picked) {
+    EXPECT_TRUE(g.has_edge(e.src, e.dst));
+    unique.emplace(e.src, e.dst);
+  }
+  EXPECT_EQ(unique.size(), 200u);
+}
+
+TEST(RandomEdgeSampling, CountBounds) {
+  const CsrGraph g = make_path(3);  // 4 directed edges
+  Xoshiro256 rng(5);
+  EXPECT_EQ(random_edge_sampling(g, 4, rng).size(), 4u);
+  EXPECT_THROW(random_edge_sampling(g, 5, rng), CheckError);
+}
+
+TEST(InducedSubgraph, KeepsExactlyInternalEdges) {
+  // Path 0-1-2-3-4; induce on {1,2,3}: edges 1-2, 2-3 survive.
+  const CsrGraph g = make_path(5);
+  const std::vector<VertexId> keep = {3, 1, 2};  // unsorted on purpose
+  const CsrGraph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 4u);  // 2 undirected edges
+  // Renumbered sorted: 1->0, 2->1, 3->2.
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(1, 2));
+  EXPECT_FALSE(sub.has_edge(0, 2));
+}
+
+TEST(InducedSubgraph, DeduplicatesInput) {
+  const CsrGraph g = make_cycle(4);
+  const std::vector<VertexId> keep = {0, 1, 1, 0};
+  const CsrGraph sub = induced_subgraph(g, keep);
+  EXPECT_EQ(sub.num_vertices(), 2u);
+  EXPECT_EQ(sub.num_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace csaw

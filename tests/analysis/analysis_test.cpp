@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "analysis/estimators.hpp"
+#include "analysis/metrics.hpp"
+#include "graph/generators.hpp"
+
+namespace csaw {
+namespace {
+
+TEST(Metrics, DegreeDistributionSums) {
+  const CsrGraph g = generate_rmat(1024, 8192, 91);
+  const auto dist = degree_distribution(g);
+  double total = 0.0;
+  for (double p : dist) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  const auto cdf = degree_cdf(g);
+  EXPECT_NEAR(cdf.back(), 1.0, 1e-9);
+}
+
+TEST(Metrics, KsDistanceProperties) {
+  const CsrGraph a = generate_rmat(1024, 8192, 92);
+  const CsrGraph star = make_star(1024);
+  EXPECT_DOUBLE_EQ(degree_ks_distance(a, a), 0.0);
+  const double d = degree_ks_distance(a, star);
+  EXPECT_GT(d, 0.1);
+  EXPECT_LE(d, 1.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(d, degree_ks_distance(star, a));
+}
+
+TEST(Metrics, ClusteringCoefficientKnownValues) {
+  EXPECT_DOUBLE_EQ(clustering_coefficient_exact(make_complete(6)), 1.0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient_exact(make_star(10)), 0.0);
+  EXPECT_DOUBLE_EQ(clustering_coefficient_exact(make_cycle(8)), 0.0);
+  // Triangle: 3 closed wedges of 3 wedges.
+  const CsrGraph triangle = make_complete(3);
+  EXPECT_DOUBLE_EQ(clustering_coefficient_exact(triangle), 1.0);
+}
+
+TEST(Metrics, ReachableFraction) {
+  // Two components: {0,1} and {2,3,4}.
+  const CsrGraph g = build_csr({{0, 1}, {2, 3}, {3, 4}});
+  EXPECT_NEAR(reachable_fraction(g, 0), 2.0 / 5.0, 1e-12);
+  EXPECT_NEAR(reachable_fraction(g, 2), 3.0 / 5.0, 1e-12);
+  EXPECT_NEAR(reachable_fraction(make_cycle(7), 0), 1.0, 1e-12);
+}
+
+TEST(Estimators, AverageDegreeExactOnRegularGraph) {
+  // Cycle: every vertex has degree 2; the harmonic estimator is exact
+  // regardless of walk behaviour.
+  const CsrGraph g = make_cycle(64);
+  const double est = estimate_average_degree(g, 8, 50, 5, 7);
+  EXPECT_DOUBLE_EQ(est, 2.0);
+}
+
+TEST(Estimators, AverageDegreeCloseOnPowerLaw) {
+  const CsrGraph g = generate_rmat(2048, 16384, 93);
+  const double est = estimate_average_degree(g, 64, 400, 20, 11);
+  EXPECT_NEAR(est, g.average_degree(), g.average_degree() * 0.25);
+}
+
+TEST(Estimators, DegreeDistributionMatchesExact) {
+  const CsrGraph g = generate_rmat(2048, 16384, 94);
+  const auto exact = degree_distribution(g);
+  const auto est = estimate_degree_distribution(g, 64, 400, 20, 13);
+  // Walk-visit coverage misses only light tails; L1 well under 0.3.
+  EXPECT_LT(l1_distance(exact, est), 0.3);
+}
+
+TEST(Estimators, ClusteringCoefficientOnCliqueAndTriangleFree) {
+  // Complete graph: every wedge closed.
+  EXPECT_NEAR(estimate_clustering_coefficient(make_complete(16), 8, 60, 3),
+              1.0, 1e-12);
+  // Bipartite-ish grid: triangle-free.
+  EXPECT_NEAR(estimate_clustering_coefficient(make_grid(6, 6), 8, 60, 3),
+              0.0, 1e-12);
+}
+
+TEST(Estimators, ClusteringCoefficientApproximatesExact) {
+  const CsrGraph g = generate_barabasi_albert(400, 4, 95);
+  const double exact = clustering_coefficient_exact(g);
+  const double est = estimate_clustering_coefficient(g, 64, 300, 17);
+  EXPECT_NEAR(est, exact, std::max(0.03, exact * 0.5));
+}
+
+TEST(Estimators, PprMatchesPowerIteration) {
+  const CsrGraph g = generate_rmat(512, 4096, 96);
+  const VertexId source = 0;
+  const auto exact = exact_ppr(g, source, 0.15, 60);
+  const auto est = estimate_ppr(g, source, 0.15, 2000, 64, 19);
+  EXPECT_LT(l1_distance(exact, est), 0.25);
+  // The source itself must be the top-mass vertex in both.
+  const auto arg_max = [](const std::vector<double>& v) {
+    return std::distance(v.begin(), std::max_element(v.begin(), v.end()));
+  };
+  EXPECT_EQ(arg_max(exact), arg_max(est));
+}
+
+TEST(Estimators, ExactPprIsAProbabilityVector) {
+  const CsrGraph g = generate_rmat(256, 2048, 97);
+  const auto pi = exact_ppr(g, 3, 0.2, 50);
+  double total = 0.0;
+  for (double p : pi) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Estimators, L1Distance) {
+  EXPECT_DOUBLE_EQ(l1_distance({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(l1_distance({1.0, 0.0}, {0.0, 1.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace csaw

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "baselines/alias_walker.hpp"
+#include "baselines/graphsaint.hpp"
+#include "baselines/knightking.hpp"
+#include "graph/generators.hpp"
+#include "util/stats.hpp"
+
+namespace csaw {
+namespace {
+
+TEST(VertexAliasIndex, StepsFollowStaticBias) {
+  // From v8 of the toy graph with degree bias, expect {3,6,2,2,2}/15.
+  const CsrGraph g = make_paper_toy_graph();
+  const VertexAliasIndex index(g, [&g](VertexId v, EdgeIndex k) {
+    return static_cast<float>(g.degree(g.neighbors(v)[k]));
+  });
+  Xoshiro256 rng(71);
+  std::map<VertexId, std::uint64_t> counts;
+  for (int i = 0; i < 30000; ++i) ++counts[index.step(8, rng)];
+
+  const std::vector<VertexId> order = {5, 7, 9, 10, 11};
+  std::vector<std::uint64_t> observed;
+  for (VertexId u : order) observed.push_back(counts[u]);
+  const std::vector<double> expected = {3 / 15.0, 6 / 15.0, 2 / 15.0,
+                                        2 / 15.0, 2 / 15.0};
+  EXPECT_LT(chi_square(observed, expected), 22.0);
+}
+
+TEST(VertexAliasIndex, DeadEndReturnsInvalid) {
+  BuildOptions directed;
+  directed.symmetrize = false;
+  const CsrGraph g = build_csr({{0, 1}}, 2, directed);
+  const VertexAliasIndex index(g, [](VertexId, EdgeIndex) { return 1.0f; });
+  Xoshiro256 rng(1);
+  EXPECT_EQ(index.step(1, rng), kInvalidVertex);
+  EXPECT_EQ(index.step(0, rng), 1u);
+}
+
+TEST(KnightKing, BiasedWalkProducesValidPaths) {
+  const CsrGraph g = generate_rmat(512, 4096, 73);
+  const std::vector<VertexId> seeds = {0, 1, 2, 3, 4, 5, 6, 7};
+  const auto result = knightking_biased_walk(g, seeds, 16, 99);
+
+  ASSERT_EQ(result.walks.size(), seeds.size());
+  for (std::size_t w = 0; w < seeds.size(); ++w) {
+    const auto& walk = result.walks[w];
+    ASSERT_FALSE(walk.empty());
+    EXPECT_EQ(walk[0], seeds[w]);
+    for (std::size_t s = 0; s + 1 < walk.size(); ++s) {
+      EXPECT_TRUE(g.has_edge(walk[s], walk[s + 1]));
+    }
+  }
+  EXPECT_GT(result.total_steps(), 0u);
+  EXPECT_GT(result.walk_seconds, 0.0);
+  EXPECT_GE(result.preprocess_seconds, 0.0);
+}
+
+TEST(KnightKing, SimpleWalkUniformOnStar) {
+  const CsrGraph g = make_star(9);
+  const std::vector<VertexId> seeds(8000, 0);
+  const auto result = knightking_simple_walk(g, seeds, 1, 17);
+  std::vector<std::uint64_t> counts(8, 0);
+  for (const auto& walk : result.walks) {
+    ASSERT_EQ(walk.size(), 2u);
+    ++counts[walk[1] - 1];
+  }
+  const std::vector<double> expected(8, 1.0 / 8.0);
+  EXPECT_LT(chi_square(counts, expected), 27.0);
+}
+
+TEST(KnightKing, Node2vecMatchesExactConditional) {
+  // Same scenario as the engine's node2vec test: start at v4, condition
+  // on first step = v7, check the rejection sampler realizes the p/q
+  // distribution.
+  const double p = 4.0, q = 0.25;
+  const CsrGraph g = make_paper_toy_graph();
+  const std::vector<VertexId> seeds(60000, 4);
+  const auto result = knightking_node2vec(g, seeds, 2, p, q, 7);
+
+  std::map<VertexId, double> bias = {{0, 1 / q}, {1, 1 / q}, {4, 1 / p},
+                                     {5, 1.0},   {6, 1 / q}, {8, 1 / q}};
+  double total = 0.0;
+  for (const auto& [u, b] : bias) total += b;
+
+  std::map<VertexId, std::uint64_t> counts;
+  std::uint64_t conditioned = 0;
+  for (const auto& walk : result.walks) {
+    if (walk.size() < 3 || walk[1] != 7) continue;
+    ++conditioned;
+    ++counts[walk[2]];
+  }
+  ASSERT_GT(conditioned, 10000u);
+
+  std::vector<std::uint64_t> observed;
+  std::vector<double> expected;
+  for (const auto& [u, b] : bias) {
+    observed.push_back(counts[u]);
+    expected.push_back(b / total);
+  }
+  EXPECT_LT(chi_square(observed, expected), 28.0);
+}
+
+TEST(GraphSaint, MdrwSamplesValidEdges) {
+  const CsrGraph g = generate_rmat(1024, 8192, 79);
+  const auto result = graphsaint_mdrw(g, /*instances=*/8, /*pool=*/32,
+                                      /*steps=*/64, 5);
+  ASSERT_EQ(result.samples.size(), 8u);
+  for (const auto& sample : result.samples) {
+    EXPECT_GT(sample.size(), 32u);  // dense core: few dead ends
+    for (const Edge& e : sample) {
+      EXPECT_TRUE(g.has_edge(e.src, e.dst));
+    }
+  }
+  EXPECT_GT(result.seps(), 0.0);
+}
+
+TEST(GraphSaint, DeterministicPerSeed) {
+  const CsrGraph g = generate_rmat(512, 4096, 80);
+  const auto a = graphsaint_mdrw(g, 4, 16, 32, 11);
+  const auto b = graphsaint_mdrw(g, 4, 16, 32, 11);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.samples[i], b.samples[i]);
+  }
+}
+
+TEST(GraphSaint, PoolPrefersHighDegree) {
+  // Star graph, pool containing the center and a leaf: the center
+  // (degree n-1) should be picked almost always as walk source.
+  const CsrGraph g = make_star(64);
+  const auto result = graphsaint_mdrw(g, 64, 4, 8, 13);
+  std::uint64_t from_center = 0, total = 0;
+  for (const auto& sample : result.samples) {
+    for (const Edge& e : sample) {
+      ++total;
+      from_center += e.src == 0;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(from_center) / static_cast<double>(total),
+            0.3);
+}
+
+}  // namespace
+}  // namespace csaw

@@ -1,0 +1,121 @@
+#include "gpusim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace csaw::sim {
+namespace {
+
+DeviceParams test_params() {
+  DeviceParams p;
+  p.kernel_launch_us = 0.0;  // isolate the roofline terms
+  return p;
+}
+
+KernelStats busy_stats() {
+  KernelStats s;
+  s.warps = 10000;  // plenty of parallelism: no stall penalty
+  s.lockstep_rounds = 1'000'000'000;
+  s.global_bytes = 1'000'000;
+  return s;
+}
+
+TEST(KernelStats, MergeSumsEveryField) {
+  KernelStats a, b;
+  a.lockstep_rounds = 1;
+  a.global_bytes = 2;
+  a.atomic_ops = 3;
+  a.atomic_conflicts = 4;
+  a.warps = 5;
+  a.select_iterations = 6;
+  a.collision_searches = 7;
+  a.collisions = 8;
+  a.sampled_vertices = 9;
+  b = a;
+  a.merge(b);
+  EXPECT_EQ(a.lockstep_rounds, 2u);
+  EXPECT_EQ(a.global_bytes, 4u);
+  EXPECT_EQ(a.atomic_ops, 6u);
+  EXPECT_EQ(a.atomic_conflicts, 8u);
+  EXPECT_EQ(a.warps, 10u);
+  EXPECT_EQ(a.select_iterations, 12u);
+  EXPECT_EQ(a.collision_searches, 14u);
+  EXPECT_EQ(a.collisions, 16u);
+  EXPECT_EQ(a.sampled_vertices, 18u);
+}
+
+TEST(CostModel, ZeroWarpsIsZeroTime) {
+  const CostModel model(test_params());
+  EXPECT_EQ(model.kernel_seconds(KernelStats{}), 0.0);
+}
+
+TEST(CostModel, MonotonicInRounds) {
+  const CostModel model(test_params());
+  KernelStats lo = busy_stats(), hi = busy_stats();
+  hi.lockstep_rounds *= 2;
+  EXPECT_LT(model.kernel_seconds(lo), model.kernel_seconds(hi));
+}
+
+TEST(CostModel, BandwidthBoundKernelsScaleWithBytes) {
+  const CostModel model(test_params());
+  KernelStats s = busy_stats();
+  s.lockstep_rounds = 1;          // negligible compute
+  s.global_bytes = 90'000'000'000ull;  // 0.1 s at 900 GB/s
+  EXPECT_NEAR(model.kernel_seconds(s), 0.1, 0.01);
+}
+
+TEST(CostModel, HalvingResourcesDoublesTime) {
+  const CostModel model(test_params());
+  const KernelStats s = busy_stats();
+  const double full = model.kernel_seconds(s, 1.0);
+  const double half = model.kernel_seconds(s, 0.5);
+  EXPECT_NEAR(half / full, 2.0, 0.05);
+}
+
+TEST(CostModel, FewWarpsPayStallPenalty) {
+  const CostModel model(test_params());
+  KernelStats many = busy_stats();
+  KernelStats few = busy_stats();
+  few.warps = 80;  // one warp per SM: cannot hide latency
+  // Same total work, fewer warps -> slower.
+  EXPECT_GT(model.kernel_seconds(few), model.kernel_seconds(many) * 2.0);
+}
+
+TEST(CostModel, AtomicConflictsAddSerialization) {
+  const CostModel model(test_params());
+  KernelStats clean = busy_stats();
+  KernelStats contended = busy_stats();
+  contended.atomic_conflicts = 500'000'000;
+  EXPECT_GT(model.kernel_seconds(contended), model.kernel_seconds(clean));
+}
+
+TEST(CostModel, LaunchOverheadFloorsKernelTime) {
+  DeviceParams p;
+  p.kernel_launch_us = 5.0;
+  const CostModel model(p);
+  KernelStats tiny;
+  tiny.warps = 1;
+  tiny.lockstep_rounds = 1;
+  EXPECT_GE(model.kernel_seconds(tiny), 5e-6);
+}
+
+TEST(CostModel, TransferUsesLinkBandwidthPlusLatency) {
+  DeviceParams p;
+  p.link_gbytes_per_sec = 50.0;
+  p.link_latency_us = 10.0;
+  const CostModel model(p);
+  // 5 GB at 50 GB/s = 0.1 s (+10 us latency).
+  EXPECT_NEAR(model.transfer_seconds(5'000'000'000ull), 0.1, 1e-3);
+  // Latency floor for empty copies.
+  EXPECT_NEAR(model.transfer_seconds(0), 10e-6, 1e-9);
+}
+
+TEST(CostModel, InvalidFractionRejected) {
+  const CostModel model(test_params());
+  EXPECT_THROW(model.kernel_seconds(busy_stats(), 0.0), csaw::CheckError);
+  EXPECT_THROW(model.kernel_seconds(busy_stats(), 1.5), csaw::CheckError);
+}
+
+}  // namespace
+}  // namespace csaw::sim

@@ -1,0 +1,109 @@
+#include "gpusim/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace csaw::sim {
+namespace {
+
+TEST(Device, RunKernelExecutesEveryTask) {
+  Device device;
+  std::vector<std::uint64_t> seen;
+  device.run_kernel("touch", 5, [&](std::uint64_t t, WarpContext& warp) {
+    warp.charge_rounds(1);
+    seen.push_back(t);
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+  ASSERT_EQ(device.kernel_log().size(), 1u);
+  EXPECT_EQ(device.kernel_log()[0].stats.warps, 5u);
+  EXPECT_GT(device.synchronize(), 0.0);
+}
+
+TEST(Device, KernelsOnOneStreamSerialize) {
+  Device device;
+  auto body = [](std::uint64_t, WarpContext& w) { w.charge_rounds(1000); };
+  const auto& first = device.run_kernel("a", 10, body);
+  const double first_end = first.end;
+  const auto& second = device.run_kernel("b", 10, body);
+  EXPECT_GE(second.start, first_end);
+}
+
+TEST(Device, KernelsOnDifferentStreamsOverlap) {
+  Device device;
+  auto body = [](std::uint64_t, WarpContext& w) { w.charge_rounds(1000); };
+  device.launch("a", device.stream(0), 0.5, 10, body);
+  const auto& b = device.launch("b", device.stream(1), 0.5, 10, body);
+  EXPECT_EQ(b.start, 0.0);  // stream 1 was idle
+}
+
+TEST(Device, TransfersShareTheLink) {
+  Device device;
+  auto& t = device.transfer();
+  const double end0 = t.host_to_device(device.stream(0), 1 << 20, "p0");
+  const double end1 = t.host_to_device(device.stream(1), 1 << 20, "p1");
+  // Different streams, same link: the second copy starts after the first.
+  EXPECT_GT(end1, end0);
+  EXPECT_EQ(t.count(), 2u);
+  EXPECT_EQ(t.total_bytes(), 2u << 20);
+}
+
+TEST(Device, TransferThenKernelOrdersOnStream) {
+  Device device;
+  auto& s = device.stream(1);
+  const double copy_end = device.transfer().host_to_device(s, 1 << 20, "p");
+  const auto& k = device.launch("k", s, 1.0, 1,
+                                [](std::uint64_t, WarpContext& w) {
+                                  w.charge_rounds(10);
+                                });
+  EXPECT_GE(k.start, copy_end);
+}
+
+TEST(Device, FractionSlowsKernel) {
+  Device a, b;
+  auto body = [](std::uint64_t, WarpContext& w) { w.charge_rounds(100000); };
+  const auto& full = a.launch("k", a.stream(0), 1.0, 1000, body);
+  const auto& quarter = b.launch("k", b.stream(0), 0.25, 1000, body);
+  EXPECT_GT(quarter.duration(), full.duration() * 2.0);
+}
+
+TEST(Device, KernelDurationsFilterByPrefix) {
+  Device device;
+  auto body = [](std::uint64_t, WarpContext& w) { w.charge_rounds(1); };
+  device.run_kernel("sample_p0", 1, body);
+  device.run_kernel("sample_p1", 1, body);
+  device.run_kernel("other", 1, body);
+  EXPECT_EQ(device.kernel_durations("sample_").size(), 2u);
+  EXPECT_EQ(device.kernel_durations("other").size(), 1u);
+  EXPECT_EQ(device.kernel_durations("zzz").size(), 0u);
+}
+
+TEST(Device, TotalStatsAggregates) {
+  Device device;
+  auto body = [](std::uint64_t, WarpContext& w) { w.charge_rounds(7); };
+  device.run_kernel("a", 2, body);
+  device.run_kernel("b", 3, body);
+  const KernelStats total = device.total_stats();
+  EXPECT_EQ(total.warps, 5u);
+  EXPECT_EQ(total.lockstep_rounds, 5u * 7u);
+}
+
+TEST(Device, ResetRewindsClocksAndLogs) {
+  Device device;
+  device.run_kernel("a", 4, [](std::uint64_t, WarpContext& w) {
+    w.charge_rounds(100);
+  });
+  device.transfer().host_to_device(device.stream(0), 1024, "x");
+  EXPECT_GT(device.synchronize(), 0.0);
+  device.reset();
+  EXPECT_EQ(device.synchronize(), 0.0);
+  EXPECT_TRUE(device.kernel_log().empty());
+  EXPECT_EQ(device.transfer().count(), 0u);
+}
+
+TEST(Device, EmptyKernelTakesNoTime) {
+  Device device;
+  device.run_kernel("empty", 0, [](std::uint64_t, WarpContext&) {});
+  EXPECT_EQ(device.synchronize(), 0.0);
+}
+
+}  // namespace
+}  // namespace csaw::sim

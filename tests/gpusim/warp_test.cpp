@@ -1,0 +1,105 @@
+#include "gpusim/warp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/prefix_sum.hpp"
+
+namespace csaw::sim {
+namespace {
+
+TEST(Warp, ConstructionCountsWarp) {
+  KernelStats stats;
+  {
+    WarpContext w1(stats);
+    WarpContext w2(stats);
+  }
+  EXPECT_EQ(stats.warps, 2u);
+}
+
+TEST(Warp, ChargeRoundsAccumulates) {
+  KernelStats stats;
+  WarpContext warp(stats);
+  warp.charge_rounds(3);
+  warp.charge_rounds(4);
+  EXPECT_EQ(stats.lockstep_rounds, 7u);
+}
+
+TEST(Warp, DivergedRoundsChargeMax) {
+  KernelStats stats;
+  WarpContext warp(stats);
+  const std::vector<std::uint32_t> trips = {1, 9, 3, 0};
+  warp.charge_diverged_rounds(trips);
+  EXPECT_EQ(stats.lockstep_rounds, 9u);
+}
+
+TEST(Warp, GlobalChargesBytesAndOneRound) {
+  KernelStats stats;
+  WarpContext warp(stats);
+  warp.charge_global(128);
+  EXPECT_EQ(stats.global_bytes, 128u);
+  EXPECT_EQ(stats.lockstep_rounds, 1u);
+}
+
+TEST(Warp, AtomicConflictDetectionWithinRound) {
+  KernelStats stats;
+  WarpContext warp(stats);
+  csaw::AtomicBitmap bitmap(64, csaw::BitmapLayout::kContiguous);
+
+  // Lanes hitting bits 0 and 1 share word 0 -> one conflict.
+  EXPECT_FALSE(warp.atomic_test_and_set(bitmap, 0));
+  EXPECT_FALSE(warp.atomic_test_and_set(bitmap, 1));
+  EXPECT_EQ(stats.atomic_ops, 2u);
+  EXPECT_EQ(stats.atomic_conflicts, 1u);
+
+  // New round: bit 8 lives in word 1, no conflict.
+  warp.end_atomic_round();
+  EXPECT_FALSE(warp.atomic_test_and_set(bitmap, 8));
+  EXPECT_EQ(stats.atomic_conflicts, 1u);
+}
+
+TEST(Warp, StridedBitmapAvoidsConflictContiguousHits) {
+  csaw::AtomicBitmap contiguous(64, csaw::BitmapLayout::kContiguous);
+  csaw::AtomicBitmap strided(64, csaw::BitmapLayout::kStrided);
+
+  KernelStats cs, ss;
+  {
+    WarpContext warp(cs);
+    for (std::size_t i = 0; i < 8; ++i) warp.atomic_test_and_set(contiguous, i);
+  }
+  {
+    WarpContext warp(ss);
+    for (std::size_t i = 0; i < 8; ++i) warp.atomic_test_and_set(strided, i);
+  }
+  EXPECT_EQ(cs.atomic_conflicts, 7u);  // all in word 0
+  EXPECT_EQ(ss.atomic_conflicts, 0u);  // spread across words
+}
+
+TEST(Warp, ScanMatchesSequentialAndCharges) {
+  KernelStats stats;
+  WarpContext warp(stats);
+  std::vector<float> data = {1, 2, 3, 4, 5};
+  std::vector<float> expected(data.size());
+  csaw::inclusive_scan_seq(data, expected);
+  warp.scan_inclusive(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_FLOAT_EQ(data[i], expected[i]);
+  }
+  EXPECT_GT(stats.lockstep_rounds, 0u);
+  EXPECT_EQ(stats.global_bytes, 2 * 5 * sizeof(float));
+}
+
+TEST(Warp, BinarySearchChargesLockStepRounds) {
+  KernelStats stats;
+  WarpContext warp(stats);
+  warp.charge_binary_search(/*n=*/1024, /*active_lanes=*/4);
+  EXPECT_EQ(stats.lockstep_rounds, 11u);  // bit_width(1024) = 11
+  EXPECT_EQ(stats.global_bytes, 11u * 4 * sizeof(float));
+
+  // Zero-size or zero lanes: no charge.
+  warp.charge_binary_search(0, 10);
+  warp.charge_binary_search(10, 0);
+  EXPECT_EQ(stats.lockstep_rounds, 11u);
+}
+
+}  // namespace
+}  // namespace csaw::sim

@@ -1,0 +1,100 @@
+#include "graph/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "util/check.hpp"
+
+namespace csaw {
+namespace {
+
+TEST(Builder, SymmetrizesByDefault) {
+  const CsrGraph g = build_csr({{0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);  // both directions
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 1));
+}
+
+TEST(Builder, DirectedWhenRequested) {
+  BuildOptions options;
+  options.symmetrize = false;
+  const CsrGraph g = build_csr({{0, 1}, {1, 2}}, 0, options);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(Builder, RemovesSelfLoopsAndDuplicates) {
+  const CsrGraph g = build_csr({{0, 0}, {0, 1}, {0, 1}, {1, 0}});
+  EXPECT_EQ(g.num_edges(), 2u);  // one undirected edge
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Builder, KeepsWeightsWhenAsked) {
+  BuildOptions options;
+  options.keep_weights = true;
+  options.symmetrize = false;
+  const CsrGraph g = build_csr({{0, 1, 2.5f}, {0, 2, 0.5f}}, 0, options);
+  EXPECT_TRUE(g.has_weights());
+  EXPECT_FLOAT_EQ(g.edge_weight(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(g.edge_weight(0, 1), 0.5f);
+}
+
+TEST(Builder, UnweightedWeightIsOne) {
+  const CsrGraph g = build_csr({{0, 1}});
+  EXPECT_FALSE(g.has_weights());
+  EXPECT_FLOAT_EQ(g.edge_weight(0, 0), 1.0f);
+}
+
+TEST(Builder, ExplicitVertexCountKeepsIsolated) {
+  const CsrGraph g = build_csr({{0, 1}}, 5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.degree(4), 0u);
+  EXPECT_TRUE(g.neighbors(4).empty());
+}
+
+TEST(Csr, AdjacencySortedAndQueries) {
+  const CsrGraph g = build_csr({{3, 1}, {3, 0}, {3, 2}});
+  const auto adj = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(adj.begin(), adj.end()));
+  EXPECT_EQ(g.degree(3), 3u);
+  EXPECT_TRUE(g.has_edge(3, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_NEAR(g.average_degree(), 6.0 / 4.0, 1e-12);
+}
+
+TEST(Csr, ValidatesInvariantsOnConstruction) {
+  // row_ptr not matching col_idx size.
+  EXPECT_THROW(CsrGraph({0, 2}, {1}, {}), CheckError);
+  // unsorted adjacency.
+  EXPECT_THROW(CsrGraph({0, 2}, {1, 0}, {}), CheckError);
+  // weights arity mismatch.
+  EXPECT_THROW(CsrGraph({0, 1}, {0}, {1.0f, 2.0f}), CheckError);
+}
+
+TEST(Csr, BytesAccountsAllArrays) {
+  const CsrGraph g = build_csr({{0, 1}});
+  EXPECT_EQ(g.bytes(), 3 * sizeof(EdgeIndex) + 2 * sizeof(VertexId));
+}
+
+TEST(Csr, EdgeListRoundTrip) {
+  BuildOptions options;
+  options.symmetrize = false;
+  options.keep_weights = true;
+  const std::vector<Edge> edges = {{0, 1, 0.5f}, {1, 2, 1.5f}, {2, 0, 2.5f}};
+  const CsrGraph g = build_csr(edges, 0, options);
+  const auto back = to_edge_list(g);
+  EXPECT_EQ(back, edges);
+}
+
+TEST(Csr, OutOfRangeVertexThrows) {
+  const CsrGraph g = build_csr({{0, 1}});
+  EXPECT_THROW(g.degree(2), CheckError);
+  EXPECT_THROW(g.neighbors(99), CheckError);
+}
+
+}  // namespace
+}  // namespace csaw

@@ -1,0 +1,90 @@
+#include "graph/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace csaw {
+namespace {
+
+TEST(Datasets, RegistryHasAllTableTwoEntries) {
+  const auto& specs = paper_datasets();
+  ASSERT_EQ(specs.size(), 10u);
+  const std::vector<std::string> expected = {"AM", "AS", "CP", "LJ", "OR",
+                                             "RE", "WG", "YE", "FR", "TW"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(specs[i].abbr, expected[i]);
+  }
+}
+
+TEST(Datasets, InMemorySubsetExcludesGiants) {
+  const auto in_mem = in_memory_datasets();
+  EXPECT_EQ(in_mem.size(), 8u);
+  for (const auto& spec : in_mem) {
+    EXPECT_NE(spec.abbr, "FR");
+    EXPECT_NE(spec.abbr, "TW");
+  }
+  EXPECT_TRUE(dataset_by_abbr("FR").exceeds_device_memory);
+  EXPECT_TRUE(dataset_by_abbr("TW").exceeds_device_memory);
+  EXPECT_FALSE(dataset_by_abbr("AM").exceeds_device_memory);
+}
+
+TEST(Datasets, LookupThrowsOnUnknown) {
+  EXPECT_THROW(dataset_by_abbr("ZZ"), CheckError);
+}
+
+class DatasetGeneration : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetGeneration, ScaledStandInMatchesProfile) {
+  const DatasetSpec& spec = dataset_by_abbr(GetParam());
+  DatasetScale scale;
+  scale.edge_cap = 64 * 1024;  // keep the test fast
+  const CsrGraph g = make_dataset(spec, scale);
+
+  EXPECT_GT(g.num_vertices(), 50u);
+  EXPECT_LE(g.num_edges(), 2 * scale.edge_cap);
+  // Average degree within a factor ~2 of the paper's — close enough to
+  // preserve the cross-dataset ordering that drives the evaluation.
+  EXPECT_GT(g.average_degree(), spec.paper_avg_degree * 0.5);
+  EXPECT_LT(g.average_degree(), spec.paper_avg_degree * 2.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetGeneration,
+                         ::testing::Values("AM", "AS", "CP", "LJ", "OR", "RE",
+                                           "WG", "YE", "FR", "TW"),
+                         [](const auto& info) { return info.param; });
+
+TEST(Datasets, DegreeOrderingPreserved) {
+  // RE and OR are the high-degree graphs; CP the sparsest. The stand-ins
+  // must keep that ordering (it drives Figs. 10-12 and 16 shapes).
+  DatasetScale scale;
+  scale.edge_cap = 64 * 1024;
+  const double re = make_dataset(dataset_by_abbr("RE"), scale).average_degree();
+  const double orkut =
+      make_dataset(dataset_by_abbr("OR"), scale).average_degree();
+  const double cp = make_dataset(dataset_by_abbr("CP"), scale).average_degree();
+  EXPECT_GT(re, cp);
+  EXPECT_GT(orkut, cp);
+}
+
+TEST(Datasets, ScaleFromEnvReadsOverrides) {
+  ::setenv("CSAW_EDGE_CAP", "12345", 1);
+  ::setenv("CSAW_SEED", "777", 1);
+  const auto scale = DatasetScale::from_env();
+  EXPECT_EQ(scale.edge_cap, 12345u);
+  EXPECT_EQ(scale.seed, 777u);
+  ::unsetenv("CSAW_EDGE_CAP");
+  ::unsetenv("CSAW_SEED");
+}
+
+TEST(Datasets, DeterministicForSeed) {
+  DatasetScale scale;
+  scale.edge_cap = 32 * 1024;
+  const CsrGraph a = make_dataset(dataset_by_abbr("AM"), scale);
+  const CsrGraph b = make_dataset(dataset_by_abbr("AM"), scale);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+}
+
+}  // namespace
+}  // namespace csaw

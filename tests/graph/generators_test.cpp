@@ -1,0 +1,116 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace csaw {
+namespace {
+
+TEST(Rmat, ProducesRequestedScale) {
+  const CsrGraph g = generate_rmat(4096, 16384, 42);
+  // Directed edge count ~ 2x pairs minus dedup losses.
+  EXPECT_GT(g.num_edges(), 16384u);
+  EXPECT_LT(g.num_edges(), 2 * 16384u + 1);
+  EXPECT_GT(g.num_vertices(), 500u);
+  EXPECT_LE(g.num_vertices(), 4096u);
+  // Compaction: no isolated vertices.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GT(g.degree(v), 0u);
+  }
+}
+
+TEST(Rmat, DeterministicPerSeed) {
+  const CsrGraph a = generate_rmat(1024, 4096, 7);
+  const CsrGraph b = generate_rmat(1024, 4096, 7);
+  const CsrGraph c = generate_rmat(1024, 4096, 8);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_TRUE(std::equal(a.col_idx().begin(), a.col_idx().end(),
+                         b.col_idx().begin()));
+  EXPECT_FALSE(a.num_edges() == c.num_edges() &&
+               std::equal(a.col_idx().begin(), a.col_idx().end(),
+                          c.col_idx().begin()));
+}
+
+TEST(Rmat, SkewedParamsYieldHeavyTail) {
+  const CsrGraph g = generate_rmat(8192, 65536, 3);
+  // A power-law graph's max degree far exceeds its average.
+  EXPECT_GT(static_cast<double>(g.max_degree()),
+            8.0 * g.average_degree());
+}
+
+TEST(Rmat, WeightedEdgesInUnitInterval) {
+  const CsrGraph g = generate_rmat(512, 2048, 9, RmatParams{}, true);
+  ASSERT_TRUE(g.has_weights());
+  for (float w : g.weights()) {
+    EXPECT_GT(w, 0.0f);
+    EXPECT_LE(w, 1.0f);
+  }
+}
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  const CsrGraph g = generate_erdos_renyi(100, 300, 5);
+  EXPECT_EQ(g.num_edges(), 600u);  // undirected -> both directions
+  EXPECT_EQ(g.num_vertices(), 100u);
+}
+
+TEST(BarabasiAlbert, DegreesAtLeastM) {
+  const CsrGraph g = generate_barabasi_albert(500, 3, 11);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.degree(v), 3u);
+  }
+  // Preferential attachment produces hubs.
+  EXPECT_GT(g.max_degree(), 20u);
+}
+
+TEST(SmallGraphs, PathCycleStarCompleteGrid) {
+  const CsrGraph path = make_path(5);
+  EXPECT_EQ(path.num_edges(), 8u);
+  EXPECT_EQ(path.degree(0), 1u);
+  EXPECT_EQ(path.degree(2), 2u);
+
+  const CsrGraph cycle = make_cycle(6);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(cycle.degree(v), 2u);
+
+  const CsrGraph star = make_star(9);
+  EXPECT_EQ(star.degree(0), 8u);
+  for (VertexId v = 1; v < 9; ++v) EXPECT_EQ(star.degree(v), 1u);
+
+  const CsrGraph complete = make_complete(5);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(complete.degree(v), 4u);
+
+  const CsrGraph grid = make_grid(3, 4);
+  EXPECT_EQ(grid.num_vertices(), 12u);
+  EXPECT_EQ(grid.degree(0), 2u);   // corner
+  EXPECT_EQ(grid.degree(5), 4u);   // interior
+  EXPECT_EQ(grid.num_edges(), 2u * (3 * 3 + 2 * 4));
+}
+
+TEST(PaperToyGraph, MatchesFig1Biases) {
+  // Fig. 1(a): v8's neighbors are {5,7,9,10,11}; their degrees (the
+  // example's biases) are {3,6,2,2,2} with prefix sum {0,3,9,11,13,15}.
+  const CsrGraph g = make_paper_toy_graph();
+  EXPECT_EQ(g.num_vertices(), 13u);
+  const auto adj = g.neighbors(8);
+  ASSERT_EQ(adj.size(), 5u);
+  EXPECT_EQ(std::vector<VertexId>(adj.begin(), adj.end()),
+            (std::vector<VertexId>{5, 7, 9, 10, 11}));
+  EXPECT_EQ(g.degree(5), 3u);
+  EXPECT_EQ(g.degree(7), 6u);
+  EXPECT_EQ(g.degree(9), 2u);
+  EXPECT_EQ(g.degree(10), 2u);
+  EXPECT_EQ(g.degree(11), 2u);
+}
+
+TEST(PaperToyGraph, SupportsFig8Walk) {
+  // Fig. 8 samples 0->7, 2->3, 8->5, then 3->4: all these edges exist.
+  const CsrGraph g = make_paper_toy_graph();
+  EXPECT_TRUE(g.has_edge(0, 7));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_TRUE(g.has_edge(8, 5));
+  EXPECT_TRUE(g.has_edge(3, 4));
+}
+
+}  // namespace
+}  // namespace csaw

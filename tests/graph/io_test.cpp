@@ -1,0 +1,79 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace csaw {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() / "csaw_io_test";
+    std::filesystem::create_directories(dir);
+    const std::string path = (dir / name).string();
+    cleanup_.push_back(path);
+    return path;
+  }
+  void TearDown() override {
+    for (const auto& p : cleanup_) std::filesystem::remove(p);
+  }
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  const CsrGraph g = generate_rmat(256, 1024, 13, RmatParams{}, true);
+  const auto path = temp_path("roundtrip.csr");
+  save_binary(g, path);
+  const CsrGraph back = load_binary(path);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_TRUE(std::equal(g.col_idx().begin(), g.col_idx().end(),
+                         back.col_idx().begin()));
+  EXPECT_TRUE(std::equal(g.weights().begin(), g.weights().end(),
+                         back.weights().begin()));
+}
+
+TEST_F(IoTest, BinaryRejectsGarbage) {
+  const auto path = temp_path("garbage.csr");
+  std::ofstream(path) << "this is not a csr file";
+  EXPECT_THROW(load_binary(path), CheckError);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(load_binary("/nonexistent/nope.csr"), CheckError);
+  EXPECT_THROW(load_edge_list("/nonexistent/nope.txt"), CheckError);
+}
+
+TEST_F(IoTest, EdgeListRoundTrip) {
+  const CsrGraph g = build_csr({{0, 1}, {1, 2}, {2, 3}});
+  const auto path = temp_path("edges.txt");
+  save_edge_list(g, path);
+  // The saved list already contains both directions; load directed.
+  const CsrGraph back = load_edge_list(path, false, /*symmetrize=*/false);
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+}
+
+TEST_F(IoTest, EdgeListSkipsCommentsAndParsesWeights) {
+  const auto path = temp_path("snap.txt");
+  std::ofstream(path) << "# SNAP-style comment\n"
+                      << "% KONECT-style comment\n"
+                      << "0 1 2.5\n"
+                      << "1 2\n";
+  const CsrGraph g = load_edge_list(path, /*weighted=*/true,
+                                    /*symmetrize=*/false);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_FLOAT_EQ(g.edge_weight(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(g.edge_weight(1, 0), 1.0f);  // missing weight defaults
+}
+
+}  // namespace
+}  // namespace csaw

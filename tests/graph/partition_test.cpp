@@ -1,0 +1,92 @@
+#include "graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/check.hpp"
+
+namespace csaw {
+namespace {
+
+class PartitionCounts : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PartitionCounts, RangesAreContiguousEqualAndComplete) {
+  const CsrGraph g = generate_rmat(2000, 8000, 21);
+  const std::uint32_t parts = GetParam();
+  const RangePartitioner partitioner(g, parts);
+  ASSERT_EQ(partitioner.num_parts(), parts);
+
+  VertexId expected_first = 0;
+  EdgeIndex total_edges = 0;
+  for (std::uint32_t p = 0; p < parts; ++p) {
+    const auto& part = partitioner.part(p);
+    EXPECT_EQ(part.first_vertex(), expected_first);
+    expected_first = part.end_vertex();
+    total_edges += part.num_edges();
+    // Equal ranges except possibly the last.
+    if (p + 1 < parts) {
+      EXPECT_EQ(part.num_vertices(), partitioner.part(0).num_vertices());
+    }
+  }
+  EXPECT_EQ(expected_first, g.num_vertices());
+  EXPECT_EQ(total_edges, g.num_edges());
+}
+
+TEST_P(PartitionCounts, OwnerLookupMatchesRanges) {
+  const CsrGraph g = generate_rmat(1500, 6000, 22);
+  const RangePartitioner partitioner(g, GetParam());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const std::uint32_t p = partitioner.part_of(v);
+    EXPECT_TRUE(partitioner.part(p).owns(v)) << "vertex " << v;
+  }
+}
+
+TEST_P(PartitionCounts, NeighborListsNeverSplit) {
+  // The paper's §V-A requirement: every vertex's complete neighbor list
+  // lives in its partition.
+  const CsrGraph g = generate_rmat(1000, 5000, 23, RmatParams{}, true);
+  const RangePartitioner partitioner(g, GetParam());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto& part = partitioner.part(partitioner.part_of(v));
+    const auto whole = g.neighbors(v);
+    const auto local = part.neighbors(v);
+    ASSERT_EQ(local.size(), whole.size()) << "vertex " << v;
+    EXPECT_TRUE(std::equal(whole.begin(), whole.end(), local.begin()));
+    for (std::size_t k = 0; k < whole.size(); ++k) {
+      EXPECT_FLOAT_EQ(part.edge_weight(v, k), g.edge_weight(v, k));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionCounts,
+                         ::testing::Values(1, 2, 3, 4, 7, 16));
+
+TEST(Partition, BytesSumToWholeishGraph) {
+  const CsrGraph g = generate_rmat(1000, 4000, 25);
+  const RangePartitioner partitioner(g, 4);
+  std::uint64_t total = 0;
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    total += partitioner.part(p).bytes();
+  }
+  // col_idx bytes match exactly; row_ptr duplicates one boundary entry per
+  // partition.
+  EXPECT_GE(total, g.num_edges() * sizeof(VertexId));
+  EXPECT_LE(total, g.bytes() + 4 * sizeof(EdgeIndex));
+}
+
+TEST(Partition, NonOwnedAccessThrows) {
+  const CsrGraph g = generate_rmat(100, 300, 26);
+  const RangePartitioner partitioner(g, 2);
+  const auto& part0 = partitioner.part(0);
+  const VertexId foreign = partitioner.part(1).first_vertex();
+  EXPECT_THROW(part0.neighbors(foreign), CheckError);
+  EXPECT_THROW(part0.degree(foreign), CheckError);
+}
+
+TEST(Partition, MorePartsThanVerticesRejected) {
+  const CsrGraph g = make_path(4);
+  EXPECT_THROW(RangePartitioner(g, 10), CheckError);
+}
+
+}  // namespace
+}  // namespace csaw

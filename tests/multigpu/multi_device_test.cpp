@@ -1,0 +1,119 @@
+#include "multigpu/multi_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/neighbor_sampling.hpp"
+#include "algorithms/random_walks.hpp"
+#include "graph/generators.hpp"
+
+namespace csaw {
+namespace {
+
+std::vector<VertexId> spread_seeds(const CsrGraph& g, std::uint32_t n) {
+  std::vector<VertexId> seeds(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    seeds[i] = static_cast<VertexId>((i * 131) % g.num_vertices());
+  }
+  return seeds;
+}
+
+class DeviceCounts : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(DeviceCounts, SamplesAreIndependentOfDeviceCount) {
+  // §V-D: instance groups are disjoint and devices don't communicate, so
+  // the union of samples must be identical for any device count — the
+  // counter-based RNG makes this exact, not just distributional.
+  const CsrGraph g = generate_rmat(1024, 8192, 61);
+  auto setup = biased_random_walk(10);
+  const auto seeds = spread_seeds(g, 60);
+
+  MultiDeviceConfig one;
+  one.num_devices = 1;
+  const MultiDeviceRun reference =
+      run_multi_device_single_seed(g, setup.policy, setup.spec, seeds, one);
+
+  MultiDeviceConfig many;
+  many.num_devices = GetParam();
+  const MultiDeviceRun run =
+      run_multi_device_single_seed(g, setup.policy, setup.spec, seeds, many);
+
+  ASSERT_EQ(run.samples.num_instances(), reference.samples.num_instances());
+  for (std::uint32_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(run.samples.edges(i), reference.samples.edges(i))
+        << "instance " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, DeviceCounts,
+                         ::testing::Values(2, 3, 6));
+
+TEST(MultiDevice, MakespanIsMaxOfDevices) {
+  const CsrGraph g = generate_rmat(512, 4096, 62);
+  auto setup = unbiased_neighbor_sampling(2, 2);
+  MultiDeviceConfig config;
+  config.num_devices = 3;
+  const auto run = run_multi_device_single_seed(
+      g, setup.policy, setup.spec, spread_seeds(g, 30), config);
+  ASSERT_EQ(run.device_seconds.size(), 3u);
+  double max_device = 0.0;
+  for (double t : run.device_seconds) max_device = std::max(max_device, t);
+  EXPECT_DOUBLE_EQ(run.sim_seconds, max_device);
+}
+
+TEST(MultiDevice, ScalingImprovesWithEnoughInstances) {
+  // Fig. 17's shape at unit scale: with enough instances to saturate the
+  // devices (>= latency_hiding_warps_per_sm * sm_count warps each), more
+  // devices are faster; with too few, scaling stalls (Fig. 17(a)).
+  const CsrGraph g = generate_rmat(1024, 8192, 63);
+  auto setup = biased_neighbor_sampling(2, 2);
+
+  auto makespan = [&](std::uint32_t instances, std::uint32_t devices) {
+    MultiDeviceConfig config;
+    config.num_devices = devices;
+    return run_multi_device_single_seed(g, setup.policy, setup.spec,
+                                        spread_seeds(g, instances), config)
+        .sim_seconds;
+  };
+  // Saturated: 6400 instances, 3200 warps per device at 2 devices.
+  EXPECT_LT(makespan(6400, 2), makespan(6400, 1) * 0.7);
+  // Starved: 480 instances over 6 devices scale worse than saturated.
+  const double starved = makespan(480, 1) / makespan(480, 6);
+  const double saturated = makespan(6400, 1) / makespan(6400, 6);
+  EXPECT_LT(starved, saturated);
+}
+
+TEST(MultiDevice, OutOfMemoryModeMatchesInMemorySamples) {
+  const CsrGraph g = generate_rmat(1024, 8192, 64);
+  auto setup = biased_random_walk(8);
+  const auto seeds = spread_seeds(g, 24);
+
+  MultiDeviceConfig in_mem;
+  in_mem.num_devices = 2;
+  const auto reference = run_multi_device_single_seed(
+      g, setup.policy, setup.spec, seeds, in_mem);
+
+  MultiDeviceConfig oom = in_mem;
+  oom.out_of_memory = true;
+  oom.oom.num_partitions = 4;
+  oom.oom.resident_partitions = 2;
+  const auto run =
+      run_multi_device_single_seed(g, setup.policy, setup.spec, seeds, oom);
+
+  for (std::uint32_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(run.samples.edges(i), reference.samples.edges(i));
+  }
+}
+
+TEST(MultiDevice, MoreDevicesThanInstances) {
+  const CsrGraph g = generate_rmat(256, 2048, 65);
+  auto setup = simple_random_walk(5);
+  MultiDeviceConfig config;
+  config.num_devices = 6;
+  const auto run = run_multi_device_single_seed(
+      g, setup.policy, setup.spec, spread_seeds(g, 3), config);
+  EXPECT_EQ(run.samples.num_instances(), 3u);
+  EXPECT_GT(run.samples.total_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace csaw

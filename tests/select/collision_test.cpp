@@ -1,0 +1,135 @@
+#include "select/collision.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace csaw {
+namespace {
+
+class Detectors : public ::testing::TestWithParam<DetectorKind> {
+ protected:
+  std::unique_ptr<CollisionDetector> detector() const {
+    return make_detector(GetParam());
+  }
+};
+
+TEST_P(Detectors, FirstRecordSucceedsSecondCollides) {
+  auto d = detector();
+  d->reset(50);
+  sim::KernelStats stats;
+  sim::WarpContext warp(stats);
+  EXPECT_FALSE(d->test_and_record(17, warp));
+  EXPECT_TRUE(d->test_and_record(17, warp));
+  EXPECT_TRUE(d->is_selected(17));
+  EXPECT_FALSE(d->is_selected(16));
+  EXPECT_EQ(stats.collisions, 1u);
+}
+
+TEST_P(Detectors, SelectedListPreservesOrder) {
+  auto d = detector();
+  d->reset(10);
+  sim::KernelStats stats;
+  sim::WarpContext warp(stats);
+  d->test_and_record(4, warp);
+  d->test_and_record(1, warp);
+  d->test_and_record(9, warp);
+  const auto selected = d->selected();
+  EXPECT_EQ(std::vector<std::uint32_t>(selected.begin(), selected.end()),
+            (std::vector<std::uint32_t>{4, 1, 9}));
+}
+
+TEST_P(Detectors, ResetForgetsEverything) {
+  auto d = detector();
+  d->reset(20);
+  sim::KernelStats stats;
+  sim::WarpContext warp(stats);
+  d->test_and_record(3, warp);
+  d->reset(20);
+  EXPECT_FALSE(d->is_selected(3));
+  EXPECT_TRUE(d->selected().empty());
+  EXPECT_FALSE(d->test_and_record(3, warp));
+}
+
+TEST_P(Detectors, AgreesWithReferenceOnRandomWorkload) {
+  // Property test: every detector must give byte-identical answers to a
+  // std::set reference across random probe sequences and pool sizes.
+  Xoshiro256 rng(2718);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t pool = 1 + rng.bounded(300);
+    auto d = detector();
+    d->reset(pool);
+    std::set<std::size_t> reference;
+    sim::KernelStats stats;
+    sim::WarpContext warp(stats);
+    for (int probe = 0; probe < 200; ++probe) {
+      const std::size_t idx = rng.bounded(pool);
+      const bool expected = !reference.insert(idx).second;
+      EXPECT_EQ(d->test_and_record(idx, warp), expected)
+          << "pool=" << pool << " idx=" << idx;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, Detectors,
+    ::testing::Values(DetectorKind::kLinearSearch,
+                      DetectorKind::kBitmapContiguous,
+                      DetectorKind::kBitmapStrided),
+    [](const auto& info) {
+      switch (info.param) {
+        case DetectorKind::kLinearSearch: return "Linear";
+        case DetectorKind::kBitmapContiguous: return "BitmapContiguous";
+        case DetectorKind::kBitmapStrided: return "BitmapStrided";
+      }
+      return "Unknown";
+    });
+
+TEST(DetectorCosts, LinearSearchCountsGrowWithListBitmapStaysConstant) {
+  // Fig. 12's mechanism: the shared-memory baseline pays one comparison
+  // per stored vertex per probe, the bitmap one probe total.
+  auto linear = make_detector(DetectorKind::kLinearSearch);
+  auto bitmap = make_detector(DetectorKind::kBitmapStrided);
+  linear->reset(64);
+  bitmap->reset(64);
+
+  sim::KernelStats linear_stats, bitmap_stats;
+  {
+    sim::WarpContext warp(linear_stats);
+    for (std::size_t i = 0; i < 16; ++i) linear->test_and_record(i, warp);
+  }
+  {
+    sim::WarpContext warp(bitmap_stats);
+    for (std::size_t i = 0; i < 16; ++i) bitmap->test_and_record(i, warp);
+  }
+  // Linear: sum over probes of max(list length, 1) = 1+1+2+...+15 = 121.
+  EXPECT_EQ(linear_stats.collision_searches, 121u);
+  // Bitmap: one search per probe.
+  EXPECT_EQ(bitmap_stats.collision_searches, 16u);
+  EXPECT_EQ(bitmap_stats.atomic_ops, 16u);
+  EXPECT_EQ(linear_stats.atomic_ops, 0u);
+}
+
+TEST(DetectorCosts, StridedBitmapHasFewerConflictsThanContiguous) {
+  auto contiguous = make_detector(DetectorKind::kBitmapContiguous);
+  auto strided = make_detector(DetectorKind::kBitmapStrided);
+  contiguous->reset(256);
+  strided->reset(256);
+
+  sim::KernelStats cs, ss;
+  {
+    sim::WarpContext warp(cs);
+    for (std::size_t i = 0; i < 32; ++i) contiguous->test_and_record(i, warp);
+  }
+  {
+    sim::WarpContext warp(ss);
+    for (std::size_t i = 0; i < 32; ++i) strided->test_and_record(i, warp);
+  }
+  EXPECT_GT(cs.atomic_conflicts, ss.atomic_conflicts);
+  EXPECT_EQ(ss.atomic_conflicts, 0u);
+}
+
+}  // namespace
+}  // namespace csaw

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "select/alias.hpp"
+#include "select/dartboard.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace csaw {
+namespace {
+
+const std::vector<float> kPaperBiases = {3, 6, 2, 2, 2};
+const std::vector<double> kPaperProbs = {3 / 15.0, 6 / 15.0, 2 / 15.0,
+                                         2 / 15.0, 2 / 15.0};
+
+TEST(Dartboard, DistributionMatchesBiases) {
+  const Dartboard board(kPaperBiases);
+  Xoshiro256 rng(31337);
+  std::vector<std::uint64_t> counts(kPaperBiases.size(), 0);
+  for (int i = 0; i < 30000; ++i) ++counts[board.draw(rng)];
+  EXPECT_LT(chi_square(counts, kPaperProbs), 22.0);  // df=4
+}
+
+TEST(Dartboard, TrialCountExceedsAcceptedOnSkew) {
+  // Rejection wastes darts when one bar dominates — the paper's argument
+  // against dartboard on scale-free graphs.
+  const std::vector<float> skewed = {100, 1, 1, 1, 1, 1, 1, 1};
+  const Dartboard board(skewed);
+  Xoshiro256 rng(7);
+  std::uint64_t trials = 0;
+  const int kDraws = 2000;
+  for (int i = 0; i < kDraws; ++i) board.draw(rng, &trials);
+  // Acceptance rate = mean(bias)/max(bias) = (107/8)/100 ~ 13%; expect
+  // >5x trial amplification with slack.
+  EXPECT_GT(trials, static_cast<std::uint64_t>(kDraws) * 4);
+}
+
+TEST(Dartboard, UniformBiasesAcceptEveryDart) {
+  const std::vector<float> uniform = {2, 2, 2, 2};
+  const Dartboard board(uniform);
+  Xoshiro256 rng(17);
+  std::uint64_t trials = 0;
+  for (int i = 0; i < 500; ++i) board.draw(rng, &trials);
+  EXPECT_EQ(trials, 500u);
+}
+
+TEST(Dartboard, DistinctDrawsAreDistinct) {
+  const Dartboard board(kPaperBiases);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto picked = board.draw_distinct(3, rng);
+    EXPECT_EQ(std::set<std::uint32_t>(picked.begin(), picked.end()).size(),
+              3u);
+  }
+  EXPECT_THROW(board.draw_distinct(6, rng), CheckError);
+}
+
+TEST(Dartboard, RejectsDegenerateBiases) {
+  EXPECT_THROW(Dartboard(std::vector<float>{}), CheckError);
+  EXPECT_THROW(Dartboard(std::vector<float>{0, 0}), CheckError);
+  EXPECT_THROW(Dartboard(std::vector<float>{-1, 2}), CheckError);
+}
+
+class AliasShapes : public ::testing::TestWithParam<std::vector<float>> {};
+
+TEST_P(AliasShapes, ReconstructedProbabilitiesMatchTheoremOne) {
+  const auto& biases = GetParam();
+  double total = 0.0;
+  for (float b : biases) total += b;
+  const AliasTable table(biases);
+  for (std::size_t i = 0; i < biases.size(); ++i) {
+    EXPECT_NEAR(table.probability(i), biases[i] / total, 1e-5) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AliasShapes,
+    ::testing::Values(std::vector<float>{3, 6, 2, 2, 2},
+                      std::vector<float>{1},
+                      std::vector<float>{1, 1, 1, 1, 1, 1, 1},
+                      std::vector<float>{100, 1, 1, 1},
+                      std::vector<float>{0, 5, 0, 5},
+                      std::vector<float>{0.1f, 0.9f, 0.5f}));
+
+TEST(Alias, EmpiricalDistributionMatches) {
+  const AliasTable table(kPaperBiases);
+  Xoshiro256 rng(99);
+  std::vector<std::uint64_t> counts(kPaperBiases.size(), 0);
+  for (int i = 0; i < 30000; ++i) ++counts[table.sample(rng)];
+  EXPECT_LT(chi_square(counts, kPaperProbs), 22.0);
+}
+
+TEST(Alias, DeterministicDrawCoversBins) {
+  // Fig. 1(d): every bin holds at most two candidates; a draw with flip 0
+  // picks the bin owner when its threshold is positive.
+  const AliasTable table(kPaperBiases);
+  for (std::size_t bin = 0; bin < table.size(); ++bin) {
+    const double bin_r = (static_cast<double>(bin) + 0.5) / table.size();
+    const auto idx = table.sample(bin_r, 0.0);
+    EXPECT_LT(idx, kPaperBiases.size());
+  }
+}
+
+TEST(Alias, ZeroBiasNeverSampled) {
+  const std::vector<float> biases = {0, 5, 0, 5};
+  const AliasTable table(biases);
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 5000; ++i) {
+    const auto idx = table.sample(rng);
+    EXPECT_TRUE(idx == 1 || idx == 3);
+  }
+}
+
+TEST(Alias, RejectsDegenerateInput) {
+  AliasTable table;
+  EXPECT_THROW(table.build(std::vector<float>{}), CheckError);
+  EXPECT_THROW(table.build(std::vector<float>{0, 0}), CheckError);
+  EXPECT_THROW(table.build(std::vector<float>{-1, 1}), CheckError);
+}
+
+}  // namespace
+}  // namespace csaw

@@ -1,0 +1,101 @@
+#include "util/bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace csaw {
+namespace {
+
+class AtomicBitmapLayouts : public ::testing::TestWithParam<BitmapLayout> {};
+
+TEST_P(AtomicBitmapLayouts, TestAndSetSemantics) {
+  AtomicBitmap bm(100, GetParam());
+  EXPECT_FALSE(bm.test(7));
+  EXPECT_FALSE(bm.test_and_set(7));  // first set: no collision
+  EXPECT_TRUE(bm.test(7));
+  EXPECT_TRUE(bm.test_and_set(7));  // second set: collision
+}
+
+TEST_P(AtomicBitmapLayouts, AllBitsIndependent) {
+  // Injectivity of the layout: setting bit i must affect bit i only.
+  for (std::size_t n : {1u, 7u, 8u, 9u, 31u, 64u, 100u, 257u}) {
+    AtomicBitmap bm(n, GetParam());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_FALSE(bm.test_and_set(i)) << "n=" << n << " i=" << i;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        EXPECT_FALSE(bm.test(j)) << "setting " << i << " disturbed " << j;
+      }
+    }
+  }
+}
+
+TEST_P(AtomicBitmapLayouts, ResetClearsAndResizes) {
+  AtomicBitmap bm(16, GetParam());
+  bm.test_and_set(3);
+  bm.reset(16);
+  EXPECT_FALSE(bm.test(3));
+  bm.reset(300);  // grow
+  EXPECT_EQ(bm.size(), 300u);
+  for (std::size_t i = 0; i < 300; ++i) EXPECT_FALSE(bm.test(i));
+  bm.reset(8);  // shrink reuses allocation
+  EXPECT_EQ(bm.size(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, AtomicBitmapLayouts,
+                         ::testing::Values(BitmapLayout::kContiguous,
+                                           BitmapLayout::kStrided),
+                         [](const auto& info) {
+                           return info.param == BitmapLayout::kContiguous
+                                      ? "Contiguous"
+                                      : "Strided";
+                         });
+
+TEST(AtomicBitmap, ContiguousPacksAdjacentBitsTogether) {
+  AtomicBitmap bm(64, BitmapLayout::kContiguous);
+  // Fig. 7(a): bits 0..7 share word 0.
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(bm.word_index(i), 0u);
+  EXPECT_EQ(bm.word_index(8), 1u);
+}
+
+TEST(AtomicBitmap, StridedScattersAdjacentBits) {
+  AtomicBitmap bm(64, BitmapLayout::kStrided);
+  // Fig. 7(b): adjacent candidates land in different 8-bit words.
+  for (std::size_t i = 0; i + 1 < 8; ++i) {
+    EXPECT_NE(bm.word_index(i), bm.word_index(i + 1));
+  }
+}
+
+TEST(AtomicBitmap, StridedReducesSameWordPairs) {
+  // Count adjacent pairs sharing a word across a realistic pool size: the
+  // strided layout must have none until wrap-around, the contiguous one
+  // has 7 per 8.
+  const std::size_t n = 200;
+  AtomicBitmap contiguous(n, BitmapLayout::kContiguous);
+  AtomicBitmap strided(n, BitmapLayout::kStrided);
+  std::size_t contiguous_pairs = 0, strided_pairs = 0;
+  for (std::size_t i = 0; i + 1 < 32; ++i) {  // one warp's worth of lanes
+    contiguous_pairs += contiguous.word_index(i) == contiguous.word_index(i + 1);
+    strided_pairs += strided.word_index(i) == strided.word_index(i + 1);
+  }
+  EXPECT_GT(contiguous_pairs, 20u);
+  EXPECT_EQ(strided_pairs, 0u);
+}
+
+TEST(Bitset, BasicOps) {
+  Bitset b(70);
+  EXPECT_EQ(b.size(), 70u);
+  EXPECT_FALSE(b.test(69));
+  b.set(69);
+  b.set(0);
+  EXPECT_TRUE(b.test(69));
+  EXPECT_EQ(b.popcount(), 2u);
+  b.clear(69);
+  EXPECT_FALSE(b.test(69));
+  EXPECT_EQ(b.popcount(), 1u);
+  b.resize(10);
+  EXPECT_EQ(b.popcount(), 0u);
+}
+
+}  // namespace
+}  // namespace csaw

@@ -1,0 +1,90 @@
+#include "util/philox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/stats.hpp"
+
+namespace csaw {
+namespace {
+
+TEST(Philox, IsDeterministic) {
+  const auto a = Philox4x32::word(42, 1, 2, 3, 4);
+  const auto b = Philox4x32::word(42, 1, 2, 3, 4);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Philox, DependsOnEveryCoordinate) {
+  const auto base = Philox4x32::word(42, 1, 2, 3, 4);
+  EXPECT_NE(base, Philox4x32::word(43, 1, 2, 3, 4));
+  EXPECT_NE(base, Philox4x32::word(42, 2, 2, 3, 4));
+  EXPECT_NE(base, Philox4x32::word(42, 1, 3, 3, 4));
+  EXPECT_NE(base, Philox4x32::word(42, 1, 2, 4, 4));
+  EXPECT_NE(base, Philox4x32::word(42, 1, 2, 3, 5));
+}
+
+TEST(Philox, Round10IsBijectiveOnSample) {
+  // A bijection never collides; check a decent sample of inputs.
+  std::set<std::uint64_t> seen;
+  const Philox4x32::Key key{0xDEADBEEF, 0xCAFEF00D};
+  for (std::uint32_t i = 0; i < 20000; ++i) {
+    const auto out = Philox4x32::round10({i, 0, i * 7, 1}, key);
+    const std::uint64_t digest =
+        (static_cast<std::uint64_t>(out[0]) << 32) ^ out[1] ^
+        (static_cast<std::uint64_t>(out[2]) << 16) ^ out[3];
+    EXPECT_TRUE(seen.insert(digest).second) << "collision at " << i;
+  }
+}
+
+TEST(Philox, UniformIsInUnitInterval) {
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    const double u = Philox4x32::uniform(7, i, 0, 0, 0);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Philox, UniformPassesChiSquare) {
+  // 16 buckets, 64k samples: expect chi-square stat near df=15.
+  const std::size_t kBuckets = 16;
+  std::vector<std::uint64_t> counts(kBuckets, 0);
+  const std::size_t kSamples = 65536;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    const double u =
+        Philox4x32::uniform(123, static_cast<std::uint32_t>(i), 9, 2, 1);
+    ++counts[static_cast<std::size_t>(u * kBuckets)];
+  }
+  const std::vector<double> expected(kBuckets, 1.0 / kBuckets);
+  // 99.9% critical value for df=15 is ~37.7.
+  EXPECT_LT(chi_square(counts, expected), 40.0);
+}
+
+TEST(Philox, StreamsAreIndependentAcrossInstances) {
+  // Correlation between two instance streams should be near zero.
+  RunningStat x, y, xy;
+  for (std::uint32_t i = 0; i < 20000; ++i) {
+    const double a = Philox4x32::uniform(1, 10, i, 0, 0);
+    const double b = Philox4x32::uniform(1, 11, i, 0, 0);
+    x.add(a);
+    y.add(b);
+    xy.add(a * b);
+  }
+  const double cov = xy.mean() - x.mean() * y.mean();
+  const double corr = cov / (x.stddev() * y.stddev());
+  EXPECT_NEAR(corr, 0.0, 0.03);
+}
+
+TEST(SplitMix64, KnownSequenceAndMix) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(mix64(0), [] {
+    std::uint64_t t = 0;
+    return splitmix64(t);
+  }());
+}
+
+}  // namespace
+}  // namespace csaw

@@ -1,0 +1,84 @@
+#include "util/prefix_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace csaw {
+namespace {
+
+std::vector<float> random_vector(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform() * 10.0);
+  return v;
+}
+
+TEST(SequentialScan, InclusiveMatchesStd) {
+  const auto in = random_vector(100, 1);
+  std::vector<float> ours(in.size()), expected(in.size());
+  inclusive_scan_seq(in, ours);
+  std::inclusive_scan(in.begin(), in.end(), expected.begin());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_NEAR(ours[i], expected[i], 1e-3) << i;
+  }
+}
+
+TEST(SequentialScan, ExclusiveShiftsByOne) {
+  const std::vector<float> in = {1, 2, 3, 4};
+  std::vector<float> out(4);
+  exclusive_scan_seq(in, out);
+  EXPECT_EQ(out, (std::vector<float>{0, 1, 3, 6}));
+}
+
+class KoggeStoneLengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KoggeStoneLengths, MatchesSequential) {
+  const std::size_t n = GetParam();
+  const auto in = random_vector(n, 77 + n);
+  std::vector<float> expected(n);
+  inclusive_scan_seq(in, expected);
+  std::vector<float> data = in;
+  kogge_stone_scan(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i], expected[i], expected[i] * 1e-5 + 1e-3) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KoggeStoneLengths,
+                         ::testing::Values(1, 2, 3, 15, 16, 31, 32, 33, 63,
+                                           64, 65, 100, 255, 256, 1000));
+
+TEST(KoggeStoneBlock, FullWarpRoundCount) {
+  std::vector<float> data(32, 1.0f);
+  const int rounds = kogge_stone_scan_block(data, 32);
+  EXPECT_EQ(rounds, 5);  // log2(32)
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_FLOAT_EQ(data[i], static_cast<float>(i + 1));
+  }
+}
+
+TEST(KoggeStoneBlock, RejectsNonPowerOfTwoWidth) {
+  std::vector<float> data(3, 1.0f);
+  EXPECT_THROW(kogge_stone_scan_block(data, 12), CheckError);
+}
+
+TEST(KoggeStoneBlock, RejectsOversizedInput) {
+  std::vector<float> data(33, 1.0f);
+  EXPECT_THROW(kogge_stone_scan_block(data, 32), CheckError);
+}
+
+TEST(KoggeStone, ChunkedRoundsScaleWithChunks) {
+  std::vector<float> one_chunk(32, 1.0f);
+  std::vector<float> four_chunks(128, 1.0f);
+  const int r1 = kogge_stone_scan(one_chunk);
+  const int r4 = kogge_stone_scan(four_chunks);
+  EXPECT_EQ(r1, 6);       // 5 scan rounds + 1 carry round
+  EXPECT_EQ(r4, 4 * r1);  // linear in chunk count
+}
+
+}  // namespace
+}  // namespace csaw

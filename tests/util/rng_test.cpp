@@ -1,0 +1,85 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace csaw {
+namespace {
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) differing += a.next() != b.next();
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Xoshiro, UniformRange) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, BoundedIsUnbiased) {
+  Xoshiro256 rng(7);
+  const std::uint64_t kBound = 10;
+  std::vector<std::uint64_t> counts(kBound, 0);
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.bounded(kBound)];
+  const std::vector<double> expected(kBound, 0.1);
+  // 99.9% critical value for df=9 is ~27.9.
+  EXPECT_LT(chi_square(counts, expected), 30.0);
+}
+
+TEST(Xoshiro, BoundedEdgeCases) {
+  Xoshiro256 rng(7);
+  EXPECT_EQ(rng.bounded(0), 0u);
+  EXPECT_EQ(rng.bounded(1), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.bounded(3), 3u);
+}
+
+TEST(Xoshiro, JumpProducesDisjointStream) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a.next() == b.next();
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(CounterStream, BoundedInRangeAndDeterministic) {
+  CounterStream s(0xABCDE);
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const auto v = s.bounded(17, i, 1, 2, 3);
+    EXPECT_LT(v, 17u);
+    EXPECT_EQ(v, s.bounded(17, i, 1, 2, 3));
+  }
+}
+
+TEST(CounterStream, BoundedUniform) {
+  CounterStream s(0x1234);
+  const std::uint32_t kBound = 8;
+  std::vector<std::uint64_t> counts(kBound, 0);
+  for (std::uint32_t i = 0; i < 80000; ++i) {
+    ++counts[s.bounded(kBound, i, 0, 0, 0)];
+  }
+  const std::vector<double> expected(kBound, 1.0 / kBound);
+  // 99.9% critical value for df=7 is ~24.3.
+  EXPECT_LT(chi_square(counts, expected), 27.0);
+}
+
+TEST(CounterStream, ZeroBound) {
+  CounterStream s(1);
+  EXPECT_EQ(s.bounded(0, 0, 0, 0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace csaw

@@ -1,0 +1,51 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+namespace csaw {
+namespace {
+
+TEST(TablePrinter, AlignsColumnsAndPrintsAllRows) {
+  TablePrinter t({"graph", "seps"});
+  t.row().cell("AM").cell(12.345, 2);
+  t.row().cell("LiveJournal").cell(std::int64_t{7});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("graph"), std::string::npos);
+  EXPECT_NE(out.find("12.35"), std::string::npos);
+  EXPECT_NE(out.find("LiveJournal"), std::string::npos);
+  // Header + 2 rows + 3 rules = 6 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+TEST(TablePrinter, RejectsArityMismatch) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), CheckError);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Env, IntAndDoubleParsing) {
+  ::setenv("CSAW_TEST_INT", "42", 1);
+  ::setenv("CSAW_TEST_DBL", "2.5", 1);
+  ::setenv("CSAW_TEST_BAD", "xyz", 1);
+  EXPECT_EQ(env_int_or("CSAW_TEST_INT", 0), 42);
+  EXPECT_EQ(env_int_or("CSAW_TEST_MISSING_XYZ", 7), 7);
+  EXPECT_DOUBLE_EQ(env_double_or("CSAW_TEST_DBL", 0.0), 2.5);
+  EXPECT_THROW(env_int("CSAW_TEST_BAD"), std::runtime_error);
+  ::unsetenv("CSAW_TEST_INT");
+  ::unsetenv("CSAW_TEST_DBL");
+  ::unsetenv("CSAW_TEST_BAD");
+}
+
+}  // namespace
+}  // namespace csaw

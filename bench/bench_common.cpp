@@ -78,6 +78,17 @@ sim::DeviceParams oom_device_params(const DatasetSpec& spec,
   return params;
 }
 
+SamplerOptions oom_bench_options(const DatasetSpec& spec,
+                                 const CsrGraph& graph) {
+  SamplerOptions options;
+  options.mode = ExecutionMode::kOutOfMemory;
+  options.device_params = oom_device_params(spec, graph);
+  options.num_partitions = 4;
+  options.resident_partitions = 2;
+  options.num_streams = 2;
+  return options;
+}
+
 void print_banner(const std::string& title, const std::string& paper_ref) {
   std::cout << "\n=== " << title << " ===\n"
             << "Regenerates: " << paper_ref << "\n"

@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "algorithms/registry.hpp"
-#include "core/engine.hpp"
+#include "core/sampler.hpp"
 #include "graph/csr.hpp"
 #include "graph/datasets.hpp"
 #include "select/its.hpp"
@@ -58,6 +58,13 @@ void print_banner(const std::string& title, const std::string& paper_ref);
 /// (see DeviceParams::cycles_per_round).
 sim::DeviceParams oom_device_params(const DatasetSpec& spec,
                                     const CsrGraph& graph);
+
+/// SamplerOptions for the out-of-memory benches (the paper's Figs. 13-15
+/// setup: explicit paging, 4 partitions, 2 resident, 2 streams, link
+/// scaled by oom_device_params). Small stand-ins are *pretended* not to
+/// fit, as in the paper, hence the explicit mode.
+SamplerOptions oom_bench_options(const DatasetSpec& spec,
+                                 const CsrGraph& graph);
 
 /// The four in-memory SELECT configurations of Fig. 10's legend.
 struct InMemConfig {

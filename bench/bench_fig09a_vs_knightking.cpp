@@ -11,7 +11,6 @@
 #include "algorithms/random_walks.hpp"
 #include "baselines/knightking.hpp"
 #include "bench_common.hpp"
-#include "multigpu/multi_device.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -35,17 +34,19 @@ int main() {
         knightking_biased_walk(g, seeds, env.walk_length, env.seed);
 
     auto run_devices = [&](std::uint32_t devices) {
-      MultiDeviceConfig config;
-      config.num_devices = devices;
-      config.out_of_memory = spec.exceeds_device_memory;
-      config.oom.num_partitions = 4;
-      config.oom.resident_partitions = 2;
+      SamplerOptions options;
+      options.num_devices = devices;  // kAuto: >1 resolves to multi-device
       // FR/TW run the out-of-memory engine at bench-scale transfer costs:
       // paper-scaled transfers would dominate a scaled-down walk entirely
       // (every step changes partitions), hiding the compute comparison
       // this figure is about. See EXPERIMENTS.md for the discussion.
-      return run_multi_device_single_seed(g, setup.policy, setup.spec, seeds,
-                                          config);
+      options.memory_assumption = spec.exceeds_device_memory
+                                      ? MemoryAssumption::kExceeds
+                                      : MemoryAssumption::kFits;
+      options.num_partitions = 4;
+      options.resident_partitions = 2;
+      Sampler sampler(g, setup, options);
+      return sampler.run_single_seed(seeds);
     };
     const auto one = run_devices(1);
     const auto six = run_devices(6);

@@ -9,7 +9,6 @@
 #include "algorithms/mdrw.hpp"
 #include "baselines/graphsaint.hpp"
 #include "bench_common.hpp"
-#include "multigpu/multi_device.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -42,12 +41,13 @@ int main() {
     const auto pools =
         bench::make_pools(g, env.mdrw_instances, pool_size, env.seed);
     auto run_devices = [&](std::uint32_t devices) {
-      MultiDeviceConfig config;
-      config.num_devices = devices;
-      // MDRW needs whole-pool frontier state: in-memory engine only (the
+      // MDRW needs whole-pool frontier state: auto mode selection sees
+      // select_frontier and pins the in-memory engine per device (the
       // paper likewise benchmarks MDRW on the in-memory path).
-      config.out_of_memory = false;
-      return run_multi_device(g, setup.policy, setup.spec, pools, config);
+      SamplerOptions options;
+      options.num_devices = devices;
+      Sampler sampler(g, setup, options);
+      return sampler.run(pools);
     };
     const auto one = run_devices(1);
     const auto six = run_devices(6);

@@ -23,18 +23,16 @@ int main() {
 
     for (const DatasetSpec& spec : in_memory_datasets()) {
       const CsrGraph& g = bench::dataset(spec.abbr);
-      CsrGraphView view(g);
       const auto seeds =
           bench::make_seeds(g, env.sampling_instances, env.seed);
 
       std::vector<double> seconds;
       for (const bench::InMemConfig& config : bench::fig10_configs()) {
-        EngineConfig engine_config;
-        engine_config.select = config.select;
-        SamplingEngine engine(view, app.setup.policy, app.setup.spec,
-                              engine_config);
-        sim::Device device;
-        seconds.push_back(engine.run_single_seed(device, seeds).sim_seconds);
+        SamplerOptions options;
+        options.mode = ExecutionMode::kInMemory;
+        options.select = config.select;
+        Sampler sampler(g, app.setup, options);
+        seconds.push_back(sampler.run_single_seed(seeds).sim_seconds);
       }
 
       auto row = table.row();

@@ -21,18 +21,16 @@ int main() {
 
     for (const DatasetSpec& spec : in_memory_datasets()) {
       const CsrGraph& g = bench::dataset(spec.abbr);
-      CsrGraphView view(g);
       const auto seeds =
           bench::make_seeds(g, env.sampling_instances, env.seed);
 
       auto iterations_with = [&](CollisionPolicy policy) {
-        EngineConfig config;
-        config.select.policy = policy;
-        config.select.detector = DetectorKind::kLinearSearch;
-        SamplingEngine engine(view, app.setup.policy, app.setup.spec,
-                              config);
-        sim::Device device;
-        const SampleRun run = engine.run_single_seed(device, seeds);
+        SamplerOptions options;
+        options.mode = ExecutionMode::kInMemory;
+        options.select.policy = policy;
+        options.select.detector = DetectorKind::kLinearSearch;
+        Sampler sampler(g, app.setup, options);
+        const RunResult run = sampler.run_single_seed(seeds);
         return run.stats.sampled_vertices == 0
                    ? 0.0
                    : static_cast<double>(run.stats.select_iterations) /

@@ -21,19 +21,16 @@ int main() {
 
     for (const DatasetSpec& spec : in_memory_datasets()) {
       const CsrGraph& g = bench::dataset(spec.abbr);
-      CsrGraphView view(g);
       const auto seeds =
           bench::make_seeds(g, env.sampling_instances, env.seed);
 
       auto searches_with = [&](DetectorKind detector) {
-        EngineConfig config;
-        config.select.policy = CollisionPolicy::kBipartiteRegionSearch;
-        config.select.detector = detector;
-        SamplingEngine engine(view, app.setup.policy, app.setup.spec,
-                              config);
-        sim::Device device;
-        return engine.run_single_seed(device, seeds)
-            .stats.collision_searches;
+        SamplerOptions options;
+        options.mode = ExecutionMode::kInMemory;
+        options.select.policy = CollisionPolicy::kBipartiteRegionSearch;
+        options.select.detector = detector;
+        Sampler sampler(g, app.setup, options);
+        return sampler.run_single_seed(seeds).stats.collision_searches;
       };
 
       const auto baseline = searches_with(DetectorKind::kLinearSearch);

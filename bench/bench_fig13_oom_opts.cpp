@@ -8,7 +8,6 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "oom/oom_engine.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -52,16 +51,12 @@ int main() {
 
       std::vector<double> seconds;
       for (const OomToggle& toggle : toggles()) {
-        OomConfig config;
-        config.num_partitions = 4;
-        config.resident_partitions = 2;
-        config.num_streams = 2;
-        config.batched = toggle.batched;
-        config.workload_aware = toggle.workload_aware;
-        config.block_balancing = toggle.balancing;
-        OomEngine engine(g, app.setup.policy, app.setup.spec, config);
-        sim::Device device(0, bench::oom_device_params(spec, g));
-        seconds.push_back(engine.run_single_seed(device, seeds).sim_seconds);
+        SamplerOptions options = bench::oom_bench_options(spec, g);
+        options.oom_batched = toggle.batched;
+        options.oom_workload_aware = toggle.workload_aware;
+        options.oom_block_balancing = toggle.balancing;
+        Sampler sampler(g, app.setup, options);
+        seconds.push_back(sampler.run_single_seed(seeds).sim_seconds);
       }
 
       auto row = table.row();

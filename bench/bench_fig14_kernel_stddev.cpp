@@ -6,7 +6,6 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "oom/oom_engine.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -27,17 +26,12 @@ int main() {
           bench::make_seeds(g, env.sampling_instances, env.seed);
 
       auto imbalance = [&](bool batched, bool balancing) {
-        OomConfig config;
-        config.num_partitions = 4;
-        config.resident_partitions = 2;
-        config.num_streams = 2;
-        config.batched = batched;
-        config.workload_aware = true;
-        config.block_balancing = balancing;
-        OomEngine engine(g, app.setup.policy, app.setup.spec, config);
-        sim::Device device(0, bench::oom_device_params(spec, g));
-        return engine.run_single_seed(device, seeds)
-            .metrics.kernel_imbalance;
+        SamplerOptions options = bench::oom_bench_options(spec, g);
+        options.oom_batched = batched;
+        options.oom_workload_aware = true;
+        options.oom_block_balancing = balancing;
+        Sampler sampler(g, app.setup, options);
+        return sampler.run_single_seed(seeds).oom->kernel_imbalance;
       };
 
       table.row()

@@ -5,7 +5,6 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "oom/oom_engine.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -25,17 +24,12 @@ int main() {
           bench::make_seeds(g, env.sampling_instances, env.seed);
 
       auto transfers = [&](bool workload_aware) {
-        OomConfig config;
-        config.num_partitions = 4;
-        config.resident_partitions = 2;
-        config.num_streams = 2;
-        config.batched = true;
-        config.workload_aware = workload_aware;
-        config.block_balancing = true;
-        OomEngine engine(g, app.setup.policy, app.setup.spec, config);
-        sim::Device device(0, bench::oom_device_params(spec, g));
-        return engine.run_single_seed(device, seeds)
-            .metrics.partition_transfers;
+        SamplerOptions options = bench::oom_bench_options(spec, g);
+        options.oom_batched = true;
+        options.oom_workload_aware = workload_aware;
+        options.oom_block_balancing = true;
+        Sampler sampler(g, app.setup, options);
+        return sampler.run_single_seed(seeds).oom->partition_transfers;
       };
 
       const auto active = transfers(false);

@@ -7,7 +7,7 @@
 
 #include "algorithms/neighbor_sampling.hpp"
 #include "bench_common.hpp"
-#include "core/engine.hpp"
+#include "core/sampler.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -26,17 +26,16 @@ int main() {
 
   for (const DatasetSpec& spec : paper_datasets()) {
     const CsrGraph& g = bench::dataset(spec.abbr);
-    CsrGraphView view(g);
     const auto seeds = bench::make_seeds(g, instances, env.seed);
 
     auto row = table.row();
     row.cell(spec.abbr);
     for (std::size_t i = 0; i < sizes.size(); ++i) {
-      auto setup = biased_neighbor_sampling(sizes[i], /*depth=*/3);
-      SamplingEngine engine(view, setup.policy, setup.spec);
-      sim::Device device;
-      const double ms =
-          engine.run_single_seed(device, seeds).sim_seconds * 1e3;
+      SamplerOptions options;
+      options.mode = ExecutionMode::kInMemory;
+      Sampler sampler(g, biased_neighbor_sampling(sizes[i], /*depth=*/3),
+                      options);
+      const double ms = sampler.run_single_seed(seeds).sim_seconds * 1e3;
       averages[i] += ms / static_cast<double>(paper_datasets().size());
       row.cell(ms, 2);
     }

@@ -5,7 +5,6 @@
 
 #include "algorithms/neighbor_sampling.hpp"
 #include "bench_common.hpp"
-#include "multigpu/multi_device.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -36,11 +35,10 @@ int main() {
 
       std::vector<double> seconds;
       for (std::uint32_t devices = 1; devices <= 6; ++devices) {
-        MultiDeviceConfig config;
-        config.num_devices = devices;
-        const auto run = run_multi_device_single_seed(
-            g, setup.policy, setup.spec, seeds, config);
-        seconds.push_back(run.sim_seconds);
+        SamplerOptions options;
+        options.num_devices = devices;
+        Sampler sampler(g, setup, options);
+        seconds.push_back(sampler.run_single_seed(seeds).sim_seconds);
       }
 
       auto row = table.row();

@@ -16,7 +16,6 @@ int main() {
                       "Table I (algorithm taxonomy) + §III-D case study");
 
   const CsrGraph g = generate_rmat(2048, 16384, 1234);
-  CsrGraphView view(g);
 
   TablePrinter table({"algorithm", "bias", "#neighbors", "NeighborSize",
                       "engine", "sampled edges", "status"});
@@ -24,17 +23,16 @@ int main() {
   for (AlgorithmId id : all_algorithms()) {
     const AlgorithmInfo info = algorithm_info(id);
     const std::uint32_t depth = info.neighbors_per_step == "1" ? 16 : 2;
-    AlgorithmSetup setup = make_algorithm(id, depth);
-    SamplingEngine engine(view, setup.policy, setup.spec);
-    sim::Device device;
+    // The registry constructor: an AlgorithmId is all the facade needs.
+    Sampler sampler(g, id, depth);
 
-    SampleRun run;
-    if (setup.spec.select_frontier) {
+    RunResult run;
+    if (sampler.spec().select_frontier) {
       const auto pools = bench::make_pools(g, 32, 8, 7);
-      run = engine.run(device, pools);
+      run = sampler.run(pools);
     } else {
       const auto seeds = bench::make_seeds(g, 32, 7);
-      run = engine.run_single_seed(device, seeds);
+      run = sampler.run_single_seed(seeds);
     }
 
     table.row()

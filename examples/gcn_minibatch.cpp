@@ -12,7 +12,7 @@
 #include "algorithms/mdrw.hpp"
 #include "algorithms/one_pass.hpp"
 #include "analysis/metrics.hpp"
-#include "core/engine.hpp"
+#include "core/sampler.hpp"
 #include "graph/generators.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -28,11 +28,9 @@ int main() {
   const std::uint32_t kPoolSize = 64;
   const std::uint32_t kSteps = 512;
 
-  // MDRW minibatches through the C-SAW engine.
-  auto setup = multi_dimensional_random_walk(kSteps);
-  CsrGraphView view(graph);
-  SamplingEngine engine(view, setup.policy, setup.spec);
-  sim::Device device;
+  // MDRW minibatches through the C-SAW facade (the frontier-pool spec is
+  // in-memory-only; kAuto resolves that on its own).
+  Sampler sampler(graph, multi_dimensional_random_walk(kSteps));
 
   Xoshiro256 rng(77);
   std::vector<std::vector<VertexId>> pools(kBatches);
@@ -42,7 +40,7 @@ int main() {
       v = static_cast<VertexId>(rng.bounded(graph.num_vertices()));
     }
   }
-  const SampleRun run = engine.run(device, pools);
+  const RunResult run = sampler.run(pools);
 
   TablePrinter table({"batch", "vertices", "edges", "avg degree",
                       "KS vs full", "KS uniform-node"});

@@ -10,7 +10,7 @@
 #include <map>
 
 #include "algorithms/node2vec.hpp"
-#include "core/engine.hpp"
+#include "core/sampler.hpp"
 #include "graph/generators.hpp"
 #include "util/table.hpp"
 
@@ -24,7 +24,7 @@ struct CorpusStats {
   std::uint64_t cooccurrences = 0;
 };
 
-CorpusStats corpus_stats(const CsrGraph& graph, const SampleRun& run,
+CorpusStats corpus_stats(const CsrGraph& graph, const RunResult& run,
                          std::uint32_t window) {
   CorpusStats stats;
   std::uint64_t steps = 0, revisits = 0;
@@ -82,12 +82,9 @@ int main() {
 
   TablePrinter table({"p", "q", "flavor", "return rate", "distinct/walk",
                       "skipgram pairs", "sim time ms"});
-  CsrGraphView view(graph);
   for (const auto& config : configs) {
-    auto setup = node2vec(kWalkLength, config.p, config.q);
-    SamplingEngine engine(view, setup.policy, setup.spec);
-    sim::Device device;
-    const SampleRun run = engine.run_single_seed(device, seeds);
+    Sampler sampler(graph, node2vec(kWalkLength, config.p, config.q));
+    const RunResult run = sampler.run_single_seed(seeds);
     const CorpusStats stats = corpus_stats(graph, run, /*window=*/5);
 
     table.row()

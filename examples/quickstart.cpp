@@ -4,12 +4,18 @@
 //  2. Pick an algorithm — a prepackaged one from `algorithms/`, or write
 //     your own Policy with the three API hooks (VERTEXBIAS, EDGEBIAS,
 //     UPDATE).
-//  3. Run it on a simulated device and read the per-instance samples.
+//  3. Hand both to `csaw::Sampler` and read the per-instance samples.
+//
+// The Sampler is the single entry point for every execution mode: it
+// inspects the spec and the simulated device-memory budget and picks the
+// in-memory, out-of-memory, or multi-device backend on its own
+// (SamplerOptions::mode = kAuto, the default). The decision — and why it
+// was made — is available from sampler.decision().
 #include <iostream>
 
 #include "algorithms/neighbor_sampling.hpp"
 #include "algorithms/random_walks.hpp"
-#include "core/engine.hpp"
+#include "core/sampler.hpp"
 #include "graph/generators.hpp"
 
 int main() {
@@ -18,15 +24,12 @@ int main() {
   // The paper's Fig. 1 toy graph: 13 vertices, v8's neighbors have
   // degrees {3,6,2,2,2}.
   const CsrGraph graph = make_paper_toy_graph();
-  CsrGraphView view(graph);
 
   // --- A prepackaged algorithm: 8-step unbiased random walks.
   {
-    auto setup = simple_random_walk(/*length=*/8);
-    SamplingEngine engine(view, setup.policy, setup.spec);
-    sim::Device device;
+    Sampler sampler(graph, simple_random_walk(/*length=*/8));
     const std::vector<VertexId> seeds = {8, 0, 4};
-    const SampleRun run = engine.run_single_seed(device, seeds);
+    const RunResult run = sampler.run_single_seed(seeds);
 
     std::cout << "simple random walks:\n";
     for (std::uint32_t i = 0; i < seeds.size(); ++i) {
@@ -34,10 +37,14 @@ int main() {
       for (const Edge& e : run.samples.edges(i)) std::cout << " -> " << e.dst;
       std::cout << "\n";
     }
+    std::cout << "execution mode: " << to_string(run.mode) << " ("
+              << run.mode_reason << ")\n";
   }
 
   // --- A custom algorithm in three hooks: degree-biased neighbor
-  // sampling that refuses to revisit sampled vertices.
+  // sampling that refuses to revisit sampled vertices. The hooks never
+  // mention an execution mode — the same Policy runs unchanged on the
+  // in-memory, out-of-memory and multi-device backends.
   {
     Policy policy;
     policy.edge_bias = [](const GraphView& g, const EdgeRef& e,
@@ -52,10 +59,9 @@ int main() {
     spec.depth = 2;
     spec.filter_visited = true;
 
-    SamplingEngine engine(view, policy, spec);
-    sim::Device device;
-    const SampleRun run =
-        engine.run_single_seed(device, std::vector<VertexId>{8});
+    Sampler sampler(graph, policy, spec);
+    const RunResult run =
+        sampler.run_single_seed(std::vector<VertexId>{8});
 
     std::cout << "custom biased sampler from v8 (" << run.sampled_edges()
               << " edges):\n";
@@ -64,6 +70,21 @@ int main() {
     }
     std::cout << "simulated device time: " << run.sim_seconds * 1e6
               << " us, SEPS: " << run.seps() << "\n";
+  }
+
+  // --- Serving-style batched execution: stream many walk instances
+  // through the backend in chunks. The counter-based RNG keeps the
+  // samples byte-identical to one monolithic run.
+  {
+    Sampler sampler(graph, simple_random_walk(/*length=*/4));
+    std::vector<VertexId> seeds(64);
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      seeds[i] = static_cast<VertexId>(i % graph.num_vertices());
+    }
+    const RunResult run =
+        sampler.run_batches_single_seed(seeds, /*batch_size=*/16);
+    std::cout << "batched run: " << run.sampled_edges() << " edges over "
+              << seeds.size() << " instances in batches of 16\n";
   }
   return 0;
 }

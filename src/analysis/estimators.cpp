@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "algorithms/random_walks.hpp"
+#include "core/sampler.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -18,18 +19,16 @@ void walk_positions(const CsrGraph& graph, std::uint32_t walks,
                     std::uint64_t seed, Visit&& visit) {
   CSAW_CHECK(burn_in < length);
   auto setup = simple_random_walk(length);
-  CsrGraphView view(graph);
-  EngineConfig config;
-  config.seed = seed;
-  SamplingEngine engine(view, setup.policy, setup.spec, config);
-  sim::Device device;
+  SamplerOptions options;
+  options.seed = seed;
+  Sampler sampler(graph, setup, options);
 
   Xoshiro256 rng(seed ^ 0x5EEDull);
   std::vector<VertexId> seeds(walks);
   for (auto& s : seeds) {
     s = static_cast<VertexId>(rng.bounded(graph.num_vertices()));
   }
-  const SampleRun run = engine.run_single_seed(device, seeds);
+  const RunResult run = sampler.run_single_seed(seeds);
 
   for (std::uint32_t w = 0; w < walks; ++w) {
     const auto& path = run.samples.edges(w);
@@ -109,14 +108,12 @@ std::vector<double> estimate_ppr(const CsrGraph& graph, VertexId source,
                                  std::uint32_t length, std::uint64_t seed) {
   CSAW_CHECK(source < graph.num_vertices());
   auto setup = random_walk_with_restart(length, alpha);
-  CsrGraphView view(graph);
-  EngineConfig config;
-  config.seed = seed;
-  SamplingEngine engine(view, setup.policy, setup.spec, config);
-  sim::Device device;
+  SamplerOptions options;
+  options.seed = seed;
+  Sampler sampler(graph, setup, options);
 
   const std::vector<VertexId> seeds(walks, source);
-  const SampleRun run = engine.run_single_seed(device, seeds);
+  const RunResult run = sampler.run_single_seed(seeds);
 
   std::vector<double> estimate(graph.num_vertices(), 0.0);
   std::uint64_t positions = 0;

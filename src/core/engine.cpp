@@ -210,11 +210,7 @@ SampleRun SamplingEngine::run(sim::Device& device,
 
 SampleRun SamplingEngine::run_single_seed(sim::Device& device,
                                           std::span<const VertexId> seeds) {
-  std::vector<std::vector<VertexId>> per_instance(seeds.size());
-  for (std::size_t i = 0; i < seeds.size(); ++i) {
-    per_instance[i] = {seeds[i]};
-  }
-  return run(device, per_instance);
+  return run(device, expand_single_seeds(seeds));
 }
 
 void SamplingEngine::select_frontiers(sim::Device& device,

@@ -8,6 +8,7 @@
 
 #include "core/instance.hpp"
 #include "core/policy.hpp"
+#include "core/run_result.hpp"
 #include "core/sample_store.hpp"
 #include "gpusim/device.hpp"
 #include "select/its.hpp"
@@ -79,7 +80,8 @@ struct EngineConfig {
   std::uint32_t instance_id_offset = 0;
 };
 
-/// Result of one sampling run.
+/// Result of one in-memory engine run. Prefer csaw::Sampler (sampler.hpp),
+/// which returns the unified RunResult regardless of execution mode.
 struct SampleRun {
   SampleStore samples;
   /// Simulated device seconds spent in sampling kernels.
@@ -88,11 +90,9 @@ struct SampleRun {
   sim::KernelStats stats;
 
   std::uint64_t sampled_edges() const { return samples.total_edges(); }
-  /// Sampled edges per second, the paper's SEPS metric (§VI).
+  /// The paper's SEPS metric (§VI).
   double seps() const {
-    return sim_seconds > 0.0
-               ? static_cast<double>(samples.total_edges()) / sim_seconds
-               : 0.0;
+    return sampled_edges_per_second(samples.total_edges(), sim_seconds);
   }
 };
 

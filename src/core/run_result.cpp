@@ -1,0 +1,48 @@
+#include "core/run_result.hpp"
+
+namespace csaw {
+
+std::string to_string(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kAuto:
+      return "auto";
+    case ExecutionMode::kInMemory:
+      return "in-memory";
+    case ExecutionMode::kOutOfMemory:
+      return "out-of-memory";
+    case ExecutionMode::kMultiDevice:
+      return "multi-device";
+  }
+  return "unknown";
+}
+
+void OomMetrics::accumulate(const OomMetrics& other) noexcept {
+  const double weight = static_cast<double>(scheduling_rounds) +
+                        static_cast<double>(other.scheduling_rounds);
+  if (weight > 0.0) {
+    kernel_imbalance =
+        (kernel_imbalance * static_cast<double>(scheduling_rounds) +
+         other.kernel_imbalance *
+             static_cast<double>(other.scheduling_rounds)) /
+        weight;
+  }
+  partition_transfers += other.partition_transfers;
+  bytes_transferred += other.bytes_transferred;
+  scheduling_rounds += other.scheduling_rounds;
+  kernel_launches += other.kernel_launches;
+}
+
+double sampled_edges_per_second(std::uint64_t edges, double seconds) {
+  return seconds > 0.0 ? static_cast<double>(edges) / seconds : 0.0;
+}
+
+std::vector<std::vector<VertexId>> expand_single_seeds(
+    std::span<const VertexId> seeds) {
+  std::vector<std::vector<VertexId>> per_instance(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    per_instance[i] = {seeds[i]};
+  }
+  return per_instance;
+}
+
+}  // namespace csaw

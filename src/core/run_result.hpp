@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sample_store.hpp"
+#include "gpusim/cost_model.hpp"
+
+namespace csaw {
+
+/// How a sampling run executes. Users normally leave the facade on kAuto
+/// and never see the execution mode (the paper's API promise, §IV); the
+/// explicit values exist for benches that isolate one backend.
+enum class ExecutionMode {
+  /// Pick the backend from the spec's in-memory-only flags and the CSR
+  /// footprint vs. the simulated device-memory budget.
+  kAuto,
+  /// Whole graph resident on one device (paper §IV).
+  kInMemory,
+  /// Partitioned residency paging on one device (paper §V).
+  kOutOfMemory,
+  /// Disjoint instance groups across several devices (paper §V-D); each
+  /// device runs the in-memory or out-of-memory backend.
+  kMultiDevice,
+};
+
+/// Human-readable mode name ("auto", "in-memory", ...).
+std::string to_string(ExecutionMode mode);
+
+/// Metrics of the out-of-memory backend, regenerating Figs. 13-15.
+struct OomMetrics {
+  /// Host-to-device partition copies (Fig. 15).
+  std::size_t partition_transfers = 0;
+  std::uint64_t bytes_transferred = 0;
+  /// Mean over scheduling rounds of the coefficient of variation of
+  /// per-stream kernel time — the workload-imbalance measure of Fig. 14
+  /// (0 = perfectly balanced kernels).
+  double kernel_imbalance = 0.0;
+  /// Number of scheduling rounds executed.
+  std::size_t scheduling_rounds = 0;
+  /// Number of kernel launches.
+  std::size_t kernel_launches = 0;
+
+  /// Accumulates counters; kernel_imbalance is averaged weighted by
+  /// scheduling_rounds (multi-device and batched runs).
+  void accumulate(const OomMetrics& other) noexcept;
+};
+
+/// Sampled edges per second, the paper's SEPS metric (§VI). Shared by
+/// every run-result type so the definition lives in exactly one place.
+double sampled_edges_per_second(std::uint64_t edges, double seconds);
+
+/// Expands one seed vertex per instance into the seeds-per-instance shape
+/// every run entry point takes — the shared body of the run_single_seed
+/// convenience wrappers.
+std::vector<std::vector<VertexId>> expand_single_seeds(
+    std::span<const VertexId> seeds);
+
+/// Result of one sampling run through the csaw::Sampler facade: the same
+/// shape regardless of which backend executed it.
+struct RunResult {
+  SampleStore samples;
+  /// Simulated makespan. In-memory: device seconds in sampling kernels.
+  /// Out-of-memory: includes partition transfers (the paper's OOM SEPS
+  /// definition). Multi-device: the slowest device. Batched: the sum over
+  /// sequential batches.
+  double sim_seconds = 0.0;
+  /// Per-device simulated seconds; one entry for single-device modes.
+  std::vector<double> device_seconds;
+  /// Aggregated kernel stats over the run (all devices).
+  sim::KernelStats stats;
+  /// The mode that actually executed (never kAuto).
+  ExecutionMode mode = ExecutionMode::kInMemory;
+  /// Why that mode was chosen — auto-selection records its reasoning,
+  /// including fallbacks (e.g. an in-memory-only spec on an oversized
+  /// graph).
+  std::string mode_reason;
+  /// Present when the out-of-memory backend ran on any device.
+  std::optional<OomMetrics> oom;
+
+  std::uint64_t sampled_edges() const { return samples.total_edges(); }
+  double seps() const {
+    return sampled_edges_per_second(samples.total_edges(), sim_seconds);
+  }
+};
+
+}  // namespace csaw

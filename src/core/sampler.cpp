@@ -1,0 +1,356 @@
+#include "core/sampler.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace csaw {
+namespace {
+
+double to_mib(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+/// Whether auto selection should page the graph, plus the footprint text
+/// used in the decision reason.
+bool graph_exceeds_budget(const CsrGraph& graph, const SamplerOptions& options,
+                          std::ostringstream& why) {
+  switch (options.memory_assumption) {
+    case MemoryAssumption::kExceeds:
+      why << "graph assumed to exceed device memory";
+      return true;
+    case MemoryAssumption::kFits:
+      why << "graph assumed to fit device memory";
+      return false;
+    case MemoryAssumption::kMeasure:
+      break;
+  }
+  const double budget = options.memory_budget_fraction *
+                        static_cast<double>(options.device_params.memory_bytes);
+  const bool exceeds = static_cast<double>(graph.bytes()) > budget;
+  why << "CSR footprint " << to_mib(graph.bytes()) << " MiB "
+      << (exceeds ? "exceeds" : "fits") << " "
+      << options.memory_budget_fraction * 100.0 << "% of "
+      << to_mib(options.device_params.memory_bytes) << " MiB device memory";
+  return exceeds;
+}
+
+/// The per-device backend auto selection: in-memory unless the graph
+/// exceeds the budget and the spec tolerates paged residency.
+void resolve_backend(const CsrGraph& graph, const SamplingSpec& spec,
+                     const SamplerOptions& options, ModeDecision& decision,
+                     std::ostringstream& why) {
+  const std::string restriction = in_memory_only_reason(spec);
+  std::ostringstream footprint;
+  const bool exceeds = graph_exceeds_budget(graph, options, footprint);
+  if (!restriction.empty()) {
+    decision.out_of_memory = false;
+    why << "in-memory engine: " << restriction;
+    if (exceeds) {
+      why << " — falling back despite " << footprint.str()
+          << "; expect host-fallback traffic on a real device";
+    }
+    return;
+  }
+  decision.out_of_memory = exceeds;
+  if (exceeds) {
+    why << "out-of-memory engine (" << options.num_partitions
+        << " partitions, " << options.resident_partitions
+        << " resident): " << footprint.str();
+  } else {
+    why << "in-memory engine: " << footprint.str();
+  }
+}
+
+ModeDecision resolve_mode(const CsrGraph& graph, const SamplingSpec& spec,
+                          const SamplerOptions& options) {
+  CSAW_CHECK(options.num_devices >= 1);
+  CSAW_CHECK(options.memory_budget_fraction > 0.0);
+
+  ModeDecision decision;
+  decision.requested = options.mode;
+  std::ostringstream why;
+
+  switch (options.mode) {
+    case ExecutionMode::kInMemory:
+      CSAW_CHECK_MSG(options.num_devices == 1,
+                     "ExecutionMode::kInMemory is single-device; request "
+                     "kMultiDevice (or kAuto) for num_devices = "
+                         << options.num_devices);
+      decision.resolved = ExecutionMode::kInMemory;
+      decision.out_of_memory = false;
+      why << "in-memory engine requested explicitly";
+      break;
+
+    case ExecutionMode::kOutOfMemory: {
+      CSAW_CHECK_MSG(options.num_devices == 1,
+                     "ExecutionMode::kOutOfMemory is single-device; request "
+                     "kMultiDevice (or kAuto) for num_devices = "
+                         << options.num_devices);
+      const std::string restriction = in_memory_only_reason(spec);
+      CSAW_CHECK_MSG(restriction.empty(),
+                     "ExecutionMode::kOutOfMemory rejected: " << restriction);
+      decision.resolved = ExecutionMode::kOutOfMemory;
+      decision.out_of_memory = true;
+      why << "out-of-memory engine requested explicitly ("
+          << options.num_partitions << " partitions, "
+          << options.resident_partitions << " resident)";
+      break;
+    }
+
+    case ExecutionMode::kMultiDevice:
+      decision.resolved = ExecutionMode::kMultiDevice;
+      why << options.num_devices << " devices requested explicitly; "
+          << "per-device ";
+      resolve_backend(graph, spec, options, decision, why);
+      break;
+
+    case ExecutionMode::kAuto:
+      if (options.num_devices > 1) {
+        decision.resolved = ExecutionMode::kMultiDevice;
+        why << "auto: " << options.num_devices
+            << " devices configured; per-device ";
+        resolve_backend(graph, spec, options, decision, why);
+      } else {
+        why << "auto: ";
+        resolve_backend(graph, spec, options, decision, why);
+        decision.resolved = decision.out_of_memory
+                                ? ExecutionMode::kOutOfMemory
+                                : ExecutionMode::kInMemory;
+      }
+      break;
+  }
+
+  decision.reason = why.str();
+  return decision;
+}
+
+/// Folds one group's (device's or batch's) result into the whole-run
+/// result at global instance offset `begin`; device_seconds stay with the
+/// caller (makespan vs. sequential-sum semantics differ).
+void merge_group(RunResult& into, const RunResult& part, std::uint32_t begin,
+                 std::uint32_t end, OomMetrics& oom_total, bool& any_oom) {
+  for (std::uint32_t i = begin; i < end; ++i) {
+    for (const Edge& e : part.samples.edges(i - begin)) {
+      into.samples.add(i, e);
+    }
+  }
+  into.stats.merge(part.stats);
+  if (part.oom.has_value()) {
+    oom_total.accumulate(*part.oom);
+    any_oom = true;
+  }
+}
+
+}  // namespace
+
+std::string in_memory_only_reason(const SamplingSpec& spec) {
+  if (spec.select_frontier) {
+    return "spec selects frontiers from whole-pool state "
+           "(SamplingSpec::select_frontier)";
+  }
+  if (spec.layer_mode) {
+    return "layer sampling pools the neighbors of all frontier vertices "
+           "(SamplingSpec::layer_mode)";
+  }
+  if (spec.sample_all_neighbors) {
+    return "snowball-style specs take every neighbor "
+           "(SamplingSpec::sample_all_neighbors)";
+  }
+  if (spec.effective_branching_cap() == 0) {
+    return "unbounded branching assigns ordinal RNG slots, which "
+           "out-of-order sampling cannot reproduce (set "
+           "SamplingSpec::branching_cap)";
+  }
+  return {};
+}
+
+EngineConfig SamplerOptions::engine_config() const {
+  EngineConfig config;
+  config.select = select;
+  config.seed = seed;
+  config.instance_id_offset = instance_id_offset;
+  return config;
+}
+
+OomConfig SamplerOptions::oom_config() const {
+  OomConfig config;
+  config.num_partitions = num_partitions;
+  config.resident_partitions = resident_partitions;
+  config.num_streams = num_streams;
+  config.batched = oom_batched;
+  config.workload_aware = oom_workload_aware;
+  config.block_balancing = oom_block_balancing;
+  config.unbatched_gang_size = oom_unbatched_gang_size;
+  config.engine = engine_config();
+  return config;
+}
+
+Sampler::Sampler(const CsrGraph& graph, Policy policy, SamplingSpec spec,
+                 SamplerOptions options)
+    : graph_(&graph),
+      policy_(std::move(policy)),
+      spec_(std::move(spec)),
+      options_(std::move(options)),
+      decision_(resolve_mode(graph, spec_, options_)) {}
+
+Sampler::Sampler(const CsrGraph& graph, const AlgorithmSetup& setup,
+                 SamplerOptions options)
+    : Sampler(graph, setup.policy, setup.spec, std::move(options)) {}
+
+Sampler::Sampler(const CsrGraph& graph, AlgorithmId id,
+                 std::uint32_t depth_or_length, std::uint32_t neighbor_size,
+                 SamplerOptions options)
+    : Sampler(graph, make_algorithm(id, depth_or_length, neighbor_size),
+              std::move(options)) {}
+
+RunResult Sampler::run(std::span<const std::vector<VertexId>> seeds) {
+  return dispatch(seeds, options_.instance_id_offset);
+}
+
+RunResult Sampler::run_single_seed(std::span<const VertexId> seeds) {
+  return run(expand_single_seeds(seeds));
+}
+
+RunResult Sampler::dispatch(std::span<const std::vector<VertexId>> seeds,
+                            std::uint32_t instance_id_offset) {
+  RunResult result;
+  switch (decision_.resolved) {
+    case ExecutionMode::kInMemory:
+      result = run_in_memory(seeds, instance_id_offset, /*device_id=*/0);
+      break;
+    case ExecutionMode::kOutOfMemory:
+      result = run_out_of_memory(seeds, instance_id_offset, /*device_id=*/0);
+      break;
+    case ExecutionMode::kMultiDevice:
+      result = run_multi_device(seeds, instance_id_offset);
+      break;
+    case ExecutionMode::kAuto:
+      CSAW_CHECK_MSG(false, "resolved mode can never be kAuto");
+  }
+  result.mode = decision_.resolved;
+  result.mode_reason = decision_.reason;
+  return result;
+}
+
+RunResult Sampler::run_in_memory(std::span<const std::vector<VertexId>> seeds,
+                                 std::uint32_t instance_id_offset,
+                                 std::uint32_t device_id) {
+  sim::Device device(device_id, options_.device_params);
+  CsrGraphView view(*graph_);
+  EngineConfig config = options_.engine_config();
+  config.instance_id_offset = instance_id_offset;
+  SamplingEngine engine(view, policy_, spec_, config);
+  SampleRun run = engine.run(device, seeds);
+
+  RunResult result;
+  result.samples = std::move(run.samples);
+  result.sim_seconds = run.sim_seconds;
+  result.device_seconds = {run.sim_seconds};
+  result.stats = run.stats;
+  return result;
+}
+
+RunResult Sampler::run_out_of_memory(
+    std::span<const std::vector<VertexId>> seeds,
+    std::uint32_t instance_id_offset, std::uint32_t device_id) {
+  sim::Device device(device_id, options_.device_params);
+  OomConfig config = options_.oom_config();
+  config.engine.instance_id_offset = instance_id_offset;
+  if (parts_ == nullptr) {
+    parts_ = std::make_shared<const PartitionedGraph>(
+        *graph_, options_.num_partitions);
+  }
+  OomEngine engine(*graph_, policy_, spec_, config, parts_);
+  OomRun run = engine.run(device, seeds);
+
+  RunResult result;
+  result.samples = std::move(run.samples);
+  result.sim_seconds = run.sim_seconds;
+  result.device_seconds = {run.sim_seconds};
+  result.stats = run.stats;
+  result.oom = run.metrics;
+  return result;
+}
+
+RunResult Sampler::run_multi_device(
+    std::span<const std::vector<VertexId>> seeds,
+    std::uint32_t instance_id_offset) {
+  const auto num_instances = static_cast<std::uint32_t>(seeds.size());
+
+  RunResult result;
+  result.samples.reset(num_instances);
+  result.device_seconds.assign(options_.num_devices, 0.0);
+
+  // Equal contiguous instance groups (paper §V-D): group d gets
+  // [d*per, min((d+1)*per, n)). The global-id offset handoff happens here
+  // and nowhere else: device d's engines see base offset + group begin,
+  // so the union of samples is independent of the device count.
+  const std::uint32_t per_device =
+      (num_instances + options_.num_devices - 1) / options_.num_devices;
+
+  OomMetrics oom_total;
+  bool any_oom = false;
+  for (std::uint32_t d = 0; d < options_.num_devices; ++d) {
+    const std::uint32_t begin = std::min(d * per_device, num_instances);
+    const std::uint32_t end = std::min(begin + per_device, num_instances);
+    if (begin == end) continue;
+
+    const auto group = seeds.subspan(begin, end - begin);
+    const RunResult part =
+        decision_.out_of_memory
+            ? run_out_of_memory(group, instance_id_offset + begin, d)
+            : run_in_memory(group, instance_id_offset + begin, d);
+
+    merge_group(result, part, begin, end, oom_total, any_oom);
+    result.device_seconds[d] = part.sim_seconds;
+  }
+
+  result.sim_seconds = *std::max_element(result.device_seconds.begin(),
+                                         result.device_seconds.end());
+  if (any_oom) result.oom = oom_total;
+  return result;
+}
+
+RunResult Sampler::run_batches(std::span<const std::vector<VertexId>> seeds,
+                               std::uint32_t batch_size) {
+  CSAW_CHECK_MSG(batch_size >= 1, "batch_size must be at least 1");
+  const auto num_instances = static_cast<std::uint32_t>(seeds.size());
+
+  RunResult result;
+  result.samples.reset(num_instances);
+  result.mode = decision_.resolved;
+  result.mode_reason = decision_.reason;
+
+  OomMetrics oom_total;
+  bool any_oom = false;
+  for (std::uint32_t begin = 0; begin < num_instances; begin += batch_size) {
+    const std::uint32_t end = std::min(num_instances, begin + batch_size);
+    // Shifting the offset keeps each instance's global id — and therefore
+    // its counter-based RNG draws — identical to a single monolithic run.
+    const RunResult batch = dispatch(seeds.subspan(begin, end - begin),
+                                     options_.instance_id_offset + begin);
+
+    merge_group(result, batch, begin, end, oom_total, any_oom);
+    // Batches stream sequentially through the device(s): makespans add.
+    result.sim_seconds += batch.sim_seconds;
+    if (result.device_seconds.size() < batch.device_seconds.size()) {
+      result.device_seconds.resize(batch.device_seconds.size(), 0.0);
+    }
+    for (std::size_t d = 0; d < batch.device_seconds.size(); ++d) {
+      result.device_seconds[d] += batch.device_seconds[d];
+    }
+  }
+  if (result.device_seconds.empty()) result.device_seconds = {0.0};
+  if (any_oom) result.oom = oom_total;
+  return result;
+}
+
+RunResult Sampler::run_batches_single_seed(std::span<const VertexId> seeds,
+                                           std::uint32_t batch_size) {
+  return run_batches(expand_single_seeds(seeds), batch_size);
+}
+
+}  // namespace csaw

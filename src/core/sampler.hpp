@@ -1,0 +1,161 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "algorithms/registry.hpp"
+#include "core/engine.hpp"
+#include "core/policy.hpp"
+#include "core/run_result.hpp"
+#include "gpusim/device.hpp"
+#include "oom/oom_engine.hpp"
+
+namespace csaw {
+
+/// What auto mode selection assumes about the CSR footprint vs. the
+/// device-memory budget. The paper's evaluation "pretends" bench-scale
+/// stand-ins for Twitter/Friendster do not fit (Figs. 13-15), and pins
+/// small graphs in memory even when a tiny simulated device is configured;
+/// both directions are expressible without forging DeviceParams.
+enum class MemoryAssumption {
+  kMeasure,  ///< compare graph.bytes() against the device budget
+  kExceeds,  ///< treat the graph as exceeding device memory
+  kFits,     ///< treat the graph as fitting device memory
+};
+
+/// Every knob of every execution mode in one struct. The facade reads the
+/// subset its resolved mode needs; the rest is inert — so one options
+/// value can be reused across modes and graphs.
+struct SamplerOptions {
+  /// Execution-mode request; kAuto resolves it per graph + spec.
+  ExecutionMode mode = ExecutionMode::kAuto;
+
+  // --- Engine knobs (previously EngineConfig).
+  SelectConfig select;
+  std::uint64_t seed = 0xC5A30001ull;
+  /// Added to local instance indices to form the global instance id used
+  /// in RNG coordinates. This is the *single* source of truth: the
+  /// multi-device path derives each device's disjoint offset range from
+  /// it, and the batched path derives each batch's — user code never
+  /// hands offsets to a backend directly.
+  std::uint32_t instance_id_offset = 0;
+
+  // --- Device topology (previously MultiDeviceConfig).
+  /// Devices to spread instances over. kAuto resolves to kMultiDevice
+  /// when this exceeds 1.
+  std::uint32_t num_devices = 1;
+  sim::DeviceParams device_params;
+
+  // --- Out-of-memory knobs (previously OomConfig), used whenever the
+  // out-of-memory backend is selected on any device.
+  std::uint32_t num_partitions = 4;
+  std::uint32_t resident_partitions = 2;
+  std::uint32_t num_streams = 2;
+  bool oom_batched = true;
+  bool oom_workload_aware = true;
+  bool oom_block_balancing = true;
+  std::uint32_t oom_unbatched_gang_size = 1024;
+
+  // --- Auto-selection inputs.
+  MemoryAssumption memory_assumption = MemoryAssumption::kMeasure;
+  /// Fraction of DeviceParams::memory_bytes the CSR may occupy before
+  /// auto selection pages it (headroom for frontier queues and samples).
+  double memory_budget_fraction = 0.9;
+
+  /// The engine-level slice of these options (legacy config shape).
+  EngineConfig engine_config() const;
+  /// The out-of-memory slice of these options (legacy config shape).
+  OomConfig oom_config() const;
+};
+
+/// The resolved execution plan, fixed at Sampler construction.
+struct ModeDecision {
+  ExecutionMode requested = ExecutionMode::kAuto;
+  /// Never kAuto.
+  ExecutionMode resolved = ExecutionMode::kInMemory;
+  /// Per-device backend: true = out-of-memory paging. Meaningful for
+  /// kOutOfMemory (always true) and kMultiDevice.
+  bool out_of_memory = false;
+  /// Human-readable selection rationale, including fallbacks.
+  std::string reason;
+};
+
+/// Non-empty when `spec` can only run on the in-memory engine, naming the
+/// flag that requires whole-graph frontier state; empty when the spec is
+/// out-of-memory capable.
+std::string in_memory_only_reason(const SamplingSpec& spec);
+
+/// The C-SAW front door: one facade over the in-memory engine (paper
+/// §IV), the out-of-memory engine (§V) and multi-device execution (§V-D).
+/// Users pick an algorithm (three bias hooks, or a registry id), hand in
+/// seeds, and get one RunResult back; which backend executed is an
+/// auto-selected detail, recorded in decision().
+///
+/// The counter-based RNG makes the choice invisible in the output too:
+/// every mode produces byte-identical per-instance samples (see
+/// tests/core/sampler_test.cpp).
+class Sampler {
+ public:
+  Sampler(const CsrGraph& graph, Policy policy, SamplingSpec spec,
+          SamplerOptions options = {});
+  Sampler(const CsrGraph& graph, const AlgorithmSetup& setup,
+          SamplerOptions options = {});
+  /// Registry shortcut: the default-parameter setup of `id` (paper §VI;
+  /// depth_or_length is the walk length for walk algorithms).
+  Sampler(const CsrGraph& graph, AlgorithmId id,
+          std::uint32_t depth_or_length, std::uint32_t neighbor_size = 2,
+          SamplerOptions options = {});
+
+  const CsrGraph& graph() const noexcept { return *graph_; }
+  const Policy& policy() const noexcept { return policy_; }
+  const SamplingSpec& spec() const noexcept { return spec_; }
+  const SamplerOptions& options() const noexcept { return options_; }
+  /// The execution plan resolved at construction.
+  const ModeDecision& decision() const noexcept { return decision_; }
+
+  /// Runs all instances to completion; seeds[i] holds the seed vertices
+  /// of instance i.
+  RunResult run(std::span<const std::vector<VertexId>> seeds);
+
+  /// Convenience: every instance starts from one seed vertex.
+  RunResult run_single_seed(std::span<const VertexId> seeds);
+
+  /// Serving-style batched execution: streams instances through the
+  /// resolved backend in chunks of `batch_size`, bounding peak in-flight
+  /// state while producing samples byte-identical to one big run (each
+  /// batch keeps its instances' global ids, so the counter-based RNG
+  /// draws the same numbers). sim_seconds is the sum over sequential
+  /// batches.
+  RunResult run_batches(std::span<const std::vector<VertexId>> seeds,
+                        std::uint32_t batch_size);
+
+  RunResult run_batches_single_seed(std::span<const VertexId> seeds,
+                                    std::uint32_t batch_size);
+
+ private:
+  /// Dispatches one run with an explicit global-id base offset (the
+  /// batched path shifts it per chunk).
+  RunResult dispatch(std::span<const std::vector<VertexId>> seeds,
+                     std::uint32_t instance_id_offset);
+  RunResult run_in_memory(std::span<const std::vector<VertexId>> seeds,
+                          std::uint32_t instance_id_offset,
+                          std::uint32_t device_id);
+  RunResult run_out_of_memory(std::span<const std::vector<VertexId>> seeds,
+                              std::uint32_t instance_id_offset,
+                              std::uint32_t device_id);
+  RunResult run_multi_device(std::span<const std::vector<VertexId>> seeds,
+                             std::uint32_t instance_id_offset);
+
+  const CsrGraph* graph_;
+  Policy policy_;
+  SamplingSpec spec_;
+  SamplerOptions options_;
+  ModeDecision decision_;
+  /// Built lazily on the first out-of-memory dispatch and shared by every
+  /// subsequent engine (batched serving partitions once, not per batch).
+  std::shared_ptr<const PartitionedGraph> parts_;
+};
+
+}  // namespace csaw

@@ -1,7 +1,8 @@
 #include "multigpu/multi_device.hpp"
 
-#include <algorithm>
+#include <utility>
 
+#include "core/sampler.hpp"
 #include "util/check.hpp"
 
 namespace csaw {
@@ -11,66 +12,61 @@ MultiDeviceRun run_multi_device(const CsrGraph& graph, const Policy& policy,
                                 std::span<const std::vector<VertexId>> seeds,
                                 const MultiDeviceConfig& config) {
   CSAW_CHECK(config.num_devices >= 1);
-  const auto num_instances = static_cast<std::uint32_t>(seeds.size());
-
-  MultiDeviceRun result;
-  result.samples.reset(num_instances);
-  result.device_seconds.assign(config.num_devices, 0.0);
-
-  // Equal contiguous instance groups (paper §V-D): group d gets
-  // [d*per, min((d+1)*per, n)).
-  const std::uint32_t per_device =
-      (num_instances + config.num_devices - 1) / config.num_devices;
-
-  for (std::uint32_t d = 0; d < config.num_devices; ++d) {
-    const std::uint32_t begin = std::min(d * per_device, num_instances);
-    const std::uint32_t end = std::min(begin + per_device, num_instances);
-    if (begin == end) continue;
-
-    sim::Device device(d, config.device_params);
-    const auto group = seeds.subspan(begin, end - begin);
-
-    EngineConfig engine_config = config.engine;
-    engine_config.instance_id_offset += begin;
-
-    if (config.out_of_memory) {
-      OomConfig oom_config = config.oom;
-      oom_config.engine = engine_config;
-      OomEngine engine(graph, policy, spec, oom_config);
-      OomRun run = engine.run(device, group);
-      for (std::uint32_t i = begin; i < end; ++i) {
-        for (const Edge& e : run.samples.edges(i - begin)) {
-          result.samples.add(i, e);
-        }
-      }
-      result.device_seconds[d] = run.sim_seconds;
-      result.stats.merge(run.stats);
-    } else {
-      CsrGraphView view(graph);
-      SamplingEngine engine(view, policy, spec, engine_config);
-      SampleRun run = engine.run(device, group);
-      for (std::uint32_t i = begin; i < end; ++i) {
-        for (const Edge& e : run.samples.edges(i - begin)) {
-          result.samples.add(i, e);
-        }
-      }
-      result.device_seconds[d] = run.sim_seconds;
-      result.stats.merge(run.stats);
-    }
+  // The facade owns the offset handoff: each device's disjoint global-id
+  // range is derived from engine.instance_id_offset. A different offset in
+  // oom.engine used to be silently discarded; reject it instead.
+  CSAW_CHECK_MSG(
+      !config.out_of_memory ||
+          config.oom.engine.instance_id_offset == 0 ||
+          config.oom.engine.instance_id_offset ==
+              config.engine.instance_id_offset,
+      "MultiDeviceConfig.oom.engine.instance_id_offset ("
+          << config.oom.engine.instance_id_offset
+          << ") conflicts with MultiDeviceConfig.engine.instance_id_offset ("
+          << config.engine.instance_id_offset
+          << "); set the offset once on the top-level engine config — or "
+             "use csaw::Sampler, whose SamplerOptions has a single "
+             "instance_id_offset");
+  if (config.out_of_memory) {
+    const std::string restriction = in_memory_only_reason(spec);
+    CSAW_CHECK_MSG(restriction.empty(),
+                   "out_of_memory multi-device run rejected: " << restriction);
   }
 
-  result.sim_seconds =
-      *std::max_element(result.device_seconds.begin(),
-                        result.device_seconds.end());
+  SamplerOptions options;
+  options.mode = ExecutionMode::kMultiDevice;
+  options.num_devices = config.num_devices;
+  options.device_params = config.device_params;
+  options.select = config.engine.select;
+  options.seed = config.engine.seed;
+  options.instance_id_offset = config.engine.instance_id_offset;
+  options.memory_assumption = config.out_of_memory
+                                  ? MemoryAssumption::kExceeds
+                                  : MemoryAssumption::kFits;
+  options.num_partitions = config.oom.num_partitions;
+  options.resident_partitions = config.oom.resident_partitions;
+  options.num_streams = config.oom.num_streams;
+  options.oom_batched = config.oom.batched;
+  options.oom_workload_aware = config.oom.workload_aware;
+  options.oom_block_balancing = config.oom.block_balancing;
+  options.oom_unbatched_gang_size = config.oom.unbatched_gang_size;
+
+  Sampler sampler(graph, policy, spec, std::move(options));
+  RunResult run = sampler.run(seeds);
+
+  MultiDeviceRun result;
+  result.samples = std::move(run.samples);
+  result.device_seconds = std::move(run.device_seconds);
+  result.sim_seconds = run.sim_seconds;
+  result.stats = run.stats;
   return result;
 }
 
 MultiDeviceRun run_multi_device_single_seed(
     const CsrGraph& graph, const Policy& policy, const SamplingSpec& spec,
     std::span<const VertexId> seeds, const MultiDeviceConfig& config) {
-  std::vector<std::vector<VertexId>> per_instance(seeds.size());
-  for (std::size_t i = 0; i < seeds.size(); ++i) per_instance[i] = {seeds[i]};
-  return run_multi_device(graph, policy, spec, per_instance, config);
+  return run_multi_device(graph, policy, spec, expand_single_seeds(seeds),
+                          config);
 }
 
 }  // namespace csaw

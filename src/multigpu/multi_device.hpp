@@ -13,6 +13,10 @@ namespace csaw {
 /// disjoint equal groups, one per device; every device runs independently
 /// (no inter-GPU communication) and the run completes when the slowest
 /// device drains its group.
+///
+/// Deprecated shim: prefer csaw::Sampler (core/sampler.hpp) with
+/// SamplerOptions::num_devices — these entry points forward to it and are
+/// kept so existing callers stay diffable.
 struct MultiDeviceConfig {
   std::uint32_t num_devices = 1;
   sim::DeviceParams device_params;
@@ -20,8 +24,12 @@ struct MultiDeviceConfig {
   /// Use the out-of-memory engine per device (graphs exceeding device
   /// memory); otherwise the in-memory engine.
   bool out_of_memory = false;
-  /// OOM settings when out_of_memory is set (its engine field is
-  /// overridden per device with the right instance offset).
+  /// OOM settings when out_of_memory is set. Per-device engine settings
+  /// (seed, select, instance offset) come from `engine` above — the
+  /// facade owns the offset handoff and derives each device's disjoint
+  /// range from `engine.instance_id_offset`. Setting a conflicting
+  /// `oom.engine.instance_id_offset` here is rejected (it used to be
+  /// silently overridden).
   OomConfig oom;
 };
 
@@ -35,20 +43,18 @@ struct MultiDeviceRun {
   sim::KernelStats stats;
 
   double seps() const {
-    return sim_seconds > 0.0
-               ? static_cast<double>(samples.total_edges()) / sim_seconds
-               : 0.0;
+    return sampled_edges_per_second(samples.total_edges(), sim_seconds);
   }
 };
 
 /// Runs `seeds.size()` instances across `config.num_devices` simulated
-/// devices.
+/// devices. Deprecated shim over csaw::Sampler.
 MultiDeviceRun run_multi_device(const CsrGraph& graph, const Policy& policy,
                                 const SamplingSpec& spec,
                                 std::span<const std::vector<VertexId>> seeds,
                                 const MultiDeviceConfig& config);
 
-/// Convenience: one seed vertex per instance.
+/// Convenience: one seed vertex per instance. Deprecated shim.
 MultiDeviceRun run_multi_device_single_seed(
     const CsrGraph& graph, const Policy& policy, const SamplingSpec& spec,
     std::span<const VertexId> seeds, const MultiDeviceConfig& config);

@@ -25,6 +25,13 @@ void sort_batch(std::vector<FrontierEntry>& batch) {
 
 OomEngine::OomEngine(const CsrGraph& graph, Policy policy, SamplingSpec spec,
                      OomConfig config)
+    : OomEngine(graph, std::move(policy), std::move(spec), config,
+                std::make_shared<const PartitionedGraph>(
+                    graph, config.num_partitions)) {}
+
+OomEngine::OomEngine(const CsrGraph& graph, Policy policy, SamplingSpec spec,
+                     OomConfig config,
+                     std::shared_ptr<const PartitionedGraph> parts)
     : graph_(&graph),
       policy_(std::move(policy)),
       spec_(std::move(spec)),
@@ -35,7 +42,14 @@ OomEngine::OomEngine(const CsrGraph& graph, Policy policy, SamplingSpec spec,
         c.with_replacement = spec_.with_replacement;
         return c;
       }()),
-      parts_(graph, config.num_partitions) {
+      parts_(std::move(parts)) {
+  CSAW_CHECK(parts_ != nullptr);
+  CSAW_CHECK_MSG(&parts_->whole() == graph_,
+                 "shared PartitionedGraph belongs to a different graph");
+  CSAW_CHECK_MSG(parts_->num_parts() == config.num_partitions,
+                 "shared PartitionedGraph has "
+                     << parts_->num_parts() << " partitions, config wants "
+                     << config.num_partitions);
   CSAW_CHECK_MSG(!spec_.select_frontier && !spec_.layer_mode &&
                      !spec_.sample_all_neighbors,
                  "spec requires whole-graph frontier state; "
@@ -83,7 +97,7 @@ OomRun OomEngine::run(sim::Device& device,
       for (std::size_t s = 0; s < seeds[i].size(); ++s) {
         const VertexId seed = seeds[i][s];
         CSAW_CHECK(seed < graph_->num_vertices());
-        queues_[parts_.part_of(seed)].push(FrontierEntry{
+        queues_[parts_->part_of(seed)].push(FrontierEntry{
             seed, config_.engine.instance_id_offset + i, /*depth=*/0,
             static_cast<std::uint32_t>(s), kInvalidVertex});
       }
@@ -159,10 +173,10 @@ void OomEngine::schedule_until_drained(sim::Device& device, OomRun& result,
     for (std::size_t i = 0; i < chosen; ++i) {
       const std::uint32_t p = plan.partitions[i];
       sim::Stream& stream = device.stream(i % config_.num_streams);
-      device.transfer().host_to_device(stream, parts_.part(p).bytes(),
+      device.transfer().host_to_device(stream, parts_->part(p).bytes(),
                                        "partition " + std::to_string(p));
       ++result.metrics.partition_transfers;
-      result.metrics.bytes_transferred += parts_.part(p).bytes();
+      result.metrics.bytes_transferred += parts_->part(p).bytes();
     }
 
     // --- Sample the resident partitions. All chosen partitions are
@@ -207,9 +221,7 @@ void OomEngine::schedule_until_drained(sim::Device& device, OomRun& result,
 
 OomRun OomEngine::run_single_seed(sim::Device& device,
                                   std::span<const VertexId> seeds) {
-  std::vector<std::vector<VertexId>> per_instance(seeds.size());
-  for (std::size_t i = 0; i < seeds.size(); ++i) per_instance[i] = {seeds[i]};
-  return run(device, per_instance);
+  return run(device, expand_single_seeds(seeds));
 }
 
 void OomEngine::run_wave(sim::Device& device, sim::Stream& stream,
@@ -255,7 +267,7 @@ void OomEngine::run_wave(sim::Device& device, sim::Stream& stream,
 
 void OomEngine::process_entry(std::uint32_t p, const FrontierEntry& entry,
                               sim::WarpContext& warp) {
-  const PartitionView& view = parts_.view(p);
+  const PartitionView& view = parts_->view(p);
   const std::uint32_t local =
       entry.instance - config_.engine.instance_id_offset;
   InstanceState& inst = instances_[local];
@@ -269,7 +281,7 @@ void OomEngine::process_entry(std::uint32_t p, const FrontierEntry& entry,
 
   if (entry.depth + 1 >= spec_.depth) return;  // walk/tree complete
   for (const auto& [vertex, slot] : result.next) {
-    queues_[parts_.part_of(vertex)].push(FrontierEntry{
+    queues_[parts_->part_of(vertex)].push(FrontierEntry{
         vertex, entry.instance, entry.depth + 1, slot, entry.vertex});
   }
 }

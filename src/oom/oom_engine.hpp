@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -34,21 +35,10 @@ struct OomConfig {
   EngineConfig engine;
 };
 
-/// Metrics regenerating Figs. 13-15.
-struct OomMetrics {
-  /// Host-to-device partition copies (Fig. 15).
-  std::size_t partition_transfers = 0;
-  std::uint64_t bytes_transferred = 0;
-  /// Mean over scheduling rounds of the coefficient of variation of
-  /// per-stream kernel time — the workload-imbalance measure of Fig. 14
-  /// (0 = perfectly balanced kernels).
-  double kernel_imbalance = 0.0;
-  /// Number of scheduling rounds executed.
-  std::size_t scheduling_rounds = 0;
-  /// Number of kernel launches.
-  std::size_t kernel_launches = 0;
-};
-
+/// Result of one out-of-memory engine run (OomMetrics regenerates
+/// Figs. 13-15; it lives in core/run_result.hpp so the Sampler facade can
+/// report it uniformly). Prefer csaw::Sampler (sampler.hpp), which returns
+/// the unified RunResult regardless of execution mode.
 struct OomRun {
   SampleStore samples;
   OomMetrics metrics;
@@ -58,9 +48,7 @@ struct OomRun {
   double sim_seconds = 0.0;
 
   double seps() const {
-    return sim_seconds > 0.0
-               ? static_cast<double>(samples.total_edges()) / sim_seconds
-               : 0.0;
+    return sampled_edges_per_second(samples.total_edges(), sim_seconds);
   }
 };
 
@@ -76,6 +64,13 @@ class OomEngine {
  public:
   OomEngine(const CsrGraph& graph, Policy policy, SamplingSpec spec,
             OomConfig config);
+
+  /// Shares a prebuilt partitioning instead of building one (an O(V+E)
+  /// pass): batched serving through csaw::Sampler partitions once and
+  /// streams every batch's engine over it. `parts` must partition `graph`
+  /// into config.num_partitions ranges (checked).
+  OomEngine(const CsrGraph& graph, Policy policy, SamplingSpec spec,
+            OomConfig config, std::shared_ptr<const PartitionedGraph> parts);
 
   /// Runs all instances; seeds[i] are instance i's seed vertices.
   OomRun run(sim::Device& device,
@@ -112,7 +107,7 @@ class OomEngine {
   OomConfig config_;
   CounterStream rng_;
   ItsSelector selector_;
-  PartitionedGraph parts_;
+  std::shared_ptr<const PartitionedGraph> parts_;
 
   // Per-run state.
   std::vector<FrontierQueue> queues_;

@@ -1,0 +1,243 @@
+#include "core/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/layer_sampling.hpp"
+#include "algorithms/mdrw.hpp"
+#include "algorithms/neighbor_sampling.hpp"
+#include "algorithms/random_walks.hpp"
+#include "algorithms/snowball.hpp"
+#include "graph/generators.hpp"
+#include "multigpu/multi_device.hpp"
+#include "util/check.hpp"
+
+namespace csaw {
+namespace {
+
+std::vector<VertexId> spread_seeds(const CsrGraph& g, std::uint32_t n) {
+  std::vector<VertexId> seeds(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    seeds[i] = static_cast<VertexId>((i * 131) % g.num_vertices());
+  }
+  return seeds;
+}
+
+void expect_same_samples(const SampleStore& a, const SampleStore& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.num_instances(), b.num_instances()) << label;
+  for (std::uint32_t i = 0; i < a.num_instances(); ++i) {
+    EXPECT_EQ(a.edges(i), b.edges(i)) << label << ", instance " << i;
+  }
+}
+
+TEST(Sampler, ModeInvariantSamples) {
+  // The facade's core guarantee: Auto, explicit in-memory, explicit
+  // out-of-memory and 2-device multi-device runs produce byte-identical
+  // SampleStore contents for the same seeds (counter-based RNG).
+  const CsrGraph g = generate_rmat(1024, 8192, 71);
+  const auto setup = biased_random_walk(10);
+  const auto seeds = spread_seeds(g, 40);
+
+  SamplerOptions in_memory;
+  in_memory.mode = ExecutionMode::kInMemory;
+  Sampler reference(g, setup, in_memory);
+  const RunResult ref = reference.run_single_seed(seeds);
+  ASSERT_GT(ref.sampled_edges(), 0u);
+  EXPECT_EQ(ref.mode, ExecutionMode::kInMemory);
+  EXPECT_EQ(ref.device_seconds.size(), 1u);
+  EXPECT_FALSE(ref.oom.has_value());
+
+  {
+    Sampler sampler(g, setup);  // kAuto; the stand-in fits 16 GB
+    EXPECT_EQ(sampler.decision().resolved, ExecutionMode::kInMemory);
+    const RunResult run = sampler.run_single_seed(seeds);
+    expect_same_samples(run.samples, ref.samples, "auto");
+  }
+  {
+    SamplerOptions options;
+    options.mode = ExecutionMode::kOutOfMemory;
+    Sampler sampler(g, setup, options);
+    const RunResult run = sampler.run_single_seed(seeds);
+    expect_same_samples(run.samples, ref.samples, "out-of-memory");
+    ASSERT_TRUE(run.oom.has_value());
+    EXPECT_GT(run.oom->partition_transfers, 0u);
+  }
+  {
+    SamplerOptions options;
+    options.mode = ExecutionMode::kMultiDevice;
+    options.num_devices = 2;
+    Sampler sampler(g, setup, options);
+    const RunResult run = sampler.run_single_seed(seeds);
+    expect_same_samples(run.samples, ref.samples, "multi-device");
+    EXPECT_EQ(run.device_seconds.size(), 2u);
+  }
+}
+
+TEST(Sampler, AutoPagesWhenGraphExceedsBudget) {
+  const CsrGraph g = generate_rmat(1024, 8192, 72);
+  // A device too small for the CSR: auto selection must page. A walk spec
+  // keeps the edge append order identical across backends (one edge per
+  // step), so the comparison below is bit-exact.
+  SamplerOptions options;
+  options.device_params.memory_bytes = 4096;
+  const auto setup = biased_random_walk(8);
+  Sampler sampler(g, setup, options);
+  EXPECT_EQ(sampler.decision().resolved, ExecutionMode::kOutOfMemory);
+  EXPECT_NE(sampler.decision().reason.find("exceeds"), std::string::npos)
+      << sampler.decision().reason;
+
+  // The paged run still matches the in-memory samples.
+  const auto seeds = spread_seeds(g, 16);
+  SamplerOptions in_memory;
+  in_memory.mode = ExecutionMode::kInMemory;
+  const RunResult ref =
+      Sampler(g, setup, in_memory).run_single_seed(seeds);
+  const RunResult run = sampler.run_single_seed(seeds);
+  expect_same_samples(run.samples, ref.samples, "auto-paged");
+}
+
+TEST(Sampler, AutoAcceptsMemoryAssumptionOverride) {
+  const CsrGraph g = generate_rmat(512, 4096, 73);
+  SamplerOptions options;
+  options.memory_assumption = MemoryAssumption::kExceeds;
+  Sampler sampler(g, biased_neighbor_sampling(2, 2), options);
+  EXPECT_EQ(sampler.decision().resolved, ExecutionMode::kOutOfMemory);
+  EXPECT_NE(sampler.decision().reason.find("assumed"), std::string::npos);
+}
+
+TEST(Sampler, AutoRefusesOomForInMemoryOnlySpecs) {
+  // In-memory-only specs must never resolve to the out-of-memory backend,
+  // even when the graph "does not fit" — the decision records a readable
+  // reason naming the spec flag and the fallback.
+  const CsrGraph g = generate_rmat(512, 4096, 74);
+  struct Case {
+    AlgorithmSetup setup;
+    const char* flag;
+  };
+  const std::vector<Case> cases = {
+      {layer_sampling(2, 2), "layer_mode"},
+      {snowball(2), "sample_all_neighbors"},
+      {multi_dimensional_random_walk(4), "select_frontier"},
+  };
+  for (const Case& c : cases) {
+    SamplerOptions options;
+    options.memory_assumption = MemoryAssumption::kExceeds;
+    Sampler sampler(g, c.setup, options);
+    EXPECT_EQ(sampler.decision().resolved, ExecutionMode::kInMemory)
+        << c.flag;
+    EXPECT_NE(sampler.decision().reason.find(c.flag), std::string::npos)
+        << "reason should name the restricting flag: "
+        << sampler.decision().reason;
+    EXPECT_NE(sampler.decision().reason.find("falling back"),
+              std::string::npos)
+        << sampler.decision().reason;
+  }
+}
+
+TEST(Sampler, ExplicitOomRejectsInMemoryOnlySpecs) {
+  const CsrGraph g = generate_rmat(512, 4096, 75);
+  SamplerOptions options;
+  options.mode = ExecutionMode::kOutOfMemory;
+  EXPECT_THROW(Sampler(g, layer_sampling(2, 2), options), CheckError);
+  EXPECT_THROW(Sampler(g, snowball(2), options), CheckError);
+}
+
+TEST(Sampler, ExplicitSingleDeviceModesRejectMultipleDevices) {
+  const CsrGraph g = generate_rmat(256, 2048, 76);
+  SamplerOptions options;
+  options.mode = ExecutionMode::kInMemory;
+  options.num_devices = 2;
+  EXPECT_THROW(Sampler(g, biased_random_walk(4), options), CheckError);
+}
+
+TEST(Sampler, RunBatchesMatchesMonolithicRun) {
+  const CsrGraph g = generate_rmat(1024, 8192, 77);
+  const auto setup = biased_random_walk(8);
+  const auto seeds = spread_seeds(g, 30);
+
+  Sampler sampler(g, setup);
+  const RunResult whole = sampler.run_single_seed(seeds);
+  // Batch boundary falls mid-run (30 = 4 * 7 + 2).
+  const RunResult batched = sampler.run_batches_single_seed(seeds, 7);
+
+  expect_same_samples(batched.samples, whole.samples, "batched");
+  // Sequential batches: the batched makespan can only be slower.
+  EXPECT_GE(batched.sim_seconds, whole.sim_seconds);
+  EXPECT_GT(batched.sim_seconds, 0.0);
+}
+
+TEST(Sampler, RunBatchesMatchesAcrossBackends) {
+  const CsrGraph g = generate_rmat(1024, 8192, 78);
+  const auto setup = biased_random_walk(6);
+  const auto seeds = spread_seeds(g, 20);
+
+  SamplerOptions in_memory;
+  in_memory.mode = ExecutionMode::kInMemory;
+  const RunResult ref = Sampler(g, setup, in_memory).run_single_seed(seeds);
+
+  SamplerOptions oom;
+  oom.mode = ExecutionMode::kOutOfMemory;
+  const RunResult batched_oom =
+      Sampler(g, setup, oom).run_batches_single_seed(seeds, 6);
+  expect_same_samples(batched_oom.samples, ref.samples, "batched-oom");
+  ASSERT_TRUE(batched_oom.oom.has_value());
+
+  SamplerOptions multi;
+  multi.mode = ExecutionMode::kMultiDevice;
+  multi.num_devices = 2;
+  const RunResult batched_multi =
+      Sampler(g, setup, multi).run_batches_single_seed(seeds, 6);
+  expect_same_samples(batched_multi.samples, ref.samples, "batched-multi");
+}
+
+TEST(Sampler, RegistryConstructorRuns) {
+  const CsrGraph g = generate_rmat(512, 4096, 79);
+  Sampler sampler(g, AlgorithmId::kDeepwalk, /*depth_or_length=*/8);
+  const RunResult run = sampler.run_single_seed(spread_seeds(g, 8));
+  EXPECT_GT(run.sampled_edges(), 0u);
+  EXPECT_GT(run.seps(), 0.0);
+}
+
+TEST(Sampler, InstanceIdOffsetShiftsDraws) {
+  const CsrGraph g = generate_rmat(512, 4096, 80);
+  const auto setup = biased_random_walk(6);
+  const auto seeds = spread_seeds(g, 10);
+
+  SamplerOptions base;
+  SamplerOptions shifted;
+  shifted.instance_id_offset = 100;
+  const RunResult a = Sampler(g, setup, base).run_single_seed(seeds);
+  const RunResult b = Sampler(g, setup, shifted).run_single_seed(seeds);
+  bool any_differs = false;
+  for (std::uint32_t i = 0; i < seeds.size() && !any_differs; ++i) {
+    any_differs = a.samples.edges(i) != b.samples.edges(i);
+  }
+  EXPECT_TRUE(any_differs)
+      << "shifting the global instance ids must shift the RNG draws";
+}
+
+TEST(Sampler, LegacyMultiDeviceShimRejectsConflictingOomOffset) {
+  // MultiDeviceConfig.oom.engine.instance_id_offset used to be silently
+  // overridden; the facade rejects the conflict instead.
+  const CsrGraph g = generate_rmat(512, 4096, 81);
+  const auto setup = biased_random_walk(4);
+  const auto seeds = spread_seeds(g, 8);
+
+  MultiDeviceConfig config;
+  config.num_devices = 2;
+  config.out_of_memory = true;
+  config.engine.instance_id_offset = 5;
+  config.oom.engine.instance_id_offset = 9;
+  EXPECT_THROW(run_multi_device_single_seed(g, setup.policy, setup.spec,
+                                            seeds, config),
+               CheckError);
+
+  // A matching (or unset) offset passes through the facade.
+  config.oom.engine.instance_id_offset = 5;
+  const auto run = run_multi_device_single_seed(g, setup.policy, setup.spec,
+                                                seeds, config);
+  EXPECT_GT(run.samples.total_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace csaw

@@ -123,15 +123,21 @@ FrontierResult process_frontier_vertex(
 struct SamplingEngine::StepScratch {
   /// Selected pool positions per local instance (frontier of this step).
   std::vector<std::vector<std::uint32_t>> frontier_positions;
-  /// UPDATE results per local instance, keyed by pool position so
-  /// select-frontier mode can replace in place.
-  std::vector<std::vector<
-      std::pair<std::uint32_t, std::vector<std::pair<VertexId, std::uint32_t>>>>>
-      results;
+  /// One slot per warp-task of this step's sampling kernel, pre-sized
+  /// before launch so each task writes its own slot with no locks.
+  /// local_instance/pool_position are filled at task creation; the body
+  /// only moves its UPDATE results into `next`. Slots stay in task order
+  /// (instance-major), which is what advance_pools consumes.
+  struct TaskResult {
+    std::uint32_t local_instance = 0;
+    std::uint32_t pool_position = 0;
+    std::vector<std::pair<VertexId, std::uint32_t>> next;
+  };
+  std::vector<TaskResult> results;
 
   void reset(std::size_t num_instances) {
     frontier_positions.assign(num_instances, {});
-    results.assign(num_instances, {});
+    results.clear();
   }
 };
 
@@ -142,12 +148,12 @@ SamplingEngine::SamplingEngine(const GraphView& view, Policy policy,
       spec_(std::move(spec)),
       config_(config),
       rng_(config.seed),
-      neighbor_selector_([&] {
+      neighbor_config_([&] {
         SelectConfig c = config.select;
         c.with_replacement = spec_.with_replacement;
         return c;
       }()),
-      frontier_selector_([&] {
+      frontier_config_([&] {
         SelectConfig c = config.select;
         c.with_replacement = false;  // pool positions are picked distinct
         return c;
@@ -157,6 +163,13 @@ SamplingEngine::SamplingEngine(const GraphView& view, Policy policy,
   CSAW_CHECK(spec_.frontier_size >= 1);
   CSAW_CHECK_MSG(!(spec_.layer_mode && spec_.select_frontier),
                  "layer sampling selects its frontier implicitly");
+}
+
+void SamplingEngine::ensure_workers(std::uint32_t width) {
+  workers_.reserve(width);
+  while (workers_.size() < width) {
+    workers_.emplace_back(neighbor_config_, frontier_config_);
+  }
 }
 
 SampleRun SamplingEngine::run(sim::Device& device,
@@ -170,6 +183,9 @@ SampleRun SamplingEngine::run(sim::Device& device,
 
   SampleRun run_result;
   run_result.samples.reset(num_instances);
+
+  device.set_num_threads(config_.num_threads);
+  ensure_workers(device.max_workers());
 
   const std::size_t log_begin = device.kernel_log().size();
   const double t0 = device.synchronize();
@@ -224,26 +240,28 @@ void SamplingEngine::select_frontiers(sim::Device& device,
 
   device.run_kernel(
       "vertex_select", tasks.size(),
-      [&](std::uint64_t t, sim::WarpContext& warp) {
+      [&](std::uint64_t t, sim::WarpContext& warp, std::uint32_t worker) {
         InstanceState& inst = instances[tasks[t]];
+        WorkerScratch& ws = workers_[worker];
         const InstanceContext ctx{
             inst.id, step, inst.prev_vertex, inst.seed_vertex,
             inst.visited.size() > 0 ? &inst.visited : nullptr};
 
         // VERTEXBIAS over the FrontierPool (Fig. 2(b) line 4).
         warp.charge_global(inst.pool.size() * sizeof(VertexId));
-        bias_scratch_.resize(inst.pool.size());
+        ws.bias_scratch.resize(inst.pool.size());
         double total = 0.0;
         for (std::size_t p = 0; p < inst.pool.size(); ++p) {
-          bias_scratch_[p] = policy_.eval_vertex_bias(*view_, inst.pool[p], ctx);
-          total += bias_scratch_[p];
+          ws.bias_scratch[p] =
+              policy_.eval_vertex_bias(*view_, inst.pool[p], ctx);
+          total += ws.bias_scratch[p];
         }
         warp.charge_rounds((inst.pool.size() + sim::WarpContext::kLanes - 1) /
                            sim::WarpContext::kLanes);
         if (total <= 0.0) return;
 
-        scratch.frontier_positions[tasks[t]] = frontier_selector_.select(
-            bias_scratch_, spec_.frontier_size, rng_,
+        scratch.frontier_positions[tasks[t]] = ws.frontier_selector->select(
+            ws.bias_scratch, spec_.frontier_size, rng_,
             SelectCoords{inst.id, step, /*slot_base=*/0}, warp);
       });
 }
@@ -266,22 +284,33 @@ void SamplingEngine::sample_neighbors(sim::Device& device,
     }
   }
 
+  scratch.results.resize(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    scratch.results[t].local_instance = tasks[t].local_instance;
+    scratch.results[t].pool_position = tasks[t].pool_position;
+  }
+
   device.run_kernel(
       "neighbor_select", tasks.size(),
-      [&](std::uint64_t t, sim::WarpContext& warp) {
+      [&](std::uint64_t t, sim::WarpContext& warp, std::uint32_t worker) {
         const Task task = tasks[t];
         InstanceState& inst = instances[task.local_instance];
+        WorkerScratch& ws = workers_[worker];
         const FrontierWorkItem item{inst.pool[task.pool_position], inst.id,
                                     step, inst.pool_slots[task.pool_position]};
         FrontierResult result =
             process_frontier_vertex(*view_, policy_, spec_, rng_,
-                                    neighbor_selector_, inst, item, warp,
-                                    bias_scratch_);
+                                    ws.neighbor_selector, inst, item, warp,
+                                    ws.bias_scratch);
         for (const Edge& e : result.sampled) {
           samples.add(task.local_instance, e);
         }
-        scratch.results[task.local_instance].emplace_back(
-            task.pool_position, std::move(result.next));
+        scratch.results[t].next = std::move(result.next);
+      },
+      // Tasks of one instance share its visited set and sample vector:
+      // affinity serializes them in task order on one worker.
+      [&tasks](std::uint64_t t) {
+        return static_cast<std::uint64_t>(tasks[t].local_instance);
       });
 }
 
@@ -294,10 +323,16 @@ void SamplingEngine::sample_layer(sim::Device& device,
     if (instances[i].active && !instances[i].pool.empty()) tasks.push_back(i);
   }
 
+  scratch.results.resize(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    scratch.results[t].local_instance = tasks[t];
+  }
+
   device.run_kernel(
       "layer_select", tasks.size(),
-      [&](std::uint64_t t, sim::WarpContext& warp) {
+      [&](std::uint64_t t, sim::WarpContext& warp, std::uint32_t worker) {
         InstanceState& inst = instances[tasks[t]];
+        WorkerScratch& ws = workers_[worker];
         const InstanceContext ctx{
             inst.id, step, inst.prev_vertex, inst.seed_vertex,
             inst.visited.size() > 0 ? &inst.visited : nullptr};
@@ -323,13 +358,13 @@ void SamplingEngine::sample_layer(sim::Device& device,
         }
         if (pool_edges.empty()) return;
 
-        bias_scratch_.resize(pool_edges.size());
+        ws.bias_scratch.resize(pool_edges.size());
         double total = 0.0;
         for (std::size_t e = 0; e < pool_edges.size(); ++e) {
           const EdgeRef edge{pool_edges[e].v, pool_edges[e].u,
                              pool_edges[e].w, pool_edges[e].k};
-          bias_scratch_[e] = policy_.eval_edge_bias(*view_, edge, ctx);
-          total += bias_scratch_[e];
+          ws.bias_scratch[e] = policy_.eval_edge_bias(*view_, edge, ctx);
+          total += ws.bias_scratch[e];
         }
         warp.charge_rounds((pool_edges.size() + sim::WarpContext::kLanes - 1) /
                            sim::WarpContext::kLanes);
@@ -349,8 +384,8 @@ void SamplingEngine::sample_layer(sim::Device& device,
         }
 
         const std::uint32_t slot_base = rng_slots::frontier_slot_base(0);
-        const auto selected = neighbor_selector_.select(
-            bias_scratch_, spec_.neighbor_size, rng_,
+        const auto selected = ws.neighbor_selector.select(
+            ws.bias_scratch, spec_.neighbor_size, rng_,
             SelectCoords{inst.id, step, slot_base}, warp, pre_selected);
 
         std::vector<std::pair<VertexId, std::uint32_t>> next;
@@ -368,17 +403,25 @@ void SamplingEngine::sample_layer(sim::Device& device,
           if (spec_.filter_visited && !inst.mark_visited(nxt)) continue;
           next.emplace_back(nxt, static_cast<std::uint32_t>(s));
         }
-        scratch.results[tasks[t]].emplace_back(0u, std::move(next));
+        scratch.results[t].next = std::move(next);
       });
 }
 
 void SamplingEngine::advance_pools(std::vector<InstanceState>& instances,
                                    StepScratch& scratch) const {
   const std::uint32_t cap = spec_.effective_branching_cap();
+  // Task results are instance-major (the kernels build their task lists
+  // that way), so each instance's results form one contiguous run.
+  std::size_t run = 0;
   for (std::uint32_t i = 0; i < instances.size(); ++i) {
     InstanceState& inst = instances[i];
+    const std::size_t run_begin = run;
+    while (run < scratch.results.size() &&
+           scratch.results[run].local_instance == i) {
+      ++run;
+    }
+    const std::size_t run_end = run;
     if (!inst.active) continue;
-    auto& results = scratch.results[i];
 
     // node2vec context: the vertex explored at this step. Meaningful for
     // walk-shaped specs (single frontier vertex per step).
@@ -388,28 +431,28 @@ void SamplingEngine::advance_pools(std::vector<InstanceState>& instances,
 
     if (spec_.select_frontier) {
       // Replace each consumed pool position in place with its UPDATE
-      // results (multi-dimensional random walk semantics, Fig. 4).
+      // results (multi-dimensional random walk semantics, Fig. 4), via a
+      // position-indexed lookup (pool positions are distinct within a
+      // step, so the last write per position is the only one).
+      std::vector<const std::vector<std::pair<VertexId, std::uint32_t>>*>
+          next_at(inst.pool.size(), nullptr);
+      for (std::size_t t = run_begin; t < run_end; ++t) {
+        next_at[scratch.results[t].pool_position] = &scratch.results[t].next;
+      }
+      std::vector<char> consumed(inst.pool.size(), 0);
+      for (std::uint32_t p : scratch.frontier_positions[i]) consumed[p] = 1;
+
       std::vector<VertexId> new_pool;
       std::vector<std::uint32_t> new_slots;
       new_pool.reserve(inst.pool.size());
       new_slots.reserve(inst.pool.size());
-      auto result_for = [&results](std::uint32_t position)
-          -> const std::vector<std::pair<VertexId, std::uint32_t>>* {
-        for (const auto& [pos, next] : results) {
-          if (pos == position) return &next;
-        }
-        return nullptr;
-      };
-      const auto& consumed = scratch.frontier_positions[i];
       for (std::uint32_t p = 0; p < inst.pool.size(); ++p) {
-        const bool was_consumed =
-            std::find(consumed.begin(), consumed.end(), p) != consumed.end();
-        if (!was_consumed) {
+        if (!consumed[p]) {
           new_pool.push_back(inst.pool[p]);
           new_slots.push_back(inst.pool_slots[p]);
           continue;
         }
-        if (const auto* next = result_for(p)) {
+        if (const auto* next = next_at[p]) {
           for (const auto& [vertex, slot] : *next) {
             new_pool.push_back(vertex);
             // ns=1 select-frontier keeps the replaced entry's slot, which
@@ -425,8 +468,8 @@ void SamplingEngine::advance_pools(std::vector<InstanceState>& instances,
       // task order.
       std::vector<VertexId> new_pool;
       std::vector<std::uint32_t> new_slots;
-      for (const auto& [pos, next] : results) {
-        for (const auto& [vertex, slot] : next) {
+      for (std::size_t t = run_begin; t < run_end; ++t) {
+        for (const auto& [vertex, slot] : scratch.results[t].next) {
           new_pool.push_back(vertex);
           new_slots.push_back(slot);
         }

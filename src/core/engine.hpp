@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -78,6 +79,12 @@ struct EngineConfig {
   /// in RNG coordinates. Multi-device runs give each device a disjoint
   /// range so the union of samples is independent of the device count.
   std::uint32_t instance_id_offset = 0;
+  /// Host threads executing the simulated warp-tasks: 0 = auto (the
+  /// CSAW_THREADS environment variable, else hardware_concurrency), 1 =
+  /// the legacy serial path. Samples, seps() and kernel logs are
+  /// byte-identical at any width — the counter-based RNG makes sampling
+  /// order-independent (see README "Threading model").
+  std::uint32_t num_threads = 0;
 };
 
 /// Result of one in-memory engine run. Prefer csaw::Sampler (sampler.hpp),
@@ -131,6 +138,26 @@ struct FrontierResult {
   std::vector<std::pair<VertexId, std::uint32_t>> next;
 };
 
+/// Per-worker mutable scratch for parallel kernel execution: one slot per
+/// host worker, indexed by the worker identity Device::launch passes to
+/// the body. Selectors own CTPS/lane/detector buffers, and bias_scratch
+/// is the EDGEBIAS/VERTEXBIAS staging array — state that one warp-task
+/// must never observe from another (the engines used to share a single
+/// bias_scratch_ member across all kernel bodies, a latent aliasing
+/// hazard that per-worker scratch removes).
+struct WorkerScratch {
+  ItsSelector neighbor_selector;
+  /// Engaged only for engines with a frontier-selection kernel (the
+  /// in-memory engine); the OOM engine has none and skips the state.
+  std::optional<ItsSelector> frontier_selector;
+  std::vector<float> bias_scratch;
+
+  explicit WorkerScratch(const SelectConfig& neighbor)
+      : neighbor_selector(neighbor) {}
+  WorkerScratch(const SelectConfig& neighbor, const SelectConfig& frontier)
+      : neighbor_selector(neighbor), frontier_selector(frontier) {}
+};
+
 /// Executes GATHERNEIGHBORS + EDGEBIAS + SELECT + UPDATE for one frontier
 /// vertex against any GraphView. Both engines call exactly this function,
 /// which is what makes the OOM ≡ in-memory equivalence tests meaningful.
@@ -164,6 +191,9 @@ class SamplingEngine {
  private:
   struct StepScratch;
 
+  /// Grows the per-worker scratch to the device's execution width.
+  void ensure_workers(std::uint32_t width);
+
   void select_frontiers(sim::Device& device,
                         std::vector<InstanceState>& instances,
                         std::uint32_t step, StepScratch& scratch);
@@ -182,9 +212,9 @@ class SamplingEngine {
   SamplingSpec spec_;
   EngineConfig config_;
   CounterStream rng_;
-  ItsSelector neighbor_selector_;
-  ItsSelector frontier_selector_;
-  std::vector<float> bias_scratch_;
+  SelectConfig neighbor_config_;
+  SelectConfig frontier_config_;
+  std::vector<WorkerScratch> workers_;
 };
 
 }  // namespace csaw

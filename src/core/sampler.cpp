@@ -172,6 +172,7 @@ EngineConfig SamplerOptions::engine_config() const {
   config.select = select;
   config.seed = seed;
   config.instance_id_offset = instance_id_offset;
+  config.num_threads = num_threads;
   return config;
 }
 
@@ -235,10 +236,22 @@ RunResult Sampler::dispatch(std::span<const std::vector<VertexId>> seeds,
   return result;
 }
 
+sim::ThreadPool* Sampler::ensure_pool() {
+  const std::uint32_t width = sim::resolve_num_threads(options_.num_threads);
+  if (width <= 1) return nullptr;
+  if (pool_ == nullptr) pool_ = std::make_shared<sim::ThreadPool>(width);
+  return pool_.get();
+}
+
+void Sampler::attach_executor(sim::Device& device) {
+  if (ensure_pool() != nullptr) device.set_executor(pool_);
+}
+
 RunResult Sampler::run_in_memory(std::span<const std::vector<VertexId>> seeds,
                                  std::uint32_t instance_id_offset,
                                  std::uint32_t device_id) {
   sim::Device device(device_id, options_.device_params);
+  attach_executor(device);
   CsrGraphView view(*graph_);
   EngineConfig config = options_.engine_config();
   config.instance_id_offset = instance_id_offset;
@@ -257,9 +270,12 @@ RunResult Sampler::run_out_of_memory(
     std::span<const std::vector<VertexId>> seeds,
     std::uint32_t instance_id_offset, std::uint32_t device_id) {
   sim::Device device(device_id, options_.device_params);
+  attach_executor(device);
   OomConfig config = options_.oom_config();
   config.engine.instance_id_offset = instance_id_offset;
   if (parts_ == nullptr) {
+    // Single-device dispatch only; the multi-device path pre-builds the
+    // partitioning before its groups run concurrently.
     parts_ = std::make_shared<const PartitionedGraph>(
         *graph_, options_.num_partitions);
   }
@@ -291,21 +307,44 @@ RunResult Sampler::run_multi_device(
   const std::uint32_t per_device =
       (num_instances + options_.num_devices - 1) / options_.num_devices;
 
+  // Per-device runs are independent (disjoint instance groups, own
+  // simulated Device) and execute concurrently on the shared host pool;
+  // group results land in per-device slots and merge in device order, so
+  // the output is identical to the sequential loop. The pool and the
+  // partitioning must exist before the groups race to lazily create them.
+  ensure_pool();
+  if (decision_.out_of_memory && parts_ == nullptr) {
+    parts_ = std::make_shared<const PartitionedGraph>(
+        *graph_, options_.num_partitions);
+  }
+
+  std::vector<RunResult> parts(options_.num_devices);
+  const auto run_group = [&](std::uint32_t d) {
+    const std::uint32_t begin = std::min(d * per_device, num_instances);
+    const std::uint32_t end = std::min(begin + per_device, num_instances);
+    if (begin == end) return;
+    const auto group = seeds.subspan(begin, end - begin);
+    parts[d] = decision_.out_of_memory
+                   ? run_out_of_memory(group, instance_id_offset + begin, d)
+                   : run_in_memory(group, instance_id_offset + begin, d);
+  };
+  if (pool_ != nullptr && options_.num_devices > 1) {
+    pool_->parallel_for(options_.num_devices,
+                        [&](std::size_t d, std::uint32_t) {
+                          run_group(static_cast<std::uint32_t>(d));
+                        });
+  } else {
+    for (std::uint32_t d = 0; d < options_.num_devices; ++d) run_group(d);
+  }
+
   OomMetrics oom_total;
   bool any_oom = false;
   for (std::uint32_t d = 0; d < options_.num_devices; ++d) {
     const std::uint32_t begin = std::min(d * per_device, num_instances);
     const std::uint32_t end = std::min(begin + per_device, num_instances);
     if (begin == end) continue;
-
-    const auto group = seeds.subspan(begin, end - begin);
-    const RunResult part =
-        decision_.out_of_memory
-            ? run_out_of_memory(group, instance_id_offset + begin, d)
-            : run_in_memory(group, instance_id_offset + begin, d);
-
-    merge_group(result, part, begin, end, oom_total, any_oom);
-    result.device_seconds[d] = part.sim_seconds;
+    merge_group(result, parts[d], begin, end, oom_total, any_oom);
+    result.device_seconds[d] = parts[d].sim_seconds;
   }
 
   result.sim_seconds = *std::max_element(result.device_seconds.begin(),

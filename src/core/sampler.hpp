@@ -48,6 +48,15 @@ struct SamplerOptions {
   std::uint32_t num_devices = 1;
   sim::DeviceParams device_params;
 
+  // --- Host execution.
+  /// Host threads executing simulated warp-tasks, shared by all devices
+  /// of the run (multi-device groups execute concurrently on the same
+  /// pool): 0 = auto (the CSAW_THREADS environment variable, else
+  /// hardware_concurrency), 1 = the legacy serial path. Samples, seps()
+  /// and kernel stats are byte-identical at any width (see README
+  /// "Threading model").
+  std::uint32_t num_threads = 0;
+
   // --- Out-of-memory knobs (previously OomConfig), used whenever the
   // out-of-memory backend is selected on any device.
   std::uint32_t num_partitions = 4;
@@ -148,6 +157,12 @@ class Sampler {
   RunResult run_multi_device(std::span<const std::vector<VertexId>> seeds,
                              std::uint32_t instance_id_offset);
 
+  /// Creates the run-wide host pool on first use (width from
+  /// num_threads / CSAW_THREADS); null when the resolved width is serial.
+  sim::ThreadPool* ensure_pool();
+  /// Attaches the run-wide host executor to a device.
+  void attach_executor(sim::Device& device);
+
   const CsrGraph* graph_;
   Policy policy_;
   SamplingSpec spec_;
@@ -156,6 +171,9 @@ class Sampler {
   /// Built lazily on the first out-of-memory dispatch and shared by every
   /// subsequent engine (batched serving partitions once, not per batch).
   std::shared_ptr<const PartitionedGraph> parts_;
+  /// The persistent host thread pool shared by every device of this
+  /// sampler (and reused across runs/batches). Null while serial.
+  std::shared_ptr<sim::ThreadPool> pool_;
 };
 
 }  // namespace csaw

@@ -1,6 +1,7 @@
 #include "gpusim/device.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -18,33 +19,109 @@ Stream& Device::stream(std::size_t i) {
   return streams_[i];
 }
 
-const KernelRecord& Device::launch(std::string name, Stream& stream,
-                                   double resource_fraction,
-                                   std::uint64_t num_tasks,
-                                   const WarpBody& body) {
-  KernelStats stats;
-  std::vector<std::uint64_t> warp_rounds;
-  warp_rounds.reserve(num_tasks);
-  for (std::uint64_t task = 0; task < num_tasks; ++task) {
-    const std::uint64_t before = stats.lockstep_rounds;
-    {
-      WarpContext warp(stats);
-      body(task, warp);
+void Device::set_num_threads(std::uint32_t num_threads) {
+  if (shared_pool_ != nullptr) return;  // the attached executor wins
+  const std::uint32_t width = resolve_num_threads(num_threads);
+  if (width <= 1) {
+    owned_pool_.reset();
+    return;
+  }
+  if (owned_pool_ != nullptr && owned_pool_->num_threads() == width) return;
+  owned_pool_ = std::make_unique<ThreadPool>(width);
+}
+
+void Device::set_executor(std::shared_ptr<ThreadPool> pool) {
+  shared_pool_ = std::move(pool);
+}
+
+std::uint32_t Device::max_workers() const noexcept {
+  const ThreadPool* pool = executor();
+  return pool == nullptr ? 1u : pool->num_threads();
+}
+
+void Device::execute_tasks(std::uint64_t num_tasks, const WorkerWarpBody& body,
+                           const TaskAffinity& affinity, KernelStats& stats,
+                           std::vector<std::uint64_t>& warp_rounds) {
+  warp_rounds.assign(num_tasks, 0);
+  ThreadPool* pool = executor();
+
+  if (pool == nullptr || pool->num_threads() <= 1 || num_tasks <= 1) {
+    // Legacy serial path: tasks in index order, one stats accumulator.
+    const std::uint32_t worker = pool == nullptr ? 0 : pool->current_worker();
+    for (std::uint64_t task = 0; task < num_tasks; ++task) {
+      const std::uint64_t before = stats.lockstep_rounds;
+      {
+        WarpContext warp(stats);
+        body(task, warp, worker);
+      }
+      warp_rounds[task] = stats.lockstep_rounds - before;
     }
-    warp_rounds.push_back(stats.lockstep_rounds - before);
+    return;
   }
 
+  // Affinity groups: contiguous runs of equal keys execute serially in
+  // task order on one worker (shared per-instance state stays race-free
+  // and mutation order matches the serial schedule).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> groups;
+  if (affinity != nullptr) {
+    std::uint64_t begin = 0;
+    std::uint64_t key = affinity(0);
+    for (std::uint64_t task = 1; task < num_tasks; ++task) {
+      const std::uint64_t next = affinity(task);
+      if (next != key) {
+        groups.emplace_back(begin, task);
+        begin = task;
+        key = next;
+      }
+    }
+    groups.emplace_back(begin, num_tasks);
+  }
+
+  // Per-worker stats accumulators. Every KernelStats field is a sum or a
+  // max, so merging the partials in any order reproduces the serial
+  // accumulation byte for byte; warp_rounds are per-task slots and the
+  // intra-block imbalance is computed from them post-barrier, exactly as
+  // in the serial path.
+  std::vector<KernelStats> worker_stats(pool->num_threads());
+  const auto run_range = [&](std::uint64_t begin, std::uint64_t end,
+                             std::uint32_t worker) {
+    KernelStats& local = worker_stats[worker];
+    for (std::uint64_t task = begin; task < end; ++task) {
+      const std::uint64_t before = local.lockstep_rounds;
+      {
+        WarpContext warp(local);
+        body(task, warp, worker);
+      }
+      warp_rounds[task] = local.lockstep_rounds - before;
+    }
+  };
+
+  if (affinity == nullptr) {
+    pool->parallel_for(num_tasks, [&](std::size_t task, std::uint32_t worker) {
+      run_range(task, task + 1, worker);
+    });
+  } else {
+    pool->parallel_for(groups.size(), [&](std::size_t g, std::uint32_t worker) {
+      run_range(groups[g].first, groups[g].second, worker);
+    });
+  }
+  for (const KernelStats& partial : worker_stats) stats.merge(partial);
+}
+
+const KernelRecord& Device::record_kernel(
+    std::string name, Stream& stream, double resource_fraction,
+    std::uint64_t num_tasks, KernelStats stats,
+    const std::vector<std::uint64_t>& rounds) {
   // Intra-block imbalance: a block's warp slots are occupied until its
   // longest warp retires (8 warps = 256 threads per block).
   constexpr std::uint64_t kWarpsPerBlock = 8;
   std::uint64_t occupied = 0;
-  for (std::size_t base = 0; base < warp_rounds.size();
-       base += kWarpsPerBlock) {
+  for (std::size_t base = 0; base < rounds.size(); base += kWarpsPerBlock) {
     const std::uint64_t width =
-        std::min<std::uint64_t>(kWarpsPerBlock, warp_rounds.size() - base);
+        std::min<std::uint64_t>(kWarpsPerBlock, rounds.size() - base);
     std::uint64_t longest = 0;
     for (std::uint64_t w = 0; w < width; ++w) {
-      longest = std::max(longest, warp_rounds[base + w]);
+      longest = std::max(longest, rounds[base + w]);
     }
     occupied += width * longest;
   }
@@ -61,10 +138,48 @@ const KernelRecord& Device::launch(std::string name, Stream& stream,
   return kernel_log_.back();
 }
 
+const KernelRecord& Device::launch(std::string name, Stream& stream,
+                                   double resource_fraction,
+                                   std::uint64_t num_tasks,
+                                   const WarpBody& body) {
+  // Legacy bodies may touch shared state: always the serial loop.
+  KernelStats stats;
+  std::vector<std::uint64_t> warp_rounds(num_tasks, 0);
+  for (std::uint64_t task = 0; task < num_tasks; ++task) {
+    const std::uint64_t before = stats.lockstep_rounds;
+    {
+      WarpContext warp(stats);
+      body(task, warp);
+    }
+    warp_rounds[task] = stats.lockstep_rounds - before;
+  }
+  return record_kernel(std::move(name), stream, resource_fraction, num_tasks,
+                       stats, warp_rounds);
+}
+
+const KernelRecord& Device::launch(std::string name, Stream& stream,
+                                   double resource_fraction,
+                                   std::uint64_t num_tasks,
+                                   const WorkerWarpBody& body,
+                                   const TaskAffinity& affinity) {
+  KernelStats stats;
+  std::vector<std::uint64_t> warp_rounds;
+  execute_tasks(num_tasks, body, affinity, stats, warp_rounds);
+  return record_kernel(std::move(name), stream, resource_fraction, num_tasks,
+                       stats, warp_rounds);
+}
+
 const KernelRecord& Device::run_kernel(std::string name,
                                        std::uint64_t num_tasks,
                                        const WarpBody& body) {
   return launch(std::move(name), stream(0), 1.0, num_tasks, body);
+}
+
+const KernelRecord& Device::run_kernel(std::string name,
+                                       std::uint64_t num_tasks,
+                                       const WorkerWarpBody& body,
+                                       const TaskAffinity& affinity) {
+  return launch(std::move(name), stream(0), 1.0, num_tasks, body, affinity);
 }
 
 double Device::synchronize() const noexcept {

@@ -2,12 +2,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "gpusim/cost_model.hpp"
 #include "gpusim/stream.hpp"
+#include "gpusim/thread_pool.hpp"
 #include "gpusim/transfer.hpp"
 #include "gpusim/warp.hpp"
 
@@ -25,12 +27,41 @@ struct KernelRecord {
   double duration() const noexcept { return end - start; }
 };
 
-/// One simulated GPU. Kernel bodies run eagerly on the host, one warp-task
-/// at a time, accumulating KernelStats; the CostModel turns the stats into
-/// a simulated duration placed on the launch stream.
+/// One simulated GPU. Kernel bodies run eagerly on the host, accumulating
+/// KernelStats; the CostModel turns the stats into a simulated duration
+/// placed on the launch stream.
+///
+/// Host-side execution width: warp-tasks of one kernel run serially by
+/// default, or concurrently on a persistent work-stealing thread pool
+/// (set_num_threads / set_executor). The parallel path is byte-identical
+/// to the serial one — the counter-based RNG makes sampling results
+/// order-independent, per-task outputs go to pre-sized slots, and stats
+/// are merged from per-worker accumulators whose fields are all sums and
+/// maxes — so `seps()`, kernel logs and samples do not depend on the
+/// thread count. Bodies must uphold their side of the contract: no two
+/// concurrent tasks may share mutable state (see WorkerWarpBody and
+/// TaskAffinity).
 class Device {
  public:
+  /// Legacy kernel body. Bodies of this shape may touch shared state
+  /// freely — they always execute serially in task order, even when an
+  /// executor is attached.
   using WarpBody = std::function<void(std::uint64_t task, WarpContext&)>;
+
+  /// Parallel-capable kernel body: `worker` identifies the executing host
+  /// thread in [0, max_workers()) and indexes per-worker scratch. The body
+  /// may only mutate (a) state owned by its task (pre-sized per-task
+  /// slots), (b) scratch owned by `worker`, and (c) state owned by its
+  /// affinity group (see TaskAffinity).
+  using WorkerWarpBody =
+      std::function<void(std::uint64_t task, WarpContext&, std::uint32_t worker)>;
+
+  /// Maps a task index to an affinity key. Tasks in a *contiguous run* of
+  /// equal keys form a group executed serially in task order on one
+  /// worker — the hook for per-instance mutable state (visited bitmaps,
+  /// per-instance sample vectors) shared by neighboring tasks. nullptr
+  /// means every task is independent.
+  using TaskAffinity = std::function<std::uint64_t(std::uint64_t task)>;
 
   explicit Device(std::uint32_t id = 0, DeviceParams params = {});
 
@@ -43,16 +74,39 @@ class Device {
   Stream& stream(std::size_t i = 0);
   std::size_t stream_count() const noexcept { return streams_.size(); }
 
+  /// Requests a host-side execution width: 0 = auto (CSAW_THREADS, else
+  /// hardware_concurrency), 1 = serial, n = a pool of n threads. Creates
+  /// or resizes the device-owned pool lazily; a no-op when an external
+  /// executor is attached (the facade's shared pool wins) or the width is
+  /// already in effect.
+  void set_num_threads(std::uint32_t num_threads);
+
+  /// Attaches a shared executor (multi-device runs push one pool through
+  /// every device). nullptr detaches, restoring the serial path.
+  void set_executor(std::shared_ptr<ThreadPool> pool);
+
+  /// Upper bound (exclusive) of worker identities passed to bodies; 1
+  /// when serial. Engines size per-worker scratch with this.
+  std::uint32_t max_workers() const noexcept;
+
   /// Launches `num_tasks` warp-tasks of `body` on `stream`, holding
   /// `resource_fraction` of the device's SMs. Returns the launch record
-  /// (also appended to the kernel log).
+  /// (also appended to the kernel log). The WarpBody form runs serially;
+  /// the WorkerWarpBody form runs on the attached executor (if any).
   const KernelRecord& launch(std::string name, Stream& stream,
                              double resource_fraction, std::uint64_t num_tasks,
                              const WarpBody& body);
+  const KernelRecord& launch(std::string name, Stream& stream,
+                             double resource_fraction, std::uint64_t num_tasks,
+                             const WorkerWarpBody& body,
+                             const TaskAffinity& affinity = nullptr);
 
   /// Convenience: full-device launch on the default stream.
   const KernelRecord& run_kernel(std::string name, std::uint64_t num_tasks,
                                  const WarpBody& body);
+  const KernelRecord& run_kernel(std::string name, std::uint64_t num_tasks,
+                                 const WorkerWarpBody& body,
+                                 const TaskAffinity& affinity = nullptr);
 
   /// Simulated time at which all streams drain.
   double synchronize() const noexcept;
@@ -65,15 +119,31 @@ class Device {
   /// Sum of stats across all logged kernels.
   KernelStats total_stats() const;
 
-  /// Clears logs and rewinds all stream clocks (bench reuse).
+  /// Clears logs and rewinds all stream clocks (bench reuse). The
+  /// executor (and its parked workers) persists.
   void reset();
 
  private:
+  ThreadPool* executor() const noexcept {
+    return shared_pool_ ? shared_pool_.get() : owned_pool_.get();
+  }
+  /// Runs the tasks (serially or on the executor), filling `stats` and
+  /// per-task `warp_rounds` slots identically either way.
+  void execute_tasks(std::uint64_t num_tasks, const WorkerWarpBody& body,
+                     const TaskAffinity& affinity, KernelStats& stats,
+                     std::vector<std::uint64_t>& warp_rounds);
+  const KernelRecord& record_kernel(std::string name, Stream& stream,
+                                    double resource_fraction,
+                                    std::uint64_t num_tasks, KernelStats stats,
+                                    const std::vector<std::uint64_t>& rounds);
+
   std::uint32_t id_;
   CostModel cost_;
   TransferEngine transfer_;
   std::vector<Stream> streams_;
   std::vector<KernelRecord> kernel_log_;
+  std::shared_ptr<ThreadPool> shared_pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;
 };
 
 }  // namespace csaw::sim

@@ -1,0 +1,198 @@
+#include "gpusim/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+
+namespace csaw::sim {
+namespace {
+
+/// Worker slot of the current thread; -1 outside any pool (external
+/// threads map to slot 0 in current_worker()).
+thread_local std::int64_t tls_worker = -1;
+
+}  // namespace
+
+std::uint32_t resolve_num_threads(std::uint32_t requested) {
+  if (requested > 0) return requested;
+  if (const auto env = env_int("CSAW_THREADS")) {
+    CSAW_CHECK_MSG(*env >= 1, "CSAW_THREADS must be >= 1, got " << *env);
+    return static_cast<std::uint32_t>(*env);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::uint32_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::uint32_t num_threads)
+    : num_threads_(num_threads) {
+  CSAW_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads - 1);
+  // The external caller owns worker slot 0; spawned workers take 1..n-1.
+  for (std::uint32_t w = 1; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+std::uint32_t ThreadPool::current_worker() const noexcept {
+  return tls_worker < 0 ? 0u : static_cast<std::uint32_t>(tls_worker);
+}
+
+void ThreadPool::parallel_for(std::size_t num_items, const Task& fn) {
+  if (num_items == 0) return;
+  const std::uint32_t self = current_worker();
+  if (num_threads_ == 1 || num_items == 1) {
+    for (std::size_t i = 0; i < num_items; ++i) fn(i, self);
+    return;
+  }
+
+  Batch batch(num_threads_);
+  // Deterministic contiguous index chunks: worker w initially owns
+  // [w*chunk, (w+1)*chunk). Stealing rebalances at runtime; results must
+  // not depend on who executes what (Device::launch's contract).
+  const std::size_t chunk = (num_items + num_threads_ - 1) / num_threads_;
+  for (std::uint32_t w = 0; w < num_threads_; ++w) {
+    const std::size_t begin = std::min<std::size_t>(w * chunk, num_items);
+    const std::size_t end = std::min(begin + chunk, num_items);
+    for (std::size_t i = begin; i < end; ++i) batch.queues[w].push_back(i);
+  }
+  batch.fn = &fn;
+  batch.remaining = num_items;
+  batch.queued.store(num_items, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.push_back(&batch);
+    ++batch.visitors;
+  }
+  work_cv_.notify_all();
+  done_cv_.notify_all();  // owners waiting on other batches may help this one
+
+  drain(batch, self);
+
+  // Wait for stragglers. While waiting, help other in-flight batches (a
+  // nested parallel_for issued by one of our items registers a new batch
+  // we must be willing to drain — blocking instead could starve it on a
+  // fully-busy pool). The batch lives on this stack frame, so it may only
+  // be unregistered once no thread is inside drain() on it.
+  std::unique_lock<std::mutex> lock(mu_);
+  if (--batch.visitors == 0) done_cv_.notify_all();
+  while (batch.remaining > 0 || batch.visitors > 0) {
+    Batch* other = nullptr;
+    for (Batch* candidate : active_) {
+      if (candidate != &batch &&
+          candidate->queued.load(std::memory_order_relaxed) > 0) {
+        other = candidate;
+        break;
+      }
+    }
+    if (other != nullptr) {
+      ++other->visitors;
+      lock.unlock();
+      drain(*other, self);
+      lock.lock();
+      if (--other->visitors == 0) done_cv_.notify_all();
+      continue;
+    }
+    done_cv_.wait(lock);
+  }
+  active_.erase(std::find(active_.begin(), active_.end(), &batch));
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+void ThreadPool::worker_main(std::uint32_t worker) {
+  tls_worker = worker;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stopping_) return;
+    Batch* batch = nullptr;
+    for (Batch* candidate : active_) {
+      if (candidate->queued.load(std::memory_order_relaxed) > 0) {
+        batch = candidate;
+        break;
+      }
+    }
+    if (batch == nullptr) {
+      work_cv_.wait(lock);
+      continue;
+    }
+    ++batch->visitors;  // keeps the owner from unregistering under us
+    lock.unlock();
+    drain(*batch, worker);
+    lock.lock();
+    if (--batch->visitors == 0) done_cv_.notify_all();
+  }
+}
+
+bool ThreadPool::pop_item(Batch& batch, std::uint32_t worker,
+                          std::size_t& item) {
+  // Own queue first (front), then steal from the back of the others.
+  {
+    std::lock_guard<std::mutex> lock(batch.queue_mu[worker]);
+    if (!batch.queues[worker].empty()) {
+      item = batch.queues[worker].front();
+      batch.queues[worker].pop_front();
+      batch.queued.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  for (std::uint32_t step = 1; step < num_threads_; ++step) {
+    const std::uint32_t victim = (worker + step) % num_threads_;
+    std::lock_guard<std::mutex> lock(batch.queue_mu[victim]);
+    if (!batch.queues[victim].empty()) {
+      item = batch.queues[victim].back();
+      batch.queues[victim].pop_back();
+      batch.queued.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::drain(Batch& batch, std::uint32_t worker) {
+  std::size_t item = 0;
+  while (pop_item(batch, worker, item)) {
+    std::exception_ptr error;
+    try {
+      (*batch.fn)(item, worker);
+    } catch (...) {
+      error = std::current_exception();
+      // Fail fast: abandon the batch's queued items (mirrors the serial
+      // path, which stops at the first throwing task). Queue mutexes are
+      // never held while taking mu_.
+      std::size_t dropped = 0;
+      for (std::uint32_t q = 0; q < num_threads_; ++q) {
+        std::lock_guard<std::mutex> qlock(batch.queue_mu[q]);
+        dropped += batch.queues[q].size();
+        batch.queues[q].clear();
+      }
+      batch.queued.store(0, std::memory_order_relaxed);
+      if (dropped > 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        batch.remaining -= dropped;
+      }
+    }
+    finish_item(batch, error);
+  }
+}
+
+void ThreadPool::finish_item(Batch& batch, std::exception_ptr error) {
+  bool done = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error && !batch.error) batch.error = error;
+    done = --batch.remaining == 0;
+  }
+  if (done) done_cv_.notify_all();
+}
+
+}  // namespace csaw::sim

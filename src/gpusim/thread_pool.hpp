@@ -1,0 +1,108 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace csaw::sim {
+
+/// Resolves a requested host-thread count into an effective width:
+///   0  — auto: the CSAW_THREADS environment variable when set, otherwise
+///        std::thread::hardware_concurrency()
+///   n  — exactly n (1 = the legacy serial path)
+/// Always returns at least 1.
+std::uint32_t resolve_num_threads(std::uint32_t requested);
+
+/// Persistent work-stealing thread pool executing the simulator's
+/// warp-tasks. One pool outlives many kernel launches (workers park on a
+/// condition variable between launches) and may be shared by several
+/// Devices — multi-device runs execute their per-device engines through
+/// the same pool without oversubscribing the host.
+///
+/// Scheduling model: each parallel_for distributes its items into
+/// per-worker queues in deterministic contiguous index chunks; a worker
+/// drains its own queue front-to-back and steals from the back of other
+/// queues when it runs dry. Which worker executes an item is therefore
+/// *not* deterministic — callers must make results independent of the
+/// schedule (per-item output slots, per-worker scratch, order-independent
+/// reductions), which is exactly the contract Device::launch builds on.
+///
+/// parallel_for is reentrant: an item may itself call parallel_for on the
+/// same pool (nested multi-device kernels). The caller participates in the
+/// work and, while waiting for stragglers, helps drain other in-flight
+/// batches instead of blocking — so nesting cannot deadlock.
+///
+/// At most one *external* (non-worker) thread may use a pool at a time:
+/// worker identities passed to items are unique per thread only under that
+/// condition (the external thread owns worker slot 0).
+class ThreadPool {
+ public:
+  /// Worker function: item index plus the executing worker's identity in
+  /// [0, num_threads()). The identity indexes per-worker scratch.
+  using Task = std::function<void(std::size_t item, std::uint32_t worker)>;
+
+  /// Spawns `num_threads - 1` workers (the calling thread is the last
+  /// worker). `num_threads` must be >= 1; a width-1 pool runs everything
+  /// inline.
+  explicit ThreadPool(std::uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width, including the calling thread.
+  std::uint32_t num_threads() const noexcept { return num_threads_; }
+
+  /// Worker identity of the current thread: its slot for pool workers, 0
+  /// for external threads.
+  std::uint32_t current_worker() const noexcept;
+
+  /// Runs fn(item, worker) for every item in [0, num_items). Blocks until
+  /// all items completed (the calling thread participates). The first
+  /// exception thrown by an item is rethrown here after the batch drains;
+  /// items still queued when it was thrown are abandoned. The pool remains
+  /// usable after a throwing batch.
+  void parallel_for(std::size_t num_items, const Task& fn);
+
+ private:
+  struct Batch {
+    const Task* fn = nullptr;
+    /// Per-worker item queues; mutex-per-queue, stealing from the back.
+    std::vector<std::deque<std::size_t>> queues;
+    std::vector<std::mutex> queue_mu;
+    /// Cheap "has queued work" hint so batch selection does not need the
+    /// queue mutexes; correctness comes from the mutexes themselves.
+    std::atomic<std::size_t> queued{0};
+    std::size_t remaining = 0;  ///< items not yet finished (under pool mu_)
+    std::size_t visitors = 0;   ///< threads inside drain() (under pool mu_)
+    std::exception_ptr error;   ///< first failure (under pool mu_)
+
+    explicit Batch(std::size_t width) : queues(width), queue_mu(width) {}
+  };
+
+  void worker_main(std::uint32_t worker);
+  /// Pops the next item of `batch` for `worker` (own queue first, then
+  /// stealing). Returns false when the batch has no queued items left.
+  bool pop_item(Batch& batch, std::uint32_t worker, std::size_t& item);
+  /// Runs queued items of `batch` until none remain queued.
+  void drain(Batch& batch, std::uint32_t worker);
+  /// Marks one item of `batch` done (or failed) and wakes waiters.
+  void finish_item(Batch& batch, std::exception_ptr error);
+
+  std::uint32_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: new batch or shutdown
+  std::condition_variable done_cv_;  ///< batch owners: progress happened
+  std::vector<Batch*> active_;       ///< in-flight batches, registration order
+  bool stopping_ = false;
+};
+
+}  // namespace csaw::sim

@@ -40,6 +40,7 @@ MultiDeviceRun run_multi_device(const CsrGraph& graph, const Policy& policy,
   options.select = config.engine.select;
   options.seed = config.engine.seed;
   options.instance_id_offset = config.engine.instance_id_offset;
+  options.num_threads = config.engine.num_threads;
   options.memory_assumption = config.out_of_memory
                                   ? MemoryAssumption::kExceeds
                                   : MemoryAssumption::kFits;

@@ -37,7 +37,7 @@ OomEngine::OomEngine(const CsrGraph& graph, Policy policy, SamplingSpec spec,
       spec_(std::move(spec)),
       config_(config),
       rng_(config.engine.seed),
-      selector_([&] {
+      select_config_([&] {
         SelectConfig c = config.engine.select;
         c.with_replacement = spec_.with_replacement;
         return c;
@@ -62,6 +62,15 @@ OomEngine::OomEngine(const CsrGraph& graph, Policy policy, SamplingSpec spec,
   CSAW_CHECK(config.num_streams >= 1);
 }
 
+void OomEngine::ensure_workers(std::uint32_t width) {
+  workers_.reserve(width);
+  while (workers_.size() < width) {
+    // No frontier-selection kernel here: the frontier selector slot of
+    // the shared WorkerScratch shape stays disengaged.
+    workers_.emplace_back(select_config_);
+  }
+}
+
 OomRun OomEngine::run(sim::Device& device,
                       std::span<const std::vector<VertexId>> seeds) {
   const auto num_instances = static_cast<std::uint32_t>(seeds.size());
@@ -76,6 +85,9 @@ OomRun OomEngine::run(sim::Device& device,
   samples_ = &result.samples;
 
   queues_.assign(config_.num_partitions, FrontierQueue{});
+
+  device.set_num_threads(config_.engine.num_threads);
+  ensure_workers(device.max_workers());
 
   const std::size_t log_begin = device.kernel_log().size();
   const double t0 = device.synchronize();
@@ -234,11 +246,24 @@ void OomEngine::run_wave(sim::Device& device, sim::Stream& stream,
   if (config_.batched) {
     // BA: one kernel over the interleaved entries of all instances — any
     // warp takes any entry (vertex-grained work distribution, §V-C).
+    // Next-depth entries land in per-task slots and are merged in task
+    // order below, so queue contents match the serial schedule exactly.
+    std::vector<std::vector<FrontierEntry>> routed(batch.size());
     device.launch(
         "oom_sample_p" + std::to_string(p), stream, fraction, batch.size(),
-        [&](std::uint64_t t, sim::WarpContext& warp) {
-          process_entry(p, batch[t], warp);
+        [&](std::uint64_t t, sim::WarpContext& warp, std::uint32_t worker) {
+          process_entry(p, batch[t], warp, workers_[worker], routed[t]);
+        },
+        // Entries of one instance share its visited set, prev_vertex and
+        // sample vector; sort_batch made them contiguous.
+        [&batch](std::uint64_t t) {
+          return static_cast<std::uint64_t>(batch[t].instance);
         });
+    for (const auto& slot : routed) {
+      for (const FrontierEntry& e : slot) {
+        queues_[parts_->part_of(e.vertex)].push(e);
+      }
+    }
   } else {
     // Instance-grained baseline: one warp owns all of an instance's
     // entries and processes them serially, so skewed instances straggle
@@ -254,19 +279,26 @@ void OomEngine::run_wave(sim::Device& device, sim::Stream& stream,
       groups.emplace_back(begin, end);
       begin = end;
     }
+    std::vector<std::vector<FrontierEntry>> routed(groups.size());
     device.launch(
         "oom_sample_p" + std::to_string(p), stream, fraction, groups.size(),
-        [&](std::uint64_t t, sim::WarpContext& warp) {
+        [&](std::uint64_t t, sim::WarpContext& warp, std::uint32_t worker) {
           for (std::size_t i = groups[t].first; i < groups[t].second; ++i) {
-            process_entry(p, batch[i], warp);
+            process_entry(p, batch[i], warp, workers_[worker], routed[t]);
           }
         });
+    for (const auto& slot : routed) {
+      for (const FrontierEntry& e : slot) {
+        queues_[parts_->part_of(e.vertex)].push(e);
+      }
+    }
   }
   ++metrics.kernel_launches;
 }
 
 void OomEngine::process_entry(std::uint32_t p, const FrontierEntry& entry,
-                              sim::WarpContext& warp) {
+                              sim::WarpContext& warp, WorkerScratch& scratch,
+                              std::vector<FrontierEntry>& routed) {
   const PartitionView& view = parts_->view(p);
   const std::uint32_t local =
       entry.instance - config_.engine.instance_id_offset;
@@ -276,13 +308,14 @@ void OomEngine::process_entry(std::uint32_t p, const FrontierEntry& entry,
   const FrontierWorkItem item{entry.vertex, entry.instance, entry.depth,
                               entry.slot};
   FrontierResult result = process_frontier_vertex(
-      view, policy_, spec_, rng_, selector_, inst, item, warp, bias_scratch_);
+      view, policy_, spec_, rng_, scratch.neighbor_selector, inst, item, warp,
+      scratch.bias_scratch);
   for (const Edge& e : result.sampled) samples_->add(local, e);
 
   if (entry.depth + 1 >= spec_.depth) return;  // walk/tree complete
   for (const auto& [vertex, slot] : result.next) {
-    queues_[parts_->part_of(vertex)].push(FrontierEntry{
-        vertex, entry.instance, entry.depth + 1, slot, entry.vertex});
+    routed.push_back(FrontierEntry{vertex, entry.instance, entry.depth + 1,
+                                   slot, entry.vertex});
   }
 }
 

@@ -97,23 +97,31 @@ class OomEngine {
   void run_wave(sim::Device& device, sim::Stream& stream, std::uint32_t p,
                 double fraction, OomMetrics& metrics);
 
-  /// Samples one frontier entry against partition p and routes results.
+  /// Samples one frontier entry against partition p. Next-depth frontier
+  /// entries go to `routed` (a per-task slot), not straight into the
+  /// partition queues — tasks of one wave run concurrently, and the
+  /// caller merges slots in task order after the kernel so queue contents
+  /// are byte-identical to the serial schedule.
   void process_entry(std::uint32_t p, const FrontierEntry& entry,
-                     sim::WarpContext& warp);
+                     sim::WarpContext& warp, WorkerScratch& scratch,
+                     std::vector<FrontierEntry>& routed);
+
+  /// Grows the per-worker scratch to the device's execution width.
+  void ensure_workers(std::uint32_t width);
 
   const CsrGraph* graph_;
   Policy policy_;
   SamplingSpec spec_;
   OomConfig config_;
   CounterStream rng_;
-  ItsSelector selector_;
+  SelectConfig select_config_;
+  std::vector<WorkerScratch> workers_;
   std::shared_ptr<const PartitionedGraph> parts_;
 
   // Per-run state.
   std::vector<FrontierQueue> queues_;
   std::vector<InstanceState> instances_;
   SampleStore* samples_ = nullptr;
-  std::vector<float> bias_scratch_;
 };
 
 }  // namespace csaw

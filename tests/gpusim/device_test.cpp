@@ -105,5 +105,101 @@ TEST(Device, EmptyKernelTakesNoTime) {
   EXPECT_EQ(device.synchronize(), 0.0);
 }
 
+TEST(Device, ParallelLaunchMatchesSerialRecord) {
+  // The same kernel on a serial and a 7-thread device: identical stats,
+  // identical simulated duration — the executor is invisible in the log.
+  auto body = [](std::uint64_t t, WarpContext& w, std::uint32_t) {
+    w.charge_rounds(1 + t % 13);
+    w.charge_global(64 * (t % 5));
+  };
+  Device serial;
+  serial.set_num_threads(1);
+  const KernelRecord a = serial.run_kernel("k", 500, body);
+
+  Device parallel;
+  parallel.set_num_threads(7);
+  EXPECT_EQ(parallel.max_workers(), 7u);
+  const KernelRecord b = parallel.run_kernel("k", 500, body);
+
+  EXPECT_EQ(a.stats.warps, b.stats.warps);
+  EXPECT_EQ(a.stats.lockstep_rounds, b.stats.lockstep_rounds);
+  EXPECT_EQ(a.stats.global_bytes, b.stats.global_bytes);
+  EXPECT_EQ(a.stats.max_warp_rounds, b.stats.max_warp_rounds);
+  EXPECT_EQ(a.stats.occupied_slot_rounds, b.stats.occupied_slot_rounds);
+  EXPECT_EQ(a.duration(), b.duration());
+}
+
+TEST(Device, ParallelWorkerIdsIndexDisjointScratch) {
+  // Regression for the shared-scratch aliasing hazard: each task stamps
+  // its worker's scratch slot, recomputes, and verifies no other task
+  // observed or clobbered it mid-flight. With the old single shared
+  // scratch member this interleaving corrupts the staged values.
+  Device device;
+  device.set_num_threads(7);
+  std::vector<std::vector<std::uint64_t>> scratch(device.max_workers());
+
+  constexpr std::uint64_t kTasks = 2000;
+  std::vector<std::uint64_t> sums(kTasks, 0);
+  device.run_kernel(
+      "scratch_isolation", kTasks,
+      [&](std::uint64_t t, WarpContext& warp, std::uint32_t worker) {
+        auto& mine = scratch[worker];
+        mine.assign(16 + t % 7, t + 1);  // stamp with a task-unique value
+        warp.charge_rounds(1);
+        std::uint64_t sum = 0;
+        for (const std::uint64_t v : mine) {
+          ASSERT_EQ(v, t + 1) << "task " << t << " observed foreign scratch";
+          sum += v;
+        }
+        sums[t] = sum;
+      });
+  for (std::uint64_t t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(sums[t], (16 + t % 7) * (t + 1));
+  }
+}
+
+TEST(Device, AffinityGroupsRunInTaskOrder) {
+  // Tasks in a contiguous run of equal affinity keys share mutable state;
+  // the executor must serialize them in task index order.
+  Device device;
+  device.set_num_threads(7);
+  constexpr std::uint64_t kGroups = 64;
+  constexpr std::uint64_t kPerGroup = 10;
+  std::vector<std::vector<std::uint64_t>> per_group(kGroups);
+  device.run_kernel(
+      "affinity", kGroups * kPerGroup,
+      [&](std::uint64_t t, WarpContext& warp, std::uint32_t) {
+        warp.charge_rounds(1 + t % 3);
+        per_group[t / kPerGroup].push_back(t);
+      },
+      [](std::uint64_t t) { return t / kPerGroup; });
+  for (std::uint64_t g = 0; g < kGroups; ++g) {
+    ASSERT_EQ(per_group[g].size(), kPerGroup);
+    for (std::uint64_t i = 0; i < kPerGroup; ++i) {
+      EXPECT_EQ(per_group[g][i], g * kPerGroup + i) << "group " << g;
+    }
+  }
+}
+
+TEST(Device, SerialBodiesStaySerialEvenWithExecutor) {
+  // Legacy 2-arg bodies may touch shared state: they must keep running
+  // serially in task order even when a pool is attached.
+  Device device;
+  device.set_num_threads(7);
+  std::vector<std::uint64_t> seen;
+  device.run_kernel("legacy", 100, [&](std::uint64_t t, WarpContext& w) {
+    w.charge_rounds(1);
+    seen.push_back(t);
+  });
+  ASSERT_EQ(seen.size(), 100u);
+  for (std::uint64_t t = 0; t < 100; ++t) EXPECT_EQ(seen[t], t);
+}
+
+TEST(Device, SetNumThreadsZeroResolvesAuto) {
+  Device device;
+  device.set_num_threads(0);
+  EXPECT_GE(device.max_workers(), 1u);
+}
+
 }  // namespace
 }  // namespace csaw::sim

@@ -1,0 +1,103 @@
+#include "gpusim/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace csaw::sim {
+namespace {
+
+TEST(ThreadPool, ExecutesEveryItemExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr std::size_t kItems = 1000;
+  std::vector<std::atomic<int>> hits(kItems);
+  pool.parallel_for(kItems, [&](std::size_t i, std::uint32_t worker) {
+    EXPECT_LT(worker, 4u);
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroItemsIsANoOp) {
+  ThreadPool pool(3);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t, std::uint32_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, WidthOneRunsInlineInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(5, [&](std::size_t i, std::uint32_t worker) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ReuseAcrossManyBatches) {
+  // The pool is persistent: the same workers serve many launches (the
+  // kernel-per-step pattern of the engines).
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(17, [&](std::size_t, std::uint32_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50u * 17u);
+}
+
+TEST(ThreadPool, PropagatesExceptionsAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i, std::uint32_t) {
+                          if (i == 13) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+
+  // A throwing batch must not poison the pool.
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(64, [&](std::size_t, std::uint32_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 64u);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  // A worker-launched item may itself fan out on the same pool (the
+  // multi-device path runs device groups whose kernels fan out again).
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> inner_hits(4 * 32);
+  pool.parallel_for(4, [&](std::size_t outer, std::uint32_t) {
+    pool.parallel_for(32, [&](std::size_t inner, std::uint32_t worker) {
+      EXPECT_LT(worker, 3u);
+      inner_hits[outer * 32 + inner].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (std::size_t i = 0; i < inner_hits.size(); ++i) {
+    EXPECT_EQ(inner_hits[i].load(), 1) << "inner item " << i;
+  }
+}
+
+TEST(ThreadPool, ResolveNumThreadsHonorsRequestAndEnv) {
+  EXPECT_EQ(resolve_num_threads(3), 3u);
+  EXPECT_EQ(resolve_num_threads(1), 1u);
+
+  ::setenv("CSAW_THREADS", "5", /*overwrite=*/1);
+  EXPECT_EQ(resolve_num_threads(0), 5u);
+  EXPECT_EQ(resolve_num_threads(2), 2u);  // explicit request wins
+  ::unsetenv("CSAW_THREADS");
+  EXPECT_GE(resolve_num_threads(0), 1u);  // hardware fallback
+}
+
+}  // namespace
+}  // namespace csaw::sim

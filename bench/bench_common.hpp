@@ -62,7 +62,9 @@ sim::DeviceParams oom_device_params(const DatasetSpec& spec,
 /// SamplerOptions for the out-of-memory benches (the paper's Figs. 13-15
 /// setup: explicit paging, 4 partitions, 2 resident, 2 streams, link
 /// scaled by oom_device_params). Small stand-ins are *pretended* not to
-/// fit, as in the paper, hence the explicit mode.
+/// fit, as in the paper, hence the explicit mode. The schedule is pinned
+/// to kStepBarrier — these figures quantify per-wave scheduling effects
+/// of the barriered executor (see the note in bench_common.cpp).
 SamplerOptions oom_bench_options(const DatasetSpec& spec,
                                  const CsrGraph& graph);
 

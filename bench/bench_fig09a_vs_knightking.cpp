@@ -35,6 +35,9 @@ int main() {
 
     auto run_devices = [&](std::uint32_t devices) {
       SamplerOptions options;
+      // Paper-shape fidelity: measure the barriered executor the paper
+      // evaluates; the pipelined gain is tracked by bench_harness instead.
+      options.schedule = Schedule::kStepBarrier;
       options.num_devices = devices;  // kAuto: >1 resolves to multi-device
       // FR/TW run the out-of-memory engine at bench-scale transfer costs:
       // paper-scaled transfers would dominate a scaled-down walk entirely

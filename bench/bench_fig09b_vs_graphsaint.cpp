@@ -45,6 +45,9 @@ int main() {
       // select_frontier and pins the in-memory engine per device (the
       // paper likewise benchmarks MDRW on the in-memory path).
       SamplerOptions options;
+      // Paper-shape fidelity: measure the barriered executor the paper
+      // evaluates; the pipelined gain is tracked by bench_harness instead.
+      options.schedule = Schedule::kStepBarrier;
       options.num_devices = devices;
       Sampler sampler(g, setup, options);
       return sampler.run(pools);

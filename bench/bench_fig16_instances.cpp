@@ -27,6 +27,9 @@ int main() {
   for (const DatasetSpec& spec : paper_datasets()) {
     const CsrGraph& g = bench::dataset(spec.abbr);
     SamplerOptions options;
+    // Paper-shape fidelity: measure the barriered executor the paper
+    // evaluates; the pipelined gain is tracked by bench_harness instead.
+    options.schedule = Schedule::kStepBarrier;
     options.mode = ExecutionMode::kInMemory;
     Sampler sampler(g, setup, options);
 

@@ -1,127 +1,41 @@
-// Host-side throughput of the parallel kernel executor: wall-clock and
-// SEPS for the same sampling run at 1, 2, 4 and hardware_concurrency
-// threads. Simulated results are byte-identical at every width (asserted
-// here), so the only thing that changes is how fast the host gets them —
-// the speedup column is the executor's scaling curve. Emits
-// BENCH_throughput.json for the perf trajectory.
-#include <algorithm>
+// Host-side throughput of the kernel executor: wall-clock and simulated
+// SEPS for the same sampling run under both schedules (pipelined vs
+// step-barrier) at 1, 2, 4 and hardware_concurrency host threads.
+// Simulated results are byte-identical at every width (asserted), so the
+// wall column is the executor's host-scaling curve while the SEPS column
+// is the schedule's simulated-throughput gain.
+//
+// The shared implementation lives in bench/harness/throughput.cpp; the
+// tracked trajectory record (with the figure-smoke section) is produced
+// by bench_harness — this standalone writes the workload section only.
 #include <fstream>
 #include <iostream>
-#include <thread>
-#include <vector>
 
-#include "algorithms/neighbor_sampling.hpp"
-#include "algorithms/random_walks.hpp"
 #include "bench_common.hpp"
-#include "gpusim/thread_pool.hpp"
-#include "util/check.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
-#include "util/timer.hpp"
-
-namespace {
-
-struct Measurement {
-  std::uint32_t threads = 1;
-  double wall_seconds = 0.0;
-  double seps = 0.0;
-  std::uint64_t sampled_edges = 0;
-  double sim_seconds = 0.0;
-};
-
-std::vector<std::uint32_t> thread_widths() {
-  std::vector<std::uint32_t> widths = {1, 2, 4,
-                                       csaw::sim::resolve_num_threads(0)};
-  std::sort(widths.begin(), widths.end());
-  widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
-  return widths;
-}
-
-}  // namespace
+#include "harness/throughput.hpp"
 
 int main() {
   using namespace csaw;
   const auto env = bench::BenchEnv::from_env();
   bench::print_banner(
-      "Throughput — parallel kernel executor",
-      "host wall-clock + SEPS at 1..N threads; samples byte-identical");
+      "Throughput — pipelined vs step-barrier executor",
+      "wall + SEPS at 1..N threads; samples byte-identical across both");
 
-  const std::string abbr =
-      env_string("CSAW_THROUGHPUT_GRAPH").value_or("LJ");
-  const CsrGraph& g = bench::dataset(abbr);
-
-  struct Workload {
-    std::string name;
-    AlgorithmSetup setup;
-    std::uint32_t instances;
-  };
-  const std::vector<Workload> workloads = {
-      {"biased_neighbor_sampling", biased_neighbor_sampling(2, 2),
-       env.sampling_instances},
-      {"biased_random_walk", biased_random_walk(env.walk_length),
-       env.walk_instances},
-  };
-  const auto widths = thread_widths();
-
-  std::ofstream json("BENCH_throughput.json");
-  json << "{\n  \"graph\": \"" << abbr << "\",\n  \"hardware_concurrency\": "
-       << std::thread::hardware_concurrency() << ",\n  \"workloads\": [\n";
-
-  for (std::size_t w = 0; w < workloads.size(); ++w) {
-    const Workload& work = workloads[w];
-    std::cout << "-- " << work.name << " (" << work.instances
-              << " instances)\n";
-    TablePrinter table({"threads", "wall s", "speedup", "SEPS (simulated)"});
-
-    const auto seeds = bench::make_seeds(g, work.instances, env.seed);
-    std::vector<Measurement> runs;
-    for (const std::uint32_t threads : widths) {
-      SamplerOptions options;
-      options.num_threads = threads;
-      Sampler sampler(g, work.setup, options);
-      WallTimer timer;
-      const RunResult result = sampler.run_single_seed(seeds);
-      Measurement m;
-      m.threads = threads;
-      m.wall_seconds = timer.seconds();
-      m.seps = result.seps();
-      m.sampled_edges = result.sampled_edges();
-      m.sim_seconds = result.sim_seconds;
-      runs.push_back(m);
-
-      // The determinism contract: widths only change wall-clock.
-      CSAW_CHECK_MSG(m.sampled_edges == runs.front().sampled_edges &&
-                         m.sim_seconds == runs.front().sim_seconds,
-                     "parallel run diverged from the serial baseline at "
-                         << threads << " threads");
-
-      auto row = table.row();
-      row.cell(static_cast<std::int64_t>(threads));
-      row.cell(m.wall_seconds, 3);
-      row.cell(runs.front().wall_seconds / std::max(m.wall_seconds, 1e-12),
-               2);
-      row.cell(m.seps, 0);
-    }
-    table.print(std::cout);
-
-    json << "    {\n      \"name\": \"" << work.name
-         << "\",\n      \"instances\": " << work.instances
-         << ",\n      \"sampled_edges\": " << runs.front().sampled_edges
-         << ",\n      \"runs\": [\n";
-    for (std::size_t r = 0; r < runs.size(); ++r) {
-      json << "        {\"threads\": " << runs[r].threads
-           << ", \"wall_seconds\": " << runs[r].wall_seconds
-           << ", \"speedup\": "
-           << runs.front().wall_seconds /
-                  std::max(runs[r].wall_seconds, 1e-12)
-           << ", \"seps\": " << runs[r].seps << "}"
-           << (r + 1 < runs.size() ? "," : "") << "\n";
-    }
-    json << "      ]\n    }" << (w + 1 < workloads.size() ? "," : "")
-         << "\n";
+  bench::Json record;
+  try {
+    record = bench::run_throughput_trajectory(env, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "throughput bench failed: " << e.what() << "\n";
+    return 1;
   }
-  json << "  ]\n}\n";
-  std::cout << "Wrote BENCH_throughput.json. Speedup is host wall-clock "
-               "only; simulated SEPS is width-invariant by construction.\n";
+
+  // Distinct filename: the repo-root BENCH_throughput.json is the
+  // committed trajectory record (bench_harness output, with the
+  // figure-smoke section) — the standalone bench must not clobber it.
+  std::ofstream json("BENCH_throughput_standalone.json");
+  json << record.dump();
+  std::cout << "Wrote BENCH_throughput_standalone.json (workloads only — "
+               "bench_harness writes the tracked record with the "
+               "figure-smoke section).\n";
   return 0;
 }

@@ -1,0 +1,202 @@
+// Trajectory comparator: diffs a fresh BENCH_throughput.json against the
+// committed baseline and fails on simulated-SEPS regressions. SEPS is
+// computed from the analytic device model, so it is deterministic across
+// machines — the tolerance absorbs intentional small cost-model drift,
+// not measurement noise. Wall-clock fields are never compared.
+//
+// Usage: bench_compare <baseline.json> <current.json> [--tolerance 0.15]
+// Exit:  0 = no regression, 1 = regression, 2 = incomparable/parse error.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/json.hpp"
+#include "harness/throughput.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using csaw::bench::Json;
+
+Json load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return Json::parse(buffer.str());
+}
+
+/// One gated metric: a (label, seps) pair from a trajectory record.
+struct Metric {
+  std::string label;
+  double seps = 0.0;
+};
+
+std::vector<Metric> collect_metrics(const Json& record) {
+  std::vector<Metric> metrics;
+  if (const Json* workloads = record.find("workloads")) {
+    for (const Json& workload : workloads->items()) {
+      const std::string name = workload.at("name").as_string();
+      for (const Json& schedule : workload.at("schedules").items()) {
+        metrics.push_back(Metric{
+            name + "/" + schedule.at("schedule").as_string(),
+            schedule.at("seps").as_double()});
+      }
+    }
+  }
+  if (const Json* smoke = record.find("figure_smoke")) {
+    for (const Json& entry : smoke->items()) {
+      metrics.push_back(Metric{"smoke/" + entry.at("name").as_string(),
+                               entry.at("seps").as_double()});
+    }
+  }
+  return metrics;
+}
+
+/// Baselines are comparable only when they measured the same workload:
+/// same schema, graph and scaling knobs. A mismatch is a setup error
+/// (exit 2), not a perf regression.
+std::string comparability_error(const Json& baseline, const Json& current) {
+  const auto field_differs = [&](const char* key) {
+    const Json* a = baseline.find(key);
+    const Json* b = current.find(key);
+    if (a == nullptr || b == nullptr) return a != b;
+    if (a->is_string()) return a->as_string() != b->as_string();
+    return a->as_double() != b->as_double();
+  };
+  if (field_differs("schema_version")) return "schema_version differs";
+  if (field_differs("graph")) return "graph differs";
+  const Json* env_a = baseline.find("env");
+  const Json* env_b = current.find("env");
+  if ((env_a == nullptr) != (env_b == nullptr)) return "env block differs";
+  if (env_a != nullptr) {
+    // Both directions: a knob present in only one record (a harness that
+    // gained or lost an env field) makes the pair incomparable too.
+    for (const auto& [key, value] : env_a->members()) {
+      const Json* other = env_b->find(key);
+      if (other == nullptr || other->as_double() != value.as_double()) {
+        return "env." + key + " differs";
+      }
+    }
+    for (const auto& member : env_b->members()) {
+      if (env_a->find(member.first) == nullptr) {
+        return "env." + member.first + " differs";
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  double tolerance = 0.15;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::stod(argv[++i]);
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      std::cerr << "usage: bench_compare <baseline.json> <current.json> "
+                   "[--tolerance 0.15]\n";
+      return 2;
+    }
+  }
+  if (current_path.empty()) {
+    std::cerr << "usage: bench_compare <baseline.json> <current.json> "
+                 "[--tolerance 0.15]\n";
+    return 2;
+  }
+
+  Json baseline;
+  Json current;
+  try {
+    baseline = load(baseline_path);
+    current = load(current_path);
+  } catch (const std::exception& e) {
+    std::cerr << "bench_compare: " << e.what() << "\n";
+    return 2;
+  }
+
+  const std::string incomparable = comparability_error(baseline, current);
+  if (!incomparable.empty()) {
+    std::cerr << "bench_compare: baselines are incomparable: " << incomparable
+              << " — regenerate the committed BENCH_throughput.json with the "
+                 "pinned CI environment (see docs/BENCHMARKS.md)\n";
+    return 2;
+  }
+
+  const auto base_metrics = collect_metrics(baseline);
+  const auto current_metrics = collect_metrics(current);
+  const auto find_current = [&](const std::string& label) -> const Metric* {
+    for (const Metric& m : current_metrics) {
+      if (m.label == label) return &m;
+    }
+    return nullptr;
+  };
+
+  // The gate must cover every metric the current harness produces: a
+  // current-only metric means the committed baseline predates it (new
+  // smoke case, trimmed record) and would otherwise be silently ungated.
+  for (const Metric& now : current_metrics) {
+    bool in_baseline = false;
+    for (const Metric& base : base_metrics) {
+      in_baseline = in_baseline || base.label == now.label;
+    }
+    if (!in_baseline) {
+      std::cerr << "bench_compare: metric '" << now.label
+                << "' is missing from " << baseline_path
+                << " — regenerate the committed baseline with bench_harness "
+                   "so the new metric is gated too\n";
+      return 2;
+    }
+  }
+
+  csaw::TablePrinter table({"metric", "baseline SEPS", "current SEPS",
+                            "ratio", "status"});
+  int regressions = 0;
+  for (const Metric& base : base_metrics) {
+    const Metric* now = find_current(base.label);
+    auto row = table.row();
+    row.cell(base.label);
+    row.cell(base.seps, 0);
+    if (now == nullptr) {
+      row.cell("-");
+      row.cell("-");
+      row.cell("MISSING");
+      ++regressions;
+      continue;
+    }
+    const double ratio = base.seps > 0.0 ? now->seps / base.seps : 1.0;
+    row.cell(now->seps, 0);
+    row.cell(ratio, 3);
+    if (ratio < 1.0 - tolerance) {
+      row.cell("REGRESSED");
+      ++regressions;
+    } else {
+      row.cell(ratio > 1.0 + tolerance ? "improved" : "ok");
+    }
+  }
+  table.print(std::cout);
+
+  if (regressions > 0) {
+    std::cerr << regressions << " metric(s) regressed more than "
+              << tolerance * 100.0
+              << "% vs " << baseline_path
+              << ". If intentional (cost-model change), regenerate the "
+                 "committed baseline with bench_harness and commit it with "
+                 "the change.\n";
+    return 1;
+  }
+  std::cout << "No SEPS regressions vs " << baseline_path << " (tolerance "
+            << tolerance * 100.0 << "%).\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// The trajectory harness: one registry run producing the tracked perf
+// record. Executes the throughput trajectory (pipelined vs step-barrier
+// SEPS at 1..N host threads) plus the figure-smoke subset, and writes the
+// schema-versioned BENCH_throughput.json — committed at the repo root as
+// the perf trajectory, gated in CI by bench_compare. See
+// docs/BENCHMARKS.md for the schema and workflow.
+//
+// Usage: bench_harness [--out <path>]      (default ./BENCH_throughput.json)
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "harness/registry.hpp"
+#include "harness/throughput.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace csaw;
+  std::string out_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_harness [--out <path>]\n";
+      return 2;
+    }
+  }
+
+  const auto env = bench::BenchEnv::from_env();
+  bench::print_banner(
+      "Trajectory harness — throughput + figure smoke",
+      "pipelined vs step-barrier SEPS; schema v" +
+          std::to_string(bench::kTrajectorySchemaVersion));
+
+  bench::Json record;
+  try {
+    record = bench::run_throughput_trajectory(env, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "throughput trajectory failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::cout << "-- figure smoke\n";
+  TablePrinter table({"case", "figure", "edges", "SEPS (simulated)", "wall s"});
+  bench::Json smoke_json = bench::Json::array();
+  for (const bench::SmokeCase& smoke : bench::figure_smoke_cases()) {
+    bench::SmokeResult result;
+    try {
+      result = smoke.run();
+    } catch (const std::exception& e) {
+      std::cerr << "smoke case " << smoke.name << " failed: " << e.what()
+                << "\n";
+      return 1;
+    }
+    auto row = table.row();
+    row.cell(smoke.name);
+    row.cell(smoke.figure);
+    row.cell(static_cast<std::int64_t>(result.sampled_edges));
+    row.cell(result.seps, 0);
+    row.cell(result.wall_seconds, 3);
+
+    bench::Json entry = bench::Json::object();
+    entry.set("name", smoke.name);
+    entry.set("figure", smoke.figure);
+    entry.set("sampled_edges", result.sampled_edges);
+    entry.set("seps", result.seps);
+    entry.set("wall_seconds", result.wall_seconds);
+    smoke_json.push_back(std::move(entry));
+  }
+  table.print(std::cout);
+  record.set("figure_smoke", std::move(smoke_json));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << record.dump();
+  std::cout << "Wrote " << out_path
+            << ". SEPS fields are simulated (machine-independent); "
+               "wall_seconds is host time and never gated.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace csaw::bench {
+
+/// Minimal JSON document: enough for the bench harness to write the
+/// BENCH_*.json trajectory records and for the comparator to read them
+/// back. Objects preserve insertion order (the schema is documented in
+/// docs/BENCHMARKS.md, and stable field order keeps the committed record
+/// diffable). No external dependencies by design — the container image
+/// bakes in only the C++ toolchain.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), number_(v) {}
+  Json(std::int64_t v) : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  Json(int v) : type_(Type::kNumber), number_(v) {}
+  Json(unsigned v) : type_(Type::kNumber), number_(v) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const { return number_; }
+  std::int64_t as_int() const { return static_cast<std::int64_t>(number_); }
+  const std::string& as_string() const { return string_; }
+  const Array& items() const { return array_; }
+  const Object& members() const { return object_; }
+
+  /// Object field lookup; returns nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+  /// Object field lookup that throws std::runtime_error when absent.
+  const Json& at(std::string_view key) const;
+
+  /// Appends to an array value.
+  Json& push_back(Json value);
+  /// Sets an object field (appends; keys are expected unique).
+  Json& set(std::string key, Json value);
+
+  /// Serializes with 2-space indentation and a trailing newline at the
+  /// top level. Integral numbers print without a decimal point.
+  std::string dump() const;
+
+  /// Parses a JSON document; throws std::runtime_error with an offset on
+  /// malformed input.
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace csaw::bench

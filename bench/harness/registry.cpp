@@ -1,0 +1,96 @@
+#include "harness/registry.hpp"
+
+#include "algorithms/neighbor_sampling.hpp"
+#include "algorithms/random_walks.hpp"
+#include "core/sampler.hpp"
+#include "graph/generators.hpp"
+#include "util/timer.hpp"
+
+namespace csaw::bench {
+namespace {
+
+/// Deterministic seed vertices spread over the graph (the pattern every
+/// bench uses, fixed here so smoke results never depend on env knobs).
+std::vector<VertexId> smoke_seeds(const CsrGraph& g, std::uint32_t n) {
+  std::vector<VertexId> seeds(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    seeds[i] = static_cast<VertexId>((i * 131) % g.num_vertices());
+  }
+  return seeds;
+}
+
+SmokeResult run_one(const CsrGraph& g, const AlgorithmSetup& setup,
+                    std::uint32_t instances, SamplerOptions options) {
+  Sampler sampler(g, setup, std::move(options));
+  WallTimer timer;
+  const RunResult result = sampler.run_single_seed(smoke_seeds(g, instances));
+  SmokeResult smoke;
+  smoke.wall_seconds = timer.seconds();
+  smoke.sampled_edges = result.sampled_edges();
+  smoke.seps = result.seps();
+  return smoke;
+}
+
+const CsrGraph& smoke_graph() {
+  static const CsrGraph g = generate_rmat(8192, 65536, 0xC5A7);
+  return g;
+}
+
+}  // namespace
+
+const std::vector<SmokeCase>& figure_smoke_cases() {
+  static const std::vector<SmokeCase> cases = {
+      {"fig10_inmem_sampling", "Fig. 10",
+       [] {
+         // In-memory SELECT path: biased neighbor sampling at the
+         // paper's NeighborSize = Depth = 2.
+         return run_one(smoke_graph(), biased_neighbor_sampling(2, 2), 256,
+                        SamplerOptions{});
+       }},
+      {"fig11_walk_iterations", "Fig. 11",
+       [] {
+         // Long-walk SELECT iteration path (ITS over walk steps).
+         return run_one(smoke_graph(), biased_random_walk(64), 256,
+                        SamplerOptions{});
+       }},
+      {"fig13_oom_scheduler", "Fig. 13",
+       [] {
+         // Out-of-memory backend under the barriered wave scheduler the
+         // figure quantifies (pinned, like oom_bench_options): paging,
+         // batched multi-instance sampling, workload-aware scheduling.
+         SamplerOptions options;
+         options.mode = ExecutionMode::kOutOfMemory;
+         options.memory_assumption = MemoryAssumption::kExceeds;
+         options.schedule = Schedule::kStepBarrier;
+         return run_one(smoke_graph(), biased_random_walk(32), 256, options);
+       }},
+      {"oom_pipelined_walk", "§V (repo-native)",
+       [] {
+         // The same workload under the pipelined residency chains —
+         // gates the OOM pipelined path the fig13 case deliberately
+         // avoids.
+         SamplerOptions options;
+         options.mode = ExecutionMode::kOutOfMemory;
+         options.memory_assumption = MemoryAssumption::kExceeds;
+         options.schedule = Schedule::kPipelined;
+         return run_one(smoke_graph(), biased_random_walk(32), 256, options);
+       }},
+      {"fig16_instance_scaling", "Fig. 16",
+       [] {
+         // The instance axis of the scaling sweeps (4x the other cases).
+         return run_one(smoke_graph(), biased_neighbor_sampling(2, 2), 1024,
+                        SamplerOptions{});
+       }},
+      {"fig17_multi_device", "Fig. 17",
+       [] {
+         // Disjoint instance groups across two simulated devices.
+         SamplerOptions options;
+         options.mode = ExecutionMode::kMultiDevice;
+         options.num_devices = 2;
+         return run_one(smoke_graph(), biased_random_walk(32), 512, options);
+       }},
+  };
+  return cases;
+}
+
+}  // namespace csaw::bench

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "harness/json.hpp"
+
+namespace csaw::bench {
+
+/// Schema version of the BENCH_throughput.json trajectory record; bump it
+/// whenever a field changes meaning. The full schema is documented in
+/// docs/BENCHMARKS.md.
+constexpr int kTrajectorySchemaVersion = 2;
+
+/// Runs the throughput trajectory workloads (biased neighbor sampling +
+/// biased random walk on the CSAW_THROUGHPUT_GRAPH stand-in, default LJ)
+/// under both schedules at every thread width, printing tables to `log`
+/// and returning the schema-versioned record ready to be written as
+/// BENCH_throughput.json.
+///
+/// The host thread widths are resolved exactly once (1, 2, 4 and the
+/// CSAW_THREADS/hardware_concurrency auto width, deduplicated) and
+/// recorded in the "threads" field, so trajectory points name the grid
+/// they ran on. Simulated SEPS is width-invariant by construction
+/// (asserted); wall-clock is machine-dependent and recorded for the
+/// scaling curve only — the CI comparator gates on SEPS.
+///
+/// Checks (CheckError on violation):
+///   - samples and simulated time identical across widths per schedule,
+///   - samples identical across schedules,
+///   - pipelined SEPS >= step-barrier SEPS per workload.
+Json run_throughput_trajectory(const BenchEnv& env, std::ostream& log);
+
+}  // namespace csaw::bench

@@ -31,24 +31,26 @@ struct AlgorithmInfo {
 
 /// Identifier for every algorithm C-SAW's paper discusses (§II-A).
 enum class AlgorithmId {
-  kUnbiasedNeighborSampling,
-  kBiasedNeighborSampling,
-  kForestFire,
-  kSnowball,
-  kLayerSampling,
-  kSimpleRandomWalk,
-  kDeepwalk,
-  kBiasedRandomWalk,
-  kMetropolisHastingsWalk,
-  kRandomWalkWithJump,
-  kRandomWalkWithRestart,
-  kMultiDimRandomWalk,
-  kNode2vec,
+  kUnbiasedNeighborSampling,  ///< uniform EDGEBIAS traversal sampling
+  kBiasedNeighborSampling,    ///< degree/weight-biased traversal sampling
+  kForestFire,                ///< geometric variable NeighborSize (Pf)
+  kSnowball,                  ///< every neighbor of every sampled vertex
+  kLayerSampling,             ///< per-layer selection from a pooled frontier
+  kSimpleRandomWalk,          ///< uniform single walker
+  kDeepwalk,                  ///< uniform walks, corpus-shaped defaults
+  kBiasedRandomWalk,          ///< weight×degree edge bias
+  kMetropolisHastingsWalk,    ///< accept/stay UPDATE hook
+  kRandomWalkWithJump,        ///< probabilistic jump to a random vertex
+  kRandomWalkWithRestart,     ///< probabilistic return to the seed
+  kMultiDimRandomWalk,        ///< frontier-pool walk (select_frontier)
+  kNode2vec,                  ///< prev-vertex-dependent 2nd-order bias
 };
 
 /// All algorithm ids in Table I order.
 const std::vector<AlgorithmId>& all_algorithms();
 
+/// Table I classification row of `id` (name, bias criterion, neighbors
+/// per step, NeighborSize kind, engine restriction).
 AlgorithmInfo algorithm_info(AlgorithmId id);
 
 /// Builds the default-parameter setup used by tests and the design-space

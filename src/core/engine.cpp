@@ -7,6 +7,16 @@
 
 namespace csaw {
 
+std::string to_string(Schedule schedule) {
+  switch (schedule) {
+    case Schedule::kPipelined:
+      return "pipelined";
+    case Schedule::kStepBarrier:
+      return "step_barrier";
+  }
+  return "unknown";
+}
+
 namespace rng_slots {
 std::uint32_t frontier_slot_base(std::uint32_t slot) {
   CSAW_CHECK_MSG(slot <= kMaxFrontierSlot,
@@ -128,11 +138,6 @@ struct SamplingEngine::StepScratch {
   /// local_instance/pool_position are filled at task creation; the body
   /// only moves its UPDATE results into `next`. Slots stay in task order
   /// (instance-major), which is what advance_pools consumes.
-  struct TaskResult {
-    std::uint32_t local_instance = 0;
-    std::uint32_t pool_position = 0;
-    std::vector<std::pair<VertexId, std::uint32_t>> next;
-  };
   std::vector<TaskResult> results;
 
   void reset(std::size_t num_instances) {
@@ -190,31 +195,10 @@ SampleRun SamplingEngine::run(sim::Device& device,
   const std::size_t log_begin = device.kernel_log().size();
   const double t0 = device.synchronize();
 
-  StepScratch scratch;
-  for (std::uint32_t step = 0; step < spec_.depth; ++step) {
-    scratch.reset(num_instances);
-
-    if (spec_.layer_mode) {
-      sample_layer(device, instances, step, scratch, run_result.samples);
-    } else {
-      if (spec_.select_frontier) {
-        select_frontiers(device, instances, step, scratch);
-      } else {
-        for (std::uint32_t i = 0; i < num_instances; ++i) {
-          if (!instances[i].active) continue;
-          auto& positions = scratch.frontier_positions[i];
-          positions.resize(instances[i].pool.size());
-          std::iota(positions.begin(), positions.end(), 0u);
-        }
-      }
-      sample_neighbors(device, instances, step, scratch, run_result.samples);
-    }
-
-    advance_pools(instances, scratch);
-    if (std::none_of(instances.begin(), instances.end(),
-                     [](const InstanceState& s) { return s.active; })) {
-      break;
-    }
+  if (config_.schedule == Schedule::kPipelined) {
+    run_pipelined(device, instances, run_result.samples);
+  } else {
+    run_barrier(device, instances, run_result.samples);
   }
 
   run_result.sim_seconds = device.synchronize() - t0;
@@ -229,6 +213,94 @@ SampleRun SamplingEngine::run_single_seed(sim::Device& device,
   return run(device, expand_single_seeds(seeds));
 }
 
+void SamplingEngine::run_barrier(sim::Device& device,
+                                 std::vector<InstanceState>& instances,
+                                 SampleStore& samples) {
+  const auto num_instances = static_cast<std::uint32_t>(instances.size());
+  StepScratch scratch;
+  for (std::uint32_t step = 0; step < spec_.depth; ++step) {
+    scratch.reset(num_instances);
+
+    if (spec_.layer_mode) {
+      sample_layer(device, instances, step, scratch, samples);
+    } else {
+      if (spec_.select_frontier) {
+        select_frontiers(device, instances, step, scratch);
+      } else {
+        for (std::uint32_t i = 0; i < num_instances; ++i) {
+          if (!instances[i].active) continue;
+          auto& positions = scratch.frontier_positions[i];
+          positions.resize(instances[i].pool.size());
+          std::iota(positions.begin(), positions.end(), 0u);
+        }
+      }
+      sample_neighbors(device, instances, step, scratch, samples);
+    }
+
+    advance_pools(instances, scratch);
+    if (std::none_of(instances.begin(), instances.end(),
+                     [](const InstanceState& s) { return s.active; })) {
+      break;
+    }
+  }
+}
+
+void SamplingEngine::run_pipelined(sim::Device& device,
+                                   std::vector<InstanceState>& instances,
+                                   SampleStore& samples) {
+  // One chain per instance, running that instance's whole step loop.
+  // Every mutable object a chain touches is its own (InstanceState, its
+  // SampleStore row, chain-local positions/results) or per-worker
+  // scratch, so chains interleave freely; the counter-based RNG addresses
+  // draws by (instance, depth, slot), so the interleaving never changes
+  // them. The per-instance task order equals the barrier schedule's
+  // affinity-group order, which is what makes the samples byte-identical.
+  device.run_pipeline(
+      "sample_pipeline", instances.size(),
+      [&](std::uint64_t chain, sim::ChainContext& ctx, std::uint32_t worker) {
+        const auto i = static_cast<std::uint32_t>(chain);
+        InstanceState& inst = instances[i];
+        WorkerScratch& ws = workers_[worker];
+        std::vector<std::uint32_t> positions;
+        std::vector<TaskResult> results;
+        for (std::uint32_t step = 0; step < spec_.depth && inst.active;
+             ++step) {
+          positions.clear();
+          results.clear();
+          if (spec_.layer_mode) {
+            if (!inst.pool.empty()) {
+              TaskResult& r = results.emplace_back();
+              r.local_instance = i;
+              ctx.run_task(0, step, [&](sim::WarpContext& warp) {
+                r.next = sample_layer_body(inst, i, step, warp, ws, samples);
+              });
+            }
+          } else {
+            if (spec_.select_frontier) {
+              if (!inst.pool.empty()) {
+                ctx.run_task(0, 2ull * step, [&](sim::WarpContext& warp) {
+                  positions = select_frontier_body(inst, step, warp, ws);
+                });
+              }
+            } else {
+              positions.resize(inst.pool.size());
+              std::iota(positions.begin(), positions.end(), 0u);
+            }
+            for (const std::uint32_t position : positions) {
+              TaskResult& r = results.emplace_back();
+              r.local_instance = i;
+              r.pool_position = position;
+              ctx.run_task(0, 2ull * step + 1, [&](sim::WarpContext& warp) {
+                r.next = sample_position_body(inst, i, position, step, warp,
+                                              ws, samples);
+              });
+            }
+          }
+          advance_instance(inst, positions, results);
+        }
+      });
+}
+
 void SamplingEngine::select_frontiers(sim::Device& device,
                                       std::vector<InstanceState>& instances,
                                       std::uint32_t step,
@@ -241,29 +313,33 @@ void SamplingEngine::select_frontiers(sim::Device& device,
   device.run_kernel(
       "vertex_select", tasks.size(),
       [&](std::uint64_t t, sim::WarpContext& warp, std::uint32_t worker) {
-        InstanceState& inst = instances[tasks[t]];
-        WorkerScratch& ws = workers_[worker];
-        const InstanceContext ctx{
-            inst.id, step, inst.prev_vertex, inst.seed_vertex,
-            inst.visited.size() > 0 ? &inst.visited : nullptr};
-
-        // VERTEXBIAS over the FrontierPool (Fig. 2(b) line 4).
-        warp.charge_global(inst.pool.size() * sizeof(VertexId));
-        ws.bias_scratch.resize(inst.pool.size());
-        double total = 0.0;
-        for (std::size_t p = 0; p < inst.pool.size(); ++p) {
-          ws.bias_scratch[p] =
-              policy_.eval_vertex_bias(*view_, inst.pool[p], ctx);
-          total += ws.bias_scratch[p];
-        }
-        warp.charge_rounds((inst.pool.size() + sim::WarpContext::kLanes - 1) /
-                           sim::WarpContext::kLanes);
-        if (total <= 0.0) return;
-
-        scratch.frontier_positions[tasks[t]] = ws.frontier_selector->select(
-            ws.bias_scratch, spec_.frontier_size, rng_,
-            SelectCoords{inst.id, step, /*slot_base=*/0}, warp);
+        scratch.frontier_positions[tasks[t]] = select_frontier_body(
+            instances[tasks[t]], step, warp, workers_[worker]);
       });
+}
+
+std::vector<std::uint32_t> SamplingEngine::select_frontier_body(
+    InstanceState& inst, std::uint32_t step, sim::WarpContext& warp,
+    WorkerScratch& ws) {
+  const InstanceContext ctx{
+      inst.id, step, inst.prev_vertex, inst.seed_vertex,
+      inst.visited.size() > 0 ? &inst.visited : nullptr};
+
+  // VERTEXBIAS over the FrontierPool (Fig. 2(b) line 4).
+  warp.charge_global(inst.pool.size() * sizeof(VertexId));
+  ws.bias_scratch.resize(inst.pool.size());
+  double total = 0.0;
+  for (std::size_t p = 0; p < inst.pool.size(); ++p) {
+    ws.bias_scratch[p] = policy_.eval_vertex_bias(*view_, inst.pool[p], ctx);
+    total += ws.bias_scratch[p];
+  }
+  warp.charge_rounds((inst.pool.size() + sim::WarpContext::kLanes - 1) /
+                     sim::WarpContext::kLanes);
+  if (total <= 0.0) return {};
+
+  return ws.frontier_selector->select(
+      ws.bias_scratch, spec_.frontier_size, rng_,
+      SelectCoords{inst.id, step, /*slot_base=*/0}, warp);
 }
 
 void SamplingEngine::sample_neighbors(sim::Device& device,
@@ -294,24 +370,34 @@ void SamplingEngine::sample_neighbors(sim::Device& device,
       "neighbor_select", tasks.size(),
       [&](std::uint64_t t, sim::WarpContext& warp, std::uint32_t worker) {
         const Task task = tasks[t];
-        InstanceState& inst = instances[task.local_instance];
-        WorkerScratch& ws = workers_[worker];
-        const FrontierWorkItem item{inst.pool[task.pool_position], inst.id,
-                                    step, inst.pool_slots[task.pool_position]};
-        FrontierResult result =
-            process_frontier_vertex(*view_, policy_, spec_, rng_,
-                                    ws.neighbor_selector, inst, item, warp,
-                                    ws.bias_scratch);
-        for (const Edge& e : result.sampled) {
-          samples.add(task.local_instance, e);
-        }
-        scratch.results[t].next = std::move(result.next);
+        scratch.results[t].next = sample_position_body(
+            instances[task.local_instance], task.local_instance,
+            task.pool_position, step, warp, workers_[worker], samples);
       },
       // Tasks of one instance share its visited set and sample vector:
       // affinity serializes them in task order on one worker.
       [&tasks](std::uint64_t t) {
         return static_cast<std::uint64_t>(tasks[t].local_instance);
       });
+}
+
+std::vector<std::pair<VertexId, std::uint32_t>>
+SamplingEngine::sample_position_body(InstanceState& inst,
+                                     std::uint32_t local_instance,
+                                     std::uint32_t position,
+                                     std::uint32_t step,
+                                     sim::WarpContext& warp, WorkerScratch& ws,
+                                     SampleStore& samples) {
+  const FrontierWorkItem item{inst.pool[position], inst.id, step,
+                              inst.pool_slots[position]};
+  FrontierResult result =
+      process_frontier_vertex(*view_, policy_, spec_, rng_,
+                              ws.neighbor_selector, inst, item, warp,
+                              ws.bias_scratch);
+  for (const Edge& e : result.sampled) {
+    samples.add(local_instance, e);
+  }
+  return std::move(result.next);
 }
 
 void SamplingEngine::sample_layer(sim::Device& device,
@@ -331,85 +417,89 @@ void SamplingEngine::sample_layer(sim::Device& device,
   device.run_kernel(
       "layer_select", tasks.size(),
       [&](std::uint64_t t, sim::WarpContext& warp, std::uint32_t worker) {
-        InstanceState& inst = instances[tasks[t]];
-        WorkerScratch& ws = workers_[worker];
-        const InstanceContext ctx{
-            inst.id, step, inst.prev_vertex, inst.seed_vertex,
-            inst.visited.size() > 0 ? &inst.visited : nullptr};
-
-        // Combined NeighborPool over every frontier vertex (paper §II-A:
-        // layer sampling selects per layer, not per vertex).
-        struct PoolEdge {
-          VertexId v;
-          VertexId u;
-          float w;
-          EdgeIndex k;
-        };
-        std::vector<PoolEdge> pool_edges;
-        for (VertexId v : inst.pool) {
-          const auto adj = view_->neighbors(v);
-          warp.charge_global(2 * sizeof(EdgeIndex) +
-                             adj.size() * sizeof(VertexId));
-          for (std::size_t e = 0; e < adj.size(); ++e) {
-            pool_edges.push_back(PoolEdge{
-                v, adj[e], view_->edge_weight(v, e),
-                static_cast<EdgeIndex>(e)});
-          }
-        }
-        if (pool_edges.empty()) return;
-
-        ws.bias_scratch.resize(pool_edges.size());
-        double total = 0.0;
-        for (std::size_t e = 0; e < pool_edges.size(); ++e) {
-          const EdgeRef edge{pool_edges[e].v, pool_edges[e].u,
-                             pool_edges[e].w, pool_edges[e].k};
-          ws.bias_scratch[e] = policy_.eval_edge_bias(*view_, edge, ctx);
-          total += ws.bias_scratch[e];
-        }
-        warp.charge_rounds((pool_edges.size() + sim::WarpContext::kLanes - 1) /
-                           sim::WarpContext::kLanes);
-        if (total <= 0.0) return;
-
-        // Pool entries whose endpoint is already sampled collide (the
-        // persistent bitmap is vertex-indexed). Note: two pool entries can
-        // share an endpoint via different frontier vertices; selecting one
-        // does not block the other within this call.
-        std::vector<std::uint32_t> pre_selected;
-        if (spec_.filter_visited && inst.visited.size() > 0) {
-          for (std::size_t e = 0; e < pool_edges.size(); ++e) {
-            if (inst.visited.test(pool_edges[e].u)) {
-              pre_selected.push_back(static_cast<std::uint32_t>(e));
-            }
-          }
-        }
-
-        const std::uint32_t slot_base = rng_slots::frontier_slot_base(0);
-        const auto selected = ws.neighbor_selector.select(
-            ws.bias_scratch, spec_.neighbor_size, rng_,
-            SelectCoords{inst.id, step, slot_base}, warp, pre_selected);
-
-        std::vector<std::pair<VertexId, std::uint32_t>> next;
-        for (std::size_t s = 0; s < selected.size(); ++s) {
-          const PoolEdge& pe = pool_edges[selected[s]];
-          const EdgeRef edge{pe.v, pe.u, pe.w, pe.k};
-          samples.add(tasks[t], Edge{pe.v, pe.u, pe.w});
-          const double r_update = rng_.uniform(
-              inst.id, step,
-              slot_base + rng_slots::kUpdateOffset +
-                  static_cast<std::uint32_t>(s),
-              0);
-          const VertexId nxt = policy_.eval_update(*view_, edge, ctx, r_update);
-          if (nxt == kInvalidVertex) continue;
-          if (spec_.filter_visited && !inst.mark_visited(nxt)) continue;
-          next.emplace_back(nxt, static_cast<std::uint32_t>(s));
-        }
-        scratch.results[t].next = std::move(next);
+        scratch.results[t].next =
+            sample_layer_body(instances[tasks[t]], tasks[t], step, warp,
+                              workers_[worker], samples);
       });
+}
+
+std::vector<std::pair<VertexId, std::uint32_t>>
+SamplingEngine::sample_layer_body(InstanceState& inst,
+                                  std::uint32_t local_instance,
+                                  std::uint32_t step, sim::WarpContext& warp,
+                                  WorkerScratch& ws, SampleStore& samples) {
+  const InstanceContext ctx{
+      inst.id, step, inst.prev_vertex, inst.seed_vertex,
+      inst.visited.size() > 0 ? &inst.visited : nullptr};
+
+  // Combined NeighborPool over every frontier vertex (paper §II-A:
+  // layer sampling selects per layer, not per vertex).
+  struct PoolEdge {
+    VertexId v;
+    VertexId u;
+    float w;
+    EdgeIndex k;
+  };
+  std::vector<PoolEdge> pool_edges;
+  for (VertexId v : inst.pool) {
+    const auto adj = view_->neighbors(v);
+    warp.charge_global(2 * sizeof(EdgeIndex) + adj.size() * sizeof(VertexId));
+    for (std::size_t e = 0; e < adj.size(); ++e) {
+      pool_edges.push_back(PoolEdge{v, adj[e], view_->edge_weight(v, e),
+                                    static_cast<EdgeIndex>(e)});
+    }
+  }
+  if (pool_edges.empty()) return {};
+
+  ws.bias_scratch.resize(pool_edges.size());
+  double total = 0.0;
+  for (std::size_t e = 0; e < pool_edges.size(); ++e) {
+    const EdgeRef edge{pool_edges[e].v, pool_edges[e].u, pool_edges[e].w,
+                       pool_edges[e].k};
+    ws.bias_scratch[e] = policy_.eval_edge_bias(*view_, edge, ctx);
+    total += ws.bias_scratch[e];
+  }
+  warp.charge_rounds((pool_edges.size() + sim::WarpContext::kLanes - 1) /
+                     sim::WarpContext::kLanes);
+  if (total <= 0.0) return {};
+
+  // Pool entries whose endpoint is already sampled collide (the
+  // persistent bitmap is vertex-indexed). Note: two pool entries can
+  // share an endpoint via different frontier vertices; selecting one
+  // does not block the other within this call.
+  std::vector<std::uint32_t> pre_selected;
+  if (spec_.filter_visited && inst.visited.size() > 0) {
+    for (std::size_t e = 0; e < pool_edges.size(); ++e) {
+      if (inst.visited.test(pool_edges[e].u)) {
+        pre_selected.push_back(static_cast<std::uint32_t>(e));
+      }
+    }
+  }
+
+  const std::uint32_t slot_base = rng_slots::frontier_slot_base(0);
+  const auto selected = ws.neighbor_selector.select(
+      ws.bias_scratch, spec_.neighbor_size, rng_,
+      SelectCoords{inst.id, step, slot_base}, warp, pre_selected);
+
+  std::vector<std::pair<VertexId, std::uint32_t>> next;
+  for (std::size_t s = 0; s < selected.size(); ++s) {
+    const PoolEdge& pe = pool_edges[selected[s]];
+    const EdgeRef edge{pe.v, pe.u, pe.w, pe.k};
+    samples.add(local_instance, Edge{pe.v, pe.u, pe.w});
+    const double r_update = rng_.uniform(
+        inst.id, step,
+        slot_base + rng_slots::kUpdateOffset + static_cast<std::uint32_t>(s),
+        0);
+    const VertexId nxt = policy_.eval_update(*view_, edge, ctx, r_update);
+    if (nxt == kInvalidVertex) continue;
+    if (spec_.filter_visited && !inst.mark_visited(nxt)) continue;
+    next.emplace_back(nxt, static_cast<std::uint32_t>(s));
+  }
+  return next;
 }
 
 void SamplingEngine::advance_pools(std::vector<InstanceState>& instances,
                                    StepScratch& scratch) const {
-  const std::uint32_t cap = spec_.effective_branching_cap();
   // Task results are instance-major (the kernels build their task lists
   // that way), so each instance's results form one contiguous run.
   std::size_t run = 0;
@@ -423,69 +513,80 @@ void SamplingEngine::advance_pools(std::vector<InstanceState>& instances,
     const std::size_t run_end = run;
     if (!inst.active) continue;
 
-    // node2vec context: the vertex explored at this step. Meaningful for
-    // walk-shaped specs (single frontier vertex per step).
-    if (!scratch.frontier_positions[i].empty()) {
-      inst.prev_vertex = inst.pool[scratch.frontier_positions[i].back()];
-    }
-
-    if (spec_.select_frontier) {
-      // Replace each consumed pool position in place with its UPDATE
-      // results (multi-dimensional random walk semantics, Fig. 4), via a
-      // position-indexed lookup (pool positions are distinct within a
-      // step, so the last write per position is the only one).
-      std::vector<const std::vector<std::pair<VertexId, std::uint32_t>>*>
-          next_at(inst.pool.size(), nullptr);
-      for (std::size_t t = run_begin; t < run_end; ++t) {
-        next_at[scratch.results[t].pool_position] = &scratch.results[t].next;
-      }
-      std::vector<char> consumed(inst.pool.size(), 0);
-      for (std::uint32_t p : scratch.frontier_positions[i]) consumed[p] = 1;
-
-      std::vector<VertexId> new_pool;
-      std::vector<std::uint32_t> new_slots;
-      new_pool.reserve(inst.pool.size());
-      new_slots.reserve(inst.pool.size());
-      for (std::uint32_t p = 0; p < inst.pool.size(); ++p) {
-        if (!consumed[p]) {
-          new_pool.push_back(inst.pool[p]);
-          new_slots.push_back(inst.pool_slots[p]);
-          continue;
-        }
-        if (const auto* next = next_at[p]) {
-          for (const auto& [vertex, slot] : *next) {
-            new_pool.push_back(vertex);
-            // ns=1 select-frontier keeps the replaced entry's slot, which
-            // both keeps slots unique within the pool and bounds growth.
-            new_slots.push_back(cap == 1 ? inst.pool_slots[p] : slot);
-          }
-        }
-      }
-      inst.pool = std::move(new_pool);
-      inst.pool_slots = std::move(new_slots);
-    } else {
-      // BFS-style: next pool is the concatenation of UPDATE results in
-      // task order.
-      std::vector<VertexId> new_pool;
-      std::vector<std::uint32_t> new_slots;
-      for (std::size_t t = run_begin; t < run_end; ++t) {
-        for (const auto& [vertex, slot] : scratch.results[t].next) {
-          new_pool.push_back(vertex);
-          new_slots.push_back(slot);
-        }
-      }
-      if (cap == 0) {
-        // Unbounded branching: ordinal slots.
-        for (std::size_t s = 0; s < new_slots.size(); ++s) {
-          new_slots[s] = static_cast<std::uint32_t>(s);
-        }
-      }
-      inst.pool = std::move(new_pool);
-      inst.pool_slots = std::move(new_slots);
-    }
-
-    if (inst.pool.empty()) inst.active = false;
+    advance_instance(inst, scratch.frontier_positions[i],
+                     std::span<const TaskResult>(
+                         scratch.results.data() + run_begin,
+                         run_end - run_begin));
   }
+}
+
+void SamplingEngine::advance_instance(
+    InstanceState& inst, const std::vector<std::uint32_t>& frontier_positions,
+    std::span<const TaskResult> results) const {
+  const std::uint32_t cap = spec_.effective_branching_cap();
+
+  // node2vec context: the vertex explored at this step. Meaningful for
+  // walk-shaped specs (single frontier vertex per step).
+  if (!frontier_positions.empty()) {
+    inst.prev_vertex = inst.pool[frontier_positions.back()];
+  }
+
+  if (spec_.select_frontier) {
+    // Replace each consumed pool position in place with its UPDATE
+    // results (multi-dimensional random walk semantics, Fig. 4), via a
+    // position-indexed lookup (pool positions are distinct within a
+    // step, so the last write per position is the only one).
+    std::vector<const std::vector<std::pair<VertexId, std::uint32_t>>*>
+        next_at(inst.pool.size(), nullptr);
+    for (const TaskResult& result : results) {
+      next_at[result.pool_position] = &result.next;
+    }
+    std::vector<char> consumed(inst.pool.size(), 0);
+    for (std::uint32_t p : frontier_positions) consumed[p] = 1;
+
+    std::vector<VertexId> new_pool;
+    std::vector<std::uint32_t> new_slots;
+    new_pool.reserve(inst.pool.size());
+    new_slots.reserve(inst.pool.size());
+    for (std::uint32_t p = 0; p < inst.pool.size(); ++p) {
+      if (!consumed[p]) {
+        new_pool.push_back(inst.pool[p]);
+        new_slots.push_back(inst.pool_slots[p]);
+        continue;
+      }
+      if (const auto* next = next_at[p]) {
+        for (const auto& [vertex, slot] : *next) {
+          new_pool.push_back(vertex);
+          // ns=1 select-frontier keeps the replaced entry's slot, which
+          // both keeps slots unique within the pool and bounds growth.
+          new_slots.push_back(cap == 1 ? inst.pool_slots[p] : slot);
+        }
+      }
+    }
+    inst.pool = std::move(new_pool);
+    inst.pool_slots = std::move(new_slots);
+  } else {
+    // BFS-style: next pool is the concatenation of UPDATE results in
+    // task order.
+    std::vector<VertexId> new_pool;
+    std::vector<std::uint32_t> new_slots;
+    for (const TaskResult& result : results) {
+      for (const auto& [vertex, slot] : result.next) {
+        new_pool.push_back(vertex);
+        new_slots.push_back(slot);
+      }
+    }
+    if (cap == 0) {
+      // Unbounded branching: ordinal slots.
+      for (std::size_t s = 0; s < new_slots.size(); ++s) {
+        new_slots[s] = static_cast<std::uint32_t>(s);
+      }
+    }
+    inst.pool = std::move(new_pool);
+    inst.pool_slots = std::move(new_slots);
+  }
+
+  if (inst.pool.empty()) inst.active = false;
 }
 
 }  // namespace csaw

@@ -4,6 +4,7 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -71,6 +72,25 @@ struct SamplingSpec {
   }
 };
 
+/// How one run's sampling work is scheduled onto the simulated device.
+enum class Schedule {
+  /// Per-instance pipelining (paper §V, ThunderRW-style interleaving):
+  /// instance i's step s+1 launches the moment *its own* step s
+  /// completes — instances never wait on each other. Executed as one
+  /// persistent fused kernel per run (per resident partition for the
+  /// out-of-memory engine); samples are byte-identical to kStepBarrier
+  /// (counter-based RNG + per-chain state), only the simulated schedule —
+  /// and therefore sim_seconds / seps() — improves.
+  kPipelined,
+  /// One global barrier per step: every instance's step s finishes before
+  /// any instance's step s+1 starts (the PR 2 executor; one kernel launch
+  /// per step and kernel-granular cost accounting).
+  kStepBarrier,
+};
+
+/// Human-readable schedule name ("pipelined" / "step_barrier").
+std::string to_string(Schedule schedule);
+
 /// Engine-level configuration.
 struct EngineConfig {
   SelectConfig select;
@@ -85,6 +105,11 @@ struct EngineConfig {
   /// byte-identical at any width — the counter-based RNG makes sampling
   /// order-independent (see README "Threading model").
   std::uint32_t num_threads = 0;
+  /// Kernel schedule. Directly constructed engines default to the
+  /// step-barrier executor (what the per-step figure benches measure);
+  /// the csaw::Sampler facade defaults to kPipelined and plumbs its
+  /// SamplerOptions::schedule through here.
+  Schedule schedule = Schedule::kStepBarrier;
 };
 
 /// Result of one in-memory engine run. Prefer csaw::Sampler (sampler.hpp),
@@ -191,9 +216,21 @@ class SamplingEngine {
  private:
   struct StepScratch;
 
+  /// One warp-task's output slot: which instance/pool entry it served and
+  /// the UPDATE results it produced. Pre-sized per task (barrier mode) or
+  /// chain-local (pipelined mode) so no task ever writes shared state.
+  struct TaskResult {
+    std::uint32_t local_instance = 0;
+    std::uint32_t pool_position = 0;
+    std::vector<std::pair<VertexId, std::uint32_t>> next;
+  };
+
   /// Grows the per-worker scratch to the device's execution width.
   void ensure_workers(std::uint32_t width);
 
+  // --- Step-barrier path: one kernel per step over all instances.
+  void run_barrier(sim::Device& device, std::vector<InstanceState>& instances,
+                   SampleStore& samples);
   void select_frontiers(sim::Device& device,
                         std::vector<InstanceState>& instances,
                         std::uint32_t step, StepScratch& scratch);
@@ -206,6 +243,36 @@ class SamplingEngine {
                     StepScratch& scratch, SampleStore& samples);
   void advance_pools(std::vector<InstanceState>& instances,
                      StepScratch& scratch) const;
+
+  // --- Pipelined path: one chain per instance running its whole step
+  // loop; each chain calls the same per-instance bodies the barrier
+  // kernels call, so the two schedules produce byte-identical samples.
+  void run_pipelined(sim::Device& device,
+                     std::vector<InstanceState>& instances,
+                     SampleStore& samples);
+
+  // --- Shared per-instance kernel bodies.
+  /// VERTEXBIAS + SELECT over the FrontierPool; returns the selected pool
+  /// positions (empty when nothing is selectable).
+  std::vector<std::uint32_t> select_frontier_body(InstanceState& inst,
+                                                  std::uint32_t step,
+                                                  sim::WarpContext& warp,
+                                                  WorkerScratch& ws);
+  /// GATHERNEIGHBORS + EDGEBIAS + SELECT + UPDATE for one pool position;
+  /// appends sampled edges to `samples` and returns the UPDATE results.
+  std::vector<std::pair<VertexId, std::uint32_t>> sample_position_body(
+      InstanceState& inst, std::uint32_t local_instance,
+      std::uint32_t position, std::uint32_t step, sim::WarpContext& warp,
+      WorkerScratch& ws, SampleStore& samples);
+  /// Layer sampling: one combined NeighborPool over the whole frontier.
+  std::vector<std::pair<VertexId, std::uint32_t>> sample_layer_body(
+      InstanceState& inst, std::uint32_t local_instance, std::uint32_t step,
+      sim::WarpContext& warp, WorkerScratch& ws, SampleStore& samples);
+  /// Advances one instance's pool from this step's frontier positions and
+  /// task results (the per-instance body of advance_pools).
+  void advance_instance(InstanceState& inst,
+                        const std::vector<std::uint32_t>& frontier_positions,
+                        std::span<const TaskResult> results) const;
 
   const GraphView* view_;
   Policy policy_;

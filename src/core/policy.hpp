@@ -17,7 +17,9 @@ class GraphView {
  public:
   virtual ~GraphView() = default;
 
+  /// Vertex-id space of the whole graph (partitioned views included).
   virtual VertexId num_vertices() const = 0;
+  /// Out-degree of v.
   virtual EdgeIndex degree(VertexId v) const = 0;
   /// Sorted neighbors of v.
   virtual std::span<const VertexId> neighbors(VertexId v) const = 0;

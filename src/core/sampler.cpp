@@ -173,6 +173,7 @@ EngineConfig SamplerOptions::engine_config() const {
   config.seed = seed;
   config.instance_id_offset = instance_id_offset;
   config.num_threads = num_threads;
+  config.schedule = schedule;
   return config;
 }
 

@@ -57,6 +57,16 @@ struct SamplerOptions {
   /// "Threading model").
   std::uint32_t num_threads = 0;
 
+  // --- Kernel schedule.
+  /// Default on: per-instance pipelining — instance i's step s+1 starts
+  /// the moment its own step s completes, instead of barriering every
+  /// step across all instances (paper §V; docs/ARCHITECTURE.md
+  /// "Pipelined scheduler"). Samples are byte-identical to the
+  /// Schedule::kStepBarrier fallback in every execution mode
+  /// (tests/core/pipeline_equivalence_test.cpp); only the simulated
+  /// schedule — sim_seconds, seps(), kernel log shape — changes.
+  Schedule schedule = Schedule::kPipelined;
+
   // --- Out-of-memory knobs (previously OomConfig), used whenever the
   // out-of-memory backend is selected on any device.
   std::uint32_t num_partitions = 4;

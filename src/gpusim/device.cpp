@@ -113,19 +113,23 @@ const KernelRecord& Device::record_kernel(
     std::uint64_t num_tasks, KernelStats stats,
     const std::vector<std::uint64_t>& rounds) {
   // Intra-block imbalance: a block's warp slots are occupied until its
-  // longest warp retires (8 warps = 256 threads per block).
-  constexpr std::uint64_t kWarpsPerBlock = 8;
-  std::uint64_t occupied = 0;
-  for (std::size_t base = 0; base < rounds.size(); base += kWarpsPerBlock) {
-    const std::uint64_t width =
-        std::min<std::uint64_t>(kWarpsPerBlock, rounds.size() - base);
-    std::uint64_t longest = 0;
-    for (std::uint64_t w = 0; w < width; ++w) {
-      longest = std::max(longest, rounds[base + w]);
+  // longest warp retires (8 warps = 256 threads per block). Pipelined
+  // launches precompute the equivalent over per-chain totals and pass no
+  // per-task rounds.
+  if (!rounds.empty()) {
+    constexpr std::uint64_t kWarpsPerBlock = 8;
+    std::uint64_t occupied = 0;
+    for (std::size_t base = 0; base < rounds.size(); base += kWarpsPerBlock) {
+      const std::uint64_t width =
+          std::min<std::uint64_t>(kWarpsPerBlock, rounds.size() - base);
+      std::uint64_t longest = 0;
+      for (std::uint64_t w = 0; w < width; ++w) {
+        longest = std::max(longest, rounds[base + w]);
+      }
+      occupied += width * longest;
     }
-    occupied += width * longest;
+    stats.occupied_slot_rounds = occupied;
   }
-  stats.occupied_slot_rounds = occupied;
 
   const double duration =
       num_tasks == 0 ? 0.0 : cost_.kernel_seconds(stats, resource_fraction);
@@ -180,6 +184,90 @@ const KernelRecord& Device::run_kernel(std::string name,
                                        const WorkerWarpBody& body,
                                        const TaskAffinity& affinity) {
   return launch(std::move(name), stream(0), 1.0, num_tasks, body, affinity);
+}
+
+void ChainContext::Slot::close_group() noexcept {
+  span_rounds += open_longest;
+  width = std::max(width, open_count);
+  open_longest = 0;
+  open_count = 0;
+}
+
+ChainContext::Slot& ChainContext::begin_task(std::uint32_t kernel,
+                                             std::uint64_t group) {
+  CSAW_CHECK_MSG(kernel < slots_.size(),
+                 "chain task charged to kernel slot " << kernel << " of "
+                                                      << slots_.size());
+  Slot& slot = slots_[kernel];
+  if (slot.open_count > 0 && group != slot.open_group) slot.close_group();
+  slot.open_group = group;
+  return slot;
+}
+
+std::vector<Device::PipelinedKernel> Device::execute_pipelined(
+    std::uint32_t num_kernels, std::uint64_t num_chains,
+    const ChainBody& body) {
+  std::vector<ChainContext> chains(num_chains, ChainContext(num_kernels));
+  ThreadPool* pool = executor();
+  if (pool == nullptr || pool->num_threads() <= 1 || num_chains <= 1) {
+    const std::uint32_t worker = pool == nullptr ? 0 : pool->current_worker();
+    for (std::uint64_t c = 0; c < num_chains; ++c) body(c, chains[c], worker);
+  } else {
+    pool->parallel_chains(
+        num_chains, [&](std::size_t c, std::uint32_t worker) {
+          body(c, chains[c], worker);
+        });
+  }
+
+  // Deterministic aggregation in chain order — the host schedule is
+  // invisible. Persistent-kernel accounting per slot: critical path = the
+  // longest chain span, peak warps = sum of per-chain widths, occupancy =
+  // 8-chain block imbalance over chain spans (a chain's warp slots stay
+  // resident until the chain retires).
+  constexpr std::uint64_t kWarpsPerBlock = 8;
+  std::vector<PipelinedKernel> kernels(num_kernels);
+  for (std::uint32_t k = 0; k < num_kernels; ++k) {
+    PipelinedKernel& out = kernels[k];
+    std::uint64_t peak_warps = 0;
+    std::uint64_t longest = 0;
+    std::uint64_t occupied = 0;
+    std::uint64_t block_width = 0;
+    std::uint64_t block_longest = 0;
+    for (std::uint64_t c = 0; c < num_chains; ++c) {
+      ChainContext::Slot& slot = chains[c].slots_[k];
+      if (slot.tasks == 0) continue;
+      slot.close_group();
+      out.stats.merge(slot.stats);
+      out.num_tasks += slot.tasks;
+      peak_warps += slot.width;
+      longest = std::max(longest, slot.span_rounds);
+      block_longest = std::max(block_longest, slot.span_rounds);
+      if (++block_width == kWarpsPerBlock) {
+        occupied += block_width * block_longest;
+        block_width = 0;
+        block_longest = 0;
+      }
+    }
+    occupied += block_width * block_longest;
+    out.stats.warps = peak_warps;
+    out.stats.max_warp_rounds = longest;
+    out.stats.occupied_slot_rounds = occupied;
+  }
+  return kernels;
+}
+
+const KernelRecord& Device::record_pipelined(std::string name, Stream& stream,
+                                             double resource_fraction,
+                                             const PipelinedKernel& kernel) {
+  return record_kernel(std::move(name), stream, resource_fraction,
+                       kernel.num_tasks, kernel.stats, {});
+}
+
+const KernelRecord& Device::run_pipeline(std::string name,
+                                         std::uint64_t num_chains,
+                                         const ChainBody& body) {
+  const auto kernels = execute_pipelined(1, num_chains, body);
+  return record_pipelined(std::move(name), stream(0), 1.0, kernels[0]);
 }
 
 double Device::synchronize() const noexcept {

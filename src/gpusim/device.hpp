@@ -27,6 +27,69 @@ struct KernelRecord {
   double duration() const noexcept { return end - start; }
 };
 
+/// Per-chain execution context of a pipelined launch (Device::run_pipeline
+/// / Device::execute_pipelined). A chain is one serial sequence of
+/// dependent warp-tasks — typically one sampling instance's step chain:
+/// task t+1 of a chain may read state task t wrote, so the chain executes
+/// in program order on one worker, while tasks of *different* chains
+/// overlap freely. run_task opens the stats scope of one simulated
+/// warp-task and charges it to kernel slot `kernel`: pipelined executions
+/// that record several fused kernels (the out-of-memory engine records one
+/// per resident partition) give each partition a slot; single-kernel
+/// launches pass 0.
+class ChainContext {
+ public:
+  explicit ChainContext(std::uint32_t num_kernels = 1) : slots_(num_kernels) {}
+
+  /// Executes `fn` as one simulated warp-task of this chain, charged to
+  /// kernel slot `kernel`. `group` identifies the chain's dependency
+  /// stage (the sampling step, or the residency pass): tasks of one chain
+  /// in the same group are independent — the host serializes them only to
+  /// keep per-instance mutation order deterministic, so the device model
+  /// treats them as concurrent warps, exactly like a step-barrier kernel
+  /// does — while distinct groups serialize in order. Group ids must be
+  /// non-decreasing within a chain. Templated (not std::function): this
+  /// is the pipelined hot loop, one call per simulated warp-task.
+  template <typename Fn>
+  void run_task(std::uint32_t kernel, std::uint64_t group, Fn&& fn) {
+    Slot& slot = begin_task(kernel, group);
+    const std::uint64_t before = slot.stats.lockstep_rounds;
+    {
+      WarpContext warp(slot.stats);
+      fn(warp);
+    }
+    slot.open_longest =
+        std::max(slot.open_longest, slot.stats.lockstep_rounds - before);
+    ++slot.open_count;
+    ++slot.tasks;
+  }
+
+ private:
+  friend class Device;
+  struct Slot {
+    KernelStats stats;
+    /// Critical path: sum over completed groups of the group's longest
+    /// task (dependent stages serialize; tasks within a stage overlap).
+    std::uint64_t span_rounds = 0;
+    /// Peak concurrent warps: the widest group's task count.
+    std::uint64_t width = 0;
+    std::uint64_t tasks = 0;  ///< warp-tasks the chain charged to this slot
+    // Streaming state of the group currently being accumulated.
+    std::uint64_t open_group = 0;
+    std::uint64_t open_longest = 0;
+    std::uint64_t open_count = 0;
+
+    /// Folds the open group into span/width.
+    void close_group() noexcept;
+  };
+
+  /// Bounds-checks the slot and closes the previous group when `group`
+  /// advances; returns the slot to charge.
+  Slot& begin_task(std::uint32_t kernel, std::uint64_t group);
+
+  std::vector<Slot> slots_;
+};
+
 /// One simulated GPU. Kernel bodies run eagerly on the host, accumulating
 /// KernelStats; the CostModel turns the stats into a simulated duration
 /// placed on the launch stream.
@@ -107,6 +170,59 @@ class Device {
   const KernelRecord& run_kernel(std::string name, std::uint64_t num_tasks,
                                  const WorkerWarpBody& body,
                                  const TaskAffinity& affinity = nullptr);
+
+  // --- Pipelined (chain-granular) launches.
+  //
+  // The step-barrier launches above synchronize *every* task of a kernel
+  // before the next kernel starts. Pipelined launches instead hand the
+  // device `num_chains` independent chains of dependent task groups and
+  // let chains progress at their own pace (paper §V: per-instance
+  // pipelines are independent). Host side, each chain is one
+  // parallel_chains item; simulated side, the whole execution is modeled
+  // as a persistent kernel over the chains' dependency graphs:
+  //   - stats.max_warp_rounds = the longest chain's span (sum over its
+  //     groups of the group's longest task — the dependency graph's
+  //     critical path; no schedule finishes sooner),
+  //   - stats.warps = the sum of per-chain peak widths (every chain can
+  //     keep its widest group in flight at once — the same "all tasks of
+  //     a launch are concurrent" convention the barrier kernels use),
+  //   - occupied_slot_rounds = 8-chain block imbalance over chain spans,
+  //   - one kernel_launch_us per recorded kernel instead of one per step.
+  // Everything is assembled from per-chain accumulators merged in chain
+  // order, so results are byte-identical at any host width.
+
+  /// Chain body: runs the whole chain `chain`, issuing its warp-tasks
+  /// through the ChainContext. Mutable-state rules are WorkerWarpBody's,
+  /// with the chain itself as the affinity group: the body may touch (a)
+  /// state owned by its chain, (b) scratch owned by `worker`, (c)
+  /// pre-sized per-chain output slots.
+  using ChainBody =
+      std::function<void(std::uint64_t chain, ChainContext&, std::uint32_t worker)>;
+
+  /// Aggregation of one pipelined execution's kernel slot, ready to be
+  /// recorded with record_pipelined.
+  struct PipelinedKernel {
+    KernelStats stats;
+    std::uint64_t num_tasks = 0;
+  };
+
+  /// Runs `num_chains` chain bodies (concurrently when an executor is
+  /// attached) and returns one PipelinedKernel per kernel slot in
+  /// [0, num_kernels). Does not touch streams or the kernel log — callers
+  /// record each slot where (and at the SM fraction) it belongs.
+  std::vector<PipelinedKernel> execute_pipelined(std::uint32_t num_kernels,
+                                                 std::uint64_t num_chains,
+                                                 const ChainBody& body);
+
+  /// Records one fused kernel of a pipelined execution on `stream`.
+  const KernelRecord& record_pipelined(std::string name, Stream& stream,
+                                       double resource_fraction,
+                                       const PipelinedKernel& kernel);
+
+  /// Convenience: single-slot pipelined launch recorded on the default
+  /// stream at full SM share.
+  const KernelRecord& run_pipeline(std::string name, std::uint64_t num_chains,
+                                   const ChainBody& body);
 
   /// Simulated time at which all streams drain.
   double synchronize() const noexcept;

@@ -48,6 +48,15 @@ std::uint32_t ThreadPool::current_worker() const noexcept {
 }
 
 void ThreadPool::parallel_for(std::size_t num_items, const Task& fn) {
+  run_batch(num_items, fn, Distribution::kContiguous);
+}
+
+void ThreadPool::parallel_chains(std::size_t num_chains, const Task& fn) {
+  run_batch(num_chains, fn, Distribution::kRoundRobin);
+}
+
+void ThreadPool::run_batch(std::size_t num_items, const Task& fn,
+                           Distribution distribution) {
   if (num_items == 0) return;
   const std::uint32_t self = current_worker();
   if (num_threads_ == 1 || num_items == 1) {
@@ -56,14 +65,23 @@ void ThreadPool::parallel_for(std::size_t num_items, const Task& fn) {
   }
 
   Batch batch(num_threads_);
-  // Deterministic contiguous index chunks: worker w initially owns
-  // [w*chunk, (w+1)*chunk). Stealing rebalances at runtime; results must
-  // not depend on who executes what (Device::launch's contract).
-  const std::size_t chunk = (num_items + num_threads_ - 1) / num_threads_;
-  for (std::uint32_t w = 0; w < num_threads_; ++w) {
-    const std::size_t begin = std::min<std::size_t>(w * chunk, num_items);
-    const std::size_t end = std::min(begin + chunk, num_items);
-    for (std::size_t i = begin; i < end; ++i) batch.queues[w].push_back(i);
+  // Deterministic initial placement; stealing rebalances at runtime, and
+  // results must not depend on who executes what (Device::launch's
+  // contract). parallel_for deals contiguous chunks (worker w owns
+  // [w*chunk, (w+1)*chunk) — cache-friendly for slot-indexed outputs);
+  // parallel_chains deals round-robin (item i starts on worker i mod
+  // width — spreads similar-length neighboring chains).
+  if (distribution == Distribution::kContiguous) {
+    const std::size_t chunk = (num_items + num_threads_ - 1) / num_threads_;
+    for (std::uint32_t w = 0; w < num_threads_; ++w) {
+      const std::size_t begin = std::min<std::size_t>(w * chunk, num_items);
+      const std::size_t end = std::min(begin + chunk, num_items);
+      for (std::size_t i = begin; i < end; ++i) batch.queues[w].push_back(i);
+    }
+  } else {
+    for (std::size_t i = 0; i < num_items; ++i) {
+      batch.queues[i % num_threads_].push_back(i);
+    }
   }
   batch.fn = &fn;
   batch.remaining = num_items;

@@ -70,7 +70,24 @@ class ThreadPool {
   /// usable after a throwing batch.
   void parallel_for(std::size_t num_items, const Task& fn);
 
+  /// parallel_for variant for *dependency chains*: item c is an entire
+  /// serial sequence of dependent tasks (one sampling instance's step
+  /// chain — step s+1 of a chain starts the moment its own step s
+  /// returns, never waiting on other chains; that is the per-instance
+  /// pipelining TaskAffinity groups cannot express, because affinity only
+  /// serializes tasks *within* one launch). Semantics are parallel_for's
+  /// (blocking, exception handling, reentrancy, schedule-independence
+  /// contract); only the initial distribution differs: chain indices are
+  /// dealt round-robin across worker queues (chain c starts on worker
+  /// c mod width) instead of contiguous chunks, so neighboring chains —
+  /// which engines sort into similar lengths — land on different workers.
+  /// Stealing still rebalances the tail.
+  void parallel_chains(std::size_t num_chains, const Task& fn);
+
  private:
+  /// How run_batch deals items into the per-worker queues.
+  enum class Distribution { kContiguous, kRoundRobin };
+
   struct Batch {
     const Task* fn = nullptr;
     /// Per-worker item queues; mutex-per-queue, stealing from the back.
@@ -86,6 +103,9 @@ class ThreadPool {
     explicit Batch(std::size_t width) : queues(width), queue_mu(width) {}
   };
 
+  /// Shared body of parallel_for / parallel_chains.
+  void run_batch(std::size_t num_items, const Task& fn,
+                 Distribution distribution);
   void worker_main(std::uint32_t worker);
   /// Pops the next item of `batch` for `worker` (own queue first, then
   /// stealing). Returns false when the batch has no queued items left.

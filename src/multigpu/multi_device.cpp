@@ -41,6 +41,7 @@ MultiDeviceRun run_multi_device(const CsrGraph& graph, const Policy& policy,
   options.seed = config.engine.seed;
   options.instance_id_offset = config.engine.instance_id_offset;
   options.num_threads = config.engine.num_threads;
+  options.schedule = config.engine.schedule;
   options.memory_assumption = config.out_of_memory
                                   ? MemoryAssumption::kExceeds
                                   : MemoryAssumption::kFits;

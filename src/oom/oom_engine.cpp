@@ -85,6 +85,7 @@ OomRun OomEngine::run(sim::Device& device,
   samples_ = &result.samples;
 
   queues_.assign(config_.num_partitions, FrontierQueue{});
+  chain_of_.assign(num_instances, ~0u);
 
   device.set_num_threads(config_.engine.num_threads);
   ensure_workers(device.max_workers());
@@ -191,6 +192,11 @@ void OomEngine::schedule_until_drained(sim::Device& device, OomRun& result,
       result.metrics.bytes_transferred += parts_->part(p).bytes();
     }
 
+    if (config_.engine.schedule == Schedule::kPipelined) {
+      run_residency_pipelined(device, plan, result, imbalance);
+      continue;
+    }
+
     // --- Sample the resident partitions. All chosen partitions are
     // resident *simultaneously*: with workload-aware scheduling each is
     // released only when its frontier queue drains, and entries one
@@ -234,6 +240,133 @@ void OomEngine::schedule_until_drained(sim::Device& device, OomRun& result,
 OomRun OomEngine::run_single_seed(sim::Device& device,
                                   std::span<const VertexId> seeds) {
   return run(device, expand_single_seeds(seeds));
+}
+
+void OomEngine::run_residency_pipelined(sim::Device& device,
+                                        const RoundPlan& plan, OomRun& result,
+                                        RunningStat& imbalance) {
+  const std::size_t chosen = plan.partitions.size();
+  constexpr std::uint32_t kNotResident = ~0u;
+  std::vector<std::uint32_t> slot_of(config_.num_partitions, kNotResident);
+  for (std::size_t i = 0; i < chosen; ++i) slot_of[plan.partitions[i]] = i;
+
+  // Drain the chosen queues once and split by instance: pending[c][i]
+  // holds chain c's unprocessed entries in residency slot i, the
+  // chain-owned replacement for the shared partition queues. Chains are
+  // allocated only for instances that actually have resident entries
+  // (instances drain at different rates, so most are idle in late
+  // rounds); chain_of_ is sized once per run and reset via the chain
+  // list below, keeping each round's work proportional to its entries.
+  constexpr std::uint32_t kNoChain = ~0u;
+  std::vector<std::uint32_t> chain_instances;
+  std::vector<std::vector<std::vector<FrontierEntry>>> pending;
+  for (std::size_t i = 0; i < chosen; ++i) {
+    for (const FrontierEntry& e : queues_[plan.partitions[i]].drain()) {
+      const std::uint32_t local =
+          e.instance - config_.engine.instance_id_offset;
+      if (chain_of_[local] == kNoChain) {
+        chain_of_[local] = static_cast<std::uint32_t>(chain_instances.size());
+        chain_instances.push_back(local);
+        pending.emplace_back(chosen);
+      }
+      pending[chain_of_[local]][i].push_back(e);
+    }
+  }
+  std::vector<std::vector<FrontierEntry>> routed_out(chain_instances.size());
+
+  // One chain per instance. A chain's pass structure mirrors the
+  // barriered wave loop exactly — resident slots in plan order, each
+  // batch sorted by (depth, slot), repeated until drained (workload-aware)
+  // or once (baseline) — but only over the chain's own entries, so the
+  // per-instance visited/prev_vertex mutation order matches kStepBarrier
+  // and the samples are byte-identical.
+  const auto kernels = device.execute_pipelined(
+      static_cast<std::uint32_t>(chosen), chain_instances.size(),
+      [&](std::uint64_t chain, sim::ChainContext& ctx, std::uint32_t worker) {
+        auto& mine = pending[chain];
+        auto& out = routed_out[chain];
+        WorkerScratch& ws = workers_[worker];
+        std::vector<FrontierEntry> batch;
+        std::vector<FrontierEntry> children;
+
+        const auto process_one = [&](std::uint32_t p, const FrontierEntry& e,
+                                     sim::WarpContext& warp) {
+          children.clear();
+          process_entry(p, e, warp, ws, children);
+          for (const FrontierEntry& child : children) {
+            const std::uint32_t slot = slot_of[parts_->part_of(child.vertex)];
+            if (slot == kNotResident) {
+              out.push_back(child);
+            } else {
+              mine[slot].push_back(child);
+            }
+          }
+        };
+
+        bool progressed = true;
+        for (std::uint64_t pass = 0; progressed; ++pass) {
+          progressed = false;
+          for (std::size_t i = 0; i < chosen; ++i) {
+            if (mine[i].empty()) continue;
+            batch.clear();
+            batch.swap(mine[i]);
+            std::sort(batch.begin(), batch.end(),
+                      [](const FrontierEntry& a, const FrontierEntry& b) {
+                        if (a.depth != b.depth) return a.depth < b.depth;
+                        return a.slot < b.slot;
+                      });
+            const std::uint32_t p = plan.partitions[i];
+            const auto slot = static_cast<std::uint32_t>(i);
+            if (config_.batched) {
+              // Vertex-grained: one warp-task per entry (§V-C).
+              for (const FrontierEntry& e : batch) {
+                ctx.run_task(slot, pass, [&](sim::WarpContext& warp) {
+                  process_one(p, e, warp);
+                });
+              }
+            } else {
+              // Instance-grained baseline: the chain's whole batch is one
+              // straggling warp.
+              ctx.run_task(slot, pass, [&](sim::WarpContext& warp) {
+                for (const FrontierEntry& e : batch) process_one(p, e, warp);
+              });
+            }
+            progressed = config_.workload_aware;
+          }
+        }
+      });
+
+  // Record one fused kernel per resident partition on the stream (and at
+  // the SM fraction) its waves would have used.
+  RunningStat per_round;
+  for (std::size_t i = 0; i < chosen; ++i) {
+    sim::Stream& stream = device.stream(i % config_.num_streams);
+    const auto& record = device.record_pipelined(
+        "oom_sample_p" + std::to_string(plan.partitions[i]), stream,
+        plan.fractions[i], kernels[i]);
+    per_round.add(record.duration());
+    ++result.metrics.kernel_launches;
+  }
+  ++result.metrics.scheduling_rounds;
+  if (chosen >= 2 && per_round.mean() > 0.0) {
+    imbalance.add(per_round.stddev() / per_round.mean());
+  }
+
+  // Merge leftover and outbound entries back into the partition queues in
+  // chain order — queue contents end up byte-identical to the barriered
+  // schedule (every consumer sorts by (instance, depth, slot), so only
+  // the multiset matters).
+  for (std::size_t c = 0; c < chain_instances.size(); ++c) {
+    for (std::size_t i = 0; i < chosen; ++i) {
+      for (const FrontierEntry& e : pending[c][i]) {
+        queues_[plan.partitions[i]].push(e);
+      }
+    }
+    for (const FrontierEntry& e : routed_out[c]) {
+      queues_[parts_->part_of(e.vertex)].push(e);
+    }
+    chain_of_[chain_instances[c]] = kNoChain;
+  }
 }
 
 void OomEngine::run_wave(sim::Device& device, sim::Stream& stream,

@@ -97,6 +97,20 @@ class OomEngine {
   void run_wave(sim::Device& device, sim::Stream& stream, std::uint32_t p,
                 double fraction, OomMetrics& metrics);
 
+  /// Pipelined residency (EngineConfig::schedule == kPipelined): instead
+  /// of barriered waves, every instance runs as one chain consuming its
+  /// own entries in the resident partitions round by round — an
+  /// instance's depth-d+1 entries are sampled the moment *its* depth-d
+  /// entries are, regardless of other instances' progress. Entries
+  /// leaving the residency are buffered per chain and merged into the
+  /// partition queues in instance order, and the per-instance processing
+  /// order equals the barriered wave order, so samples and queue
+  /// evolution are byte-identical to the kStepBarrier schedule. Records
+  /// one fused kernel per resident partition (same names, streams and SM
+  /// fractions as the wave kernels).
+  void run_residency_pipelined(sim::Device& device, const RoundPlan& plan,
+                               OomRun& result, RunningStat& imbalance);
+
   /// Samples one frontier entry against partition p. Next-depth frontier
   /// entries go to `routed` (a per-task slot), not straight into the
   /// partition queues — tasks of one wave run concurrently, and the
@@ -122,6 +136,11 @@ class OomEngine {
   std::vector<FrontierQueue> queues_;
   std::vector<InstanceState> instances_;
   SampleStore* samples_ = nullptr;
+  /// Pipelined residencies: local instance -> chain index of the current
+  /// residency (~0u when the instance has no resident entries). Sized
+  /// once per run; run_residency_pipelined resets only the slots it
+  /// assigned.
+  std::vector<std::uint32_t> chain_of_;
 };
 
 }  // namespace csaw

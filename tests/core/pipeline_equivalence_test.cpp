@@ -1,0 +1,218 @@
+// The tentpole guarantee of the pipelined scheduler: samples are
+// byte-identical between Schedule::kPipelined and Schedule::kStepBarrier
+// across every execution mode and host width, and the pipelined simulated
+// makespan is never worse than the barriered one. The chains reuse the
+// barrier kernels' per-instance bodies and keep each instance's task order,
+// while the counter-based RNG keeps the cross-instance interleaving
+// invisible — see docs/ARCHITECTURE.md "Pipelined scheduler".
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algorithms/layer_sampling.hpp"
+#include "algorithms/mdrw.hpp"
+#include "algorithms/neighbor_sampling.hpp"
+#include "algorithms/node2vec.hpp"
+#include "algorithms/random_walks.hpp"
+#include "core/sampler.hpp"
+#include "graph/generators.hpp"
+
+namespace csaw {
+namespace {
+
+constexpr std::uint32_t kWidths[] = {1, 2, 7};
+
+std::vector<VertexId> spread_seeds(const CsrGraph& g, std::uint32_t n) {
+  std::vector<VertexId> seeds(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    seeds[i] = static_cast<VertexId>((i * 131) % g.num_vertices());
+  }
+  return seeds;
+}
+
+void expect_same_samples(const SampleStore& a, const SampleStore& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.num_instances(), b.num_instances()) << label;
+  for (std::uint32_t i = 0; i < a.num_instances(); ++i) {
+    EXPECT_EQ(a.edges(i), b.edges(i)) << label << ", instance " << i;
+  }
+}
+
+SamplerOptions mode_options(ExecutionMode mode) {
+  SamplerOptions options;
+  options.mode = mode;
+  if (mode == ExecutionMode::kMultiDevice) options.num_devices = 2;
+  if (mode == ExecutionMode::kOutOfMemory) {
+    options.memory_assumption = MemoryAssumption::kExceeds;
+  }
+  return options;
+}
+
+/// Barrier reference at one thread vs. pipelined runs at every width:
+/// byte-identical samples, pipelined sim_seconds never worse, pipelined
+/// results independent of the width.
+void expect_schedule_equivalence(ExecutionMode mode,
+                                 const AlgorithmSetup& setup,
+                                 const CsrGraph& g,
+                                 std::uint32_t num_instances,
+                                 const std::string& label) {
+  const auto seeds = spread_seeds(g, num_instances);
+
+  SamplerOptions barrier_options = mode_options(mode);
+  barrier_options.schedule = Schedule::kStepBarrier;
+  barrier_options.num_threads = 1;
+  Sampler barrier(g, setup, barrier_options);
+  const RunResult reference = barrier.run_single_seed(seeds);
+  ASSERT_GT(reference.sampled_edges(), 0u) << label;
+
+  const RunResult* first_pipelined = nullptr;
+  RunResult pipelined_runs[std::size(kWidths)];
+  std::size_t w = 0;
+  for (const std::uint32_t width : kWidths) {
+    SamplerOptions options = mode_options(mode);
+    options.schedule = Schedule::kPipelined;
+    options.num_threads = width;
+    Sampler sampler(g, setup, options);
+    pipelined_runs[w] = sampler.run_single_seed(seeds);
+    const RunResult& run = pipelined_runs[w];
+    const std::string run_label =
+        label + ", pipelined @ " + std::to_string(width) + " threads";
+
+    expect_same_samples(run.samples, reference.samples, run_label);
+    // The schedule may only improve the simulated makespan: fewer launch
+    // overheads, overlapped per-instance chains, max-of-sums critical
+    // path instead of sum-of-maxes.
+    EXPECT_LE(run.sim_seconds, reference.sim_seconds) << run_label;
+    EXPECT_GT(run.sim_seconds, 0.0) << run_label;
+
+    if (first_pipelined == nullptr) {
+      first_pipelined = &run;
+    } else {
+      // Width-determinism of the pipelined path itself.
+      EXPECT_EQ(run.sim_seconds, first_pipelined->sim_seconds) << run_label;
+      EXPECT_EQ(run.stats.lockstep_rounds,
+                first_pipelined->stats.lockstep_rounds)
+          << run_label;
+      EXPECT_EQ(run.stats.warps, first_pipelined->stats.warps) << run_label;
+      EXPECT_EQ(run.stats.max_warp_rounds,
+                first_pipelined->stats.max_warp_rounds)
+          << run_label;
+      expect_same_samples(run.samples, first_pipelined->samples, run_label);
+    }
+    ++w;
+  }
+}
+
+TEST(PipelineEquivalence, InMemoryNeighborSampling) {
+  const CsrGraph g = generate_rmat(1024, 8192, 71);
+  expect_schedule_equivalence(ExecutionMode::kInMemory,
+                              biased_neighbor_sampling(3, 3), g, 48,
+                              "in-memory neighbor sampling");
+}
+
+TEST(PipelineEquivalence, InMemoryRandomWalk) {
+  const CsrGraph g = generate_rmat(1024, 8192, 37);
+  expect_schedule_equivalence(ExecutionMode::kInMemory, biased_random_walk(16),
+                              g, 64, "in-memory random walk");
+}
+
+TEST(PipelineEquivalence, InMemoryLayerSampling) {
+  const CsrGraph g = generate_rmat(512, 4096, 19);
+  expect_schedule_equivalence(ExecutionMode::kInMemory, layer_sampling(8, 3),
+                              g, 24, "in-memory layer sampling");
+}
+
+TEST(PipelineEquivalence, InMemoryMultiDimRandomWalk) {
+  // select_frontier spec: VERTEXBIAS kernel + in-place pool replacement.
+  const CsrGraph g = generate_rmat(512, 4096, 23);
+  expect_schedule_equivalence(ExecutionMode::kInMemory,
+                              multi_dimensional_random_walk(6), g, 24,
+                              "in-memory MDRW");
+}
+
+TEST(PipelineEquivalence, Node2vecHonorsStepDependency) {
+  // node2vec's bias reads prev_vertex — the vertex its own chain explored
+  // at step s-1. A pipeline that let step s run before the instance's
+  // step s-1 completed (or leaked another instance's prev_vertex) would
+  // change the walks.
+  const CsrGraph g = generate_rmat(1024, 8192, 53);
+  expect_schedule_equivalence(ExecutionMode::kInMemory,
+                              node2vec(12, /*p=*/0.5, /*q=*/2.0), g, 40,
+                              "node2vec");
+  expect_schedule_equivalence(ExecutionMode::kAuto,
+                              node2vec(12, /*p=*/0.5, /*q=*/2.0), g, 40,
+                              "node2vec auto");
+}
+
+TEST(PipelineEquivalence, OutOfMemoryNeighborSampling) {
+  const CsrGraph g = generate_rmat(1024, 8192, 71);
+  expect_schedule_equivalence(ExecutionMode::kOutOfMemory,
+                              biased_neighbor_sampling(3, 3), g, 48,
+                              "out-of-memory neighbor sampling");
+}
+
+TEST(PipelineEquivalence, OutOfMemoryRandomWalk) {
+  const CsrGraph g = generate_rmat(1024, 8192, 37);
+  expect_schedule_equivalence(ExecutionMode::kOutOfMemory,
+                              biased_random_walk(12), g, 64,
+                              "out-of-memory random walk");
+}
+
+TEST(PipelineEquivalence, OutOfMemoryUnbatchedBaseline) {
+  // The instance-grained baseline pipelines too (one straggling warp-task
+  // per chain pass instead of per entry).
+  const CsrGraph g = generate_rmat(1024, 8192, 41);
+  SamplerOptions base = mode_options(ExecutionMode::kOutOfMemory);
+  base.oom_batched = false;
+  base.oom_unbatched_gang_size = 24;
+  const auto setup = biased_random_walk(10);
+  const auto seeds = spread_seeds(g, 48);
+
+  SamplerOptions barrier = base;
+  barrier.schedule = Schedule::kStepBarrier;
+  const RunResult ref = Sampler(g, setup, barrier).run_single_seed(seeds);
+
+  SamplerOptions pipelined = base;
+  pipelined.schedule = Schedule::kPipelined;
+  pipelined.num_threads = 7;
+  const RunResult run = Sampler(g, setup, pipelined).run_single_seed(seeds);
+  expect_same_samples(run.samples, ref.samples, "unbatched baseline");
+  EXPECT_LE(run.sim_seconds, ref.sim_seconds);
+}
+
+TEST(PipelineEquivalence, MultiDeviceNeighborSampling) {
+  const CsrGraph g = generate_rmat(1024, 8192, 71);
+  expect_schedule_equivalence(ExecutionMode::kMultiDevice,
+                              biased_neighbor_sampling(3, 3), g, 48,
+                              "multi-device neighbor sampling");
+}
+
+TEST(PipelineEquivalence, AutoMode) {
+  const CsrGraph g = generate_rmat(1024, 8192, 71);
+  expect_schedule_equivalence(ExecutionMode::kAuto,
+                              biased_neighbor_sampling(3, 3), g, 48,
+                              "auto mode");
+}
+
+TEST(PipelineEquivalence, BatchedServingMatchesAcrossSchedules) {
+  const CsrGraph g = generate_rmat(1024, 8192, 77);
+  const auto setup = biased_random_walk(8);
+  const auto seeds = spread_seeds(g, 30);
+
+  SamplerOptions barrier;
+  barrier.schedule = Schedule::kStepBarrier;
+  const RunResult ref =
+      Sampler(g, setup, barrier).run_batches_single_seed(seeds, 7);
+
+  SamplerOptions pipelined;
+  pipelined.schedule = Schedule::kPipelined;
+  pipelined.num_threads = 7;
+  const RunResult run =
+      Sampler(g, setup, pipelined).run_batches_single_seed(seeds, 7);
+  expect_same_samples(run.samples, ref.samples, "batched serving");
+  EXPECT_LE(run.sim_seconds, ref.sim_seconds);
+}
+
+}  // namespace
+}  // namespace csaw

@@ -56,34 +56,63 @@ std::vector<Metric> collect_metrics(const Json& record) {
   return metrics;
 }
 
+/// Renders a scalar field for the incomparability report.
+std::string value_string(const Json* value) {
+  if (value == nullptr) return "<absent>";
+  if (value->is_string()) return "\"" + value->as_string() + "\"";
+  std::ostringstream os;
+  const double v = value->as_double();
+  if (v == static_cast<double>(value->as_int())) {
+    os << value->as_int();
+  } else {
+    os << v;
+  }
+  return os.str();
+}
+
 /// Baselines are comparable only when they measured the same workload:
 /// same schema, graph and scaling knobs. A mismatch is a setup error
-/// (exit 2), not a perf regression.
+/// (exit 2), not a perf regression — and the report names the diverging
+/// knob with both values, so the operator sees which CSAW_* variable (or
+/// harness version) to fix without diffing the JSON by hand.
 std::string comparability_error(const Json& baseline, const Json& current) {
-  const auto field_differs = [&](const char* key) {
+  const auto diff = [&](const std::string& label, const Json* a,
+                        const Json* b) {
+    return label + " differs: baseline " + value_string(a) + ", current " +
+           value_string(b);
+  };
+  const auto field_error = [&](const char* key) -> std::string {
     const Json* a = baseline.find(key);
     const Json* b = current.find(key);
-    if (a == nullptr || b == nullptr) return a != b;
-    if (a->is_string()) return a->as_string() != b->as_string();
-    return a->as_double() != b->as_double();
+    const bool differs = (a == nullptr || b == nullptr)
+                             ? a != b
+                             : (a->is_string()
+                                    ? a->as_string() != b->as_string()
+                                    : a->as_double() != b->as_double());
+    return differs ? diff(key, a, b) : std::string{};
   };
-  if (field_differs("schema_version")) return "schema_version differs";
-  if (field_differs("graph")) return "graph differs";
+  if (auto error = field_error("schema_version"); !error.empty()) {
+    return error;
+  }
+  if (auto error = field_error("graph"); !error.empty()) return error;
   const Json* env_a = baseline.find("env");
   const Json* env_b = current.find("env");
-  if ((env_a == nullptr) != (env_b == nullptr)) return "env block differs";
+  if ((env_a == nullptr) != (env_b == nullptr)) {
+    return std::string("env block present only in ") +
+           (env_a != nullptr ? "baseline" : "current");
+  }
   if (env_a != nullptr) {
     // Both directions: a knob present in only one record (a harness that
     // gained or lost an env field) makes the pair incomparable too.
     for (const auto& [key, value] : env_a->members()) {
       const Json* other = env_b->find(key);
       if (other == nullptr || other->as_double() != value.as_double()) {
-        return "env." + key + " differs";
+        return diff("env." + key, &value, other);
       }
     }
-    for (const auto& member : env_b->members()) {
-      if (env_a->find(member.first) == nullptr) {
-        return "env." + member.first + " differs";
+    for (const auto& [key, value] : env_b->members()) {
+      if (env_a->find(key) == nullptr) {
+        return diff("env." + key, nullptr, &value);
       }
     }
   }

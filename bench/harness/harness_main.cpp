@@ -12,6 +12,7 @@
 
 #include "bench_common.hpp"
 #include "harness/registry.hpp"
+#include "harness/service_bench.hpp"
 #include "harness/throughput.hpp"
 #include "util/table.hpp"
 
@@ -71,6 +72,14 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   record.set("figure_smoke", std::move(smoke_json));
+
+  std::cout << "-- service throughput (wall-clock, informational)\n";
+  try {
+    record.set("service", bench::run_service_throughput(env, std::cout));
+  } catch (const std::exception& e) {
+    std::cerr << "service throughput scenario failed: " << e.what() << "\n";
+    return 1;
+  }
 
   std::ofstream out(out_path);
   if (!out) {

@@ -1,9 +1,13 @@
 #include "harness/registry.hpp"
 
+#include <memory>
+
 #include "algorithms/neighbor_sampling.hpp"
 #include "algorithms/random_walks.hpp"
 #include "core/sampler.hpp"
 #include "graph/generators.hpp"
+#include "service/service.hpp"
+#include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace csaw::bench {
@@ -88,6 +92,51 @@ const std::vector<SmokeCase>& figure_smoke_cases() {
          options.mode = ExecutionMode::kMultiDevice;
          options.num_devices = 2;
          return run_one(smoke_graph(), biased_random_walk(32), 512, options);
+       }},
+      {"service_throughput", "§serving (repo-native)",
+       [] {
+         // The service tier end to end, deterministically: a fixed mix of
+         // requests queues while the dispatcher is paused, so the batching
+         // (and therefore the simulated makespan the SEPS gate reads) is a
+         // pure function of the mix — two algorithms, varying request
+         // sizes, one coalesced stream space. Wall time stays recorded
+         // but, as everywhere in the registry, only SEPS is gated.
+         WallTimer timer;
+         ServiceConfig config;
+         config.start_paused = true;
+         config.max_queue_depth = 64;
+         Service service(config);
+         service.add_graph(
+             "smoke", std::make_shared<const CsrGraph>(smoke_graph()));
+         std::vector<Submission> submissions;
+         for (std::uint32_t r = 0; r < 48; ++r) {
+           SampleRequest request;
+           request.graph = "smoke";
+           request.algorithm = (r % 3 == 0)
+                                   ? AlgorithmId::kBiasedNeighborSampling
+                                   : AlgorithmId::kBiasedRandomWalk;
+           request.depth_or_length = (r % 3 == 0) ? 2 : 32;
+           const std::uint32_t instances = 4 + (r % 5);
+           for (std::uint32_t i = 0; i < instances; ++i) {
+             request.seeds.push_back({static_cast<VertexId>(
+                 (r * 131 + i * 17) % smoke_graph().num_vertices())});
+           }
+           submissions.push_back(service.submit(std::move(request)));
+         }
+         service.resume();
+         for (Submission& s : submissions) {
+           CSAW_CHECK_MSG(s.accepted(), "smoke request rejected: "
+                                            << to_string(s.rejected));
+           s.result.get();
+         }
+         service.shutdown();
+         const ServiceStats stats = service.stats();
+         SmokeResult smoke;
+         smoke.wall_seconds = timer.seconds();
+         smoke.sampled_edges = stats.sampled_edges;
+         smoke.seps = sampled_edges_per_second(stats.sampled_edges,
+                                               stats.sim_seconds);
+         return smoke;
        }},
   };
   return cases;

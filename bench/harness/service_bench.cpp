@@ -1,0 +1,127 @@
+#include "harness/service_bench.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace csaw::bench {
+namespace {
+
+// Fixed scenario shape (env-independent, see the header).
+constexpr std::uint32_t kClients = 4;
+constexpr std::uint32_t kRequestsPerClient = 32;
+constexpr std::uint32_t kInstancesPerRequest = 16;
+constexpr std::uint32_t kWalkLength = 32;
+
+double percentile(std::vector<double>& sorted_values, double p) {
+  if (sorted_values.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_values.size() - 1));
+  return sorted_values[index];
+}
+
+}  // namespace
+
+Json run_service_throughput(const BenchEnv& /*env*/, std::ostream& log) {
+  const std::string abbr = env_string("CSAW_THROUGHPUT_GRAPH").value_or("LJ");
+  const auto graph = std::make_shared<const CsrGraph>(dataset(abbr));
+
+  ServiceConfig config;
+  config.max_queue_depth = kClients * kRequestsPerClient;
+  Service service(config);
+  service.add_graph(abbr, graph);
+
+  const std::uint32_t total_requests = kClients * kRequestsPerClient;
+  std::vector<std::vector<double>> latencies_ms(kClients);
+
+  WallTimer wall;
+  std::vector<std::thread> clients;
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto& latencies = latencies_ms[c];
+      latencies.reserve(kRequestsPerClient);
+      for (std::uint32_t r = 0; r < kRequestsPerClient; ++r) {
+        std::vector<VertexId> seed_list(kInstancesPerRequest);
+        for (std::uint32_t i = 0; i < kInstancesPerRequest; ++i) {
+          seed_list[i] = static_cast<VertexId>(
+              ((c * kRequestsPerClient + r) * kInstancesPerRequest + i) *
+              131 % graph->num_vertices());
+        }
+        SampleRequest request = SampleRequest::single_seeds(
+            abbr, AlgorithmId::kBiasedRandomWalk, kWalkLength, seed_list);
+        // Pinned stream base: the sampled bytes (and so sampled_edges)
+        // are independent of submission interleaving; only latency and
+        // batching counters stay timing-dependent.
+        request.rng_base =
+            (c * kRequestsPerClient + r) * kInstancesPerRequest;
+
+        WallTimer request_timer;
+        Submission submission = service.submit(std::move(request));
+        CSAW_CHECK_MSG(submission.accepted(),
+                       "service bench rejected a request: "
+                           << to_string(submission.rejected));
+        const RunResult result = submission.result.get();
+        latencies.push_back(request_timer.milliseconds());
+        CSAW_CHECK(result.sampled_edges() > 0);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall_seconds = wall.seconds();
+  service.shutdown();
+
+  const ServiceStats stats = service.stats();
+  std::vector<double> all_latencies;
+  all_latencies.reserve(total_requests);
+  for (const auto& per_client : latencies_ms) {
+    all_latencies.insert(all_latencies.end(), per_client.begin(),
+                         per_client.end());
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  const double p50 = percentile(all_latencies, 0.50);
+  const double p95 = percentile(all_latencies, 0.95);
+  const double requests_per_sec =
+      static_cast<double>(total_requests) / std::max(wall_seconds, 1e-12);
+
+  TablePrinter table({"clients", "requests", "req/s", "p50 ms", "p95 ms",
+                      "batches", "coalesced"});
+  {
+    auto row = table.row();  // commits on scope exit, before print
+    row.cell(static_cast<std::int64_t>(kClients));
+    row.cell(static_cast<std::int64_t>(total_requests));
+    row.cell(requests_per_sec, 0);
+    row.cell(p50, 2);
+    row.cell(p95, 2);
+    row.cell(static_cast<std::int64_t>(stats.batches));
+    row.cell(static_cast<std::int64_t>(stats.coalesced_requests));
+  }
+  table.print(log);
+
+  Json record = Json::object();
+  record.set("graph", abbr);
+  record.set("clients", static_cast<std::uint64_t>(kClients));
+  record.set("requests_per_client",
+             static_cast<std::uint64_t>(kRequestsPerClient));
+  record.set("instances_per_request",
+             static_cast<std::uint64_t>(kInstancesPerRequest));
+  record.set("walk_length", static_cast<std::uint64_t>(kWalkLength));
+  record.set("sampled_edges", stats.sampled_edges);
+  record.set("requests_per_sec", requests_per_sec);
+  record.set("latency_ms_p50", p50);
+  record.set("latency_ms_p95", p95);
+  record.set("wall_seconds", wall_seconds);
+  record.set("batches", stats.batches);
+  record.set("coalesced_requests", stats.coalesced_requests);
+  record.set("max_batch_requests", stats.max_batch_requests);
+  return record;
+}
+
+}  // namespace csaw::bench

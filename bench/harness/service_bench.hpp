@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "bench_common.hpp"
+#include "harness/json.hpp"
+
+namespace csaw::bench {
+
+/// Runs the service-throughput scenario: concurrent client threads
+/// submitting pinned-stream sampling requests to one csaw::Service, whose
+/// dispatcher batches them onto the engines. Prints a summary to `log`
+/// and returns the "service" block of the trajectory record
+/// (docs/BENCHMARKS.md): requests/sec, client-observed p50/p95 latency,
+/// and the batching counters. All of it is host wall-clock or
+/// timing-dependent and therefore informational — never gated. (The
+/// gated, deterministic service metric is the `service_throughput`
+/// figure-smoke case, which queues a fixed request mix while paused.)
+///
+/// The workload is fixed-size like the smoke cases: client/request counts
+/// deliberately ignore the CSAW_* scaling knobs so committed records stay
+/// comparable; only the graph stand-in follows CSAW_THROUGHPUT_GRAPH.
+/// Pinned rng_bases keep sampled_edges deterministic even though batch
+/// composition (and so the latency split) depends on thread timing.
+Json run_service_throughput(const BenchEnv& env, std::ostream& log);
+
+}  // namespace csaw::bench

@@ -11,8 +11,9 @@ namespace csaw::bench {
 
 /// Schema version of the BENCH_throughput.json trajectory record; bump it
 /// whenever a field changes meaning. The full schema is documented in
-/// docs/BENCHMARKS.md.
-constexpr int kTrajectorySchemaVersion = 2;
+/// docs/BENCHMARKS.md. v3 added the "service" block and the
+/// service_throughput figure-smoke case.
+constexpr int kTrajectorySchemaVersion = 3;
 
 /// Runs the throughput trajectory workloads (biased neighbor sampling +
 /// biased random walk on the CSAW_THROUGHPUT_GRAPH stand-in, default LJ)

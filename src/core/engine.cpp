@@ -17,6 +17,36 @@ std::string to_string(Schedule schedule) {
   return "unknown";
 }
 
+std::uint32_t EngineConfig::local_instance_id(std::uint32_t global) const {
+  if (instance_tags.empty()) return global - instance_id_offset;
+  const auto it =
+      std::lower_bound(instance_tags.begin(), instance_tags.end(), global);
+  CSAW_CHECK_MSG(it != instance_tags.end() && *it == global,
+                 "global instance id " << global
+                                       << " is not one of this run's tags");
+  return static_cast<std::uint32_t>(it - instance_tags.begin());
+}
+
+void validate_instance_tags(std::span<const std::uint32_t> tags,
+                            std::size_t num_instances) {
+  if (tags.empty()) return;
+  CSAW_CHECK_MSG(tags.size() == num_instances,
+                 "instance tags have " << tags.size() << " entries for "
+                                       << num_instances << " instances");
+  for (std::size_t i = 1; i < tags.size(); ++i) {
+    CSAW_CHECK_MSG(tags[i - 1] < tags[i],
+                   "instance tags must be strictly increasing (tag "
+                       << tags[i] << " at index " << i << " follows "
+                       << tags[i - 1] << ")");
+  }
+}
+
+void validate_instance_tags(const EngineConfig& config,
+                            std::size_t num_instances) {
+  validate_instance_tags(std::span<const std::uint32_t>(config.instance_tags),
+                         num_instances);
+}
+
 namespace rng_slots {
 std::uint32_t frontier_slot_base(std::uint32_t slot) {
   CSAW_CHECK_MSG(slot <= kMaxFrontierSlot,
@@ -180,9 +210,10 @@ void SamplingEngine::ensure_workers(std::uint32_t width) {
 SampleRun SamplingEngine::run(sim::Device& device,
                               std::span<const std::vector<VertexId>> seeds) {
   const auto num_instances = static_cast<std::uint32_t>(seeds.size());
+  validate_instance_tags(config_, num_instances);
   std::vector<InstanceState> instances(num_instances);
   for (std::uint32_t i = 0; i < num_instances; ++i) {
-    instances[i].init(config_.instance_id_offset + i, seeds[i],
+    instances[i].init(config_.global_instance_id(i), seeds[i],
                       view_->num_vertices(), spec_.filter_visited);
   }
 

@@ -99,6 +99,23 @@ struct EngineConfig {
   /// in RNG coordinates. Multi-device runs give each device a disjoint
   /// range so the union of samples is independent of the device count.
   std::uint32_t instance_id_offset = 0;
+  /// Per-instance global RNG ids, overriding the contiguous
+  /// `instance_id_offset + i` assignment when non-empty: local instance i
+  /// draws as global instance `instance_tags[i]`. This is how the service
+  /// tier coalesces several requests into one engine run while keeping
+  /// every request on its own Philox stream — a request's instances keep
+  /// the ids they would have alone, so its samples are byte-identical in
+  /// any batch. Must be strictly increasing and sized to the seed count
+  /// (checked at run()).
+  std::vector<std::uint32_t> instance_tags;
+
+  /// Global RNG id of local instance `i` under this config.
+  std::uint32_t global_instance_id(std::uint32_t i) const {
+    return instance_tags.empty() ? instance_id_offset + i : instance_tags[i];
+  }
+  /// Inverse of global_instance_id (binary search when tagged; the tags
+  /// are strictly increasing).
+  std::uint32_t local_instance_id(std::uint32_t global) const;
   /// Host threads executing the simulated warp-tasks: 0 = auto (the
   /// CSAW_THREADS environment variable, else hardware_concurrency), 1 =
   /// the legacy serial path. Samples, seps() and kernel logs are
@@ -111,6 +128,16 @@ struct EngineConfig {
   /// SamplerOptions::schedule through here.
   Schedule schedule = Schedule::kStepBarrier;
 };
+
+/// Checks the instance-tag invariants (size matches the instance count,
+/// strictly increasing) at run entry; a no-op for untagged configs. The
+/// span form exists so Sampler::run_tagged can validate the *whole* tag
+/// list before a multi-device dispatch splits it into per-group subspans
+/// (each of which would pass the per-engine check on its own).
+void validate_instance_tags(std::span<const std::uint32_t> tags,
+                            std::size_t num_instances);
+void validate_instance_tags(const EngineConfig& config,
+                            std::size_t num_instances);
 
 /// Result of one in-memory engine run. Prefer csaw::Sampler (sampler.hpp),
 /// which returns the unified RunResult regardless of execution mode.

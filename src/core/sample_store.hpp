@@ -28,6 +28,18 @@ class SampleStore {
     edges_[instance].push_back(e);
   }
 
+  /// Moves one instance's whole edge list out, leaving that row empty.
+  /// The service tier splits a coalesced batch's store into per-request
+  /// stores with row moves instead of per-edge copies.
+  std::vector<Edge> take(std::uint32_t instance) {
+    return std::move(edges_[instance]);
+  }
+
+  /// Replaces one instance's edge list (the receiving half of take()).
+  void put(std::uint32_t instance, std::vector<Edge> edges) {
+    edges_[instance] = std::move(edges);
+  }
+
   const std::vector<Edge>& edges(std::uint32_t instance) const {
     return edges_[instance];
   }

@@ -216,18 +216,40 @@ RunResult Sampler::run_single_seed(std::span<const VertexId> seeds) {
   return run(expand_single_seeds(seeds));
 }
 
+RunResult Sampler::run_tagged(std::span<const std::vector<VertexId>> seeds,
+                              std::span<const std::uint32_t> tags) {
+  CSAW_CHECK_MSG(tags.size() == seeds.size(),
+                 "run_tagged needs one tag per instance: " << tags.size()
+                     << " tags for " << seeds.size() << " seed lists");
+  // Validate the whole span here: a multi-device dispatch hands each
+  // group a subspan, and per-group checks alone would accept duplicates
+  // that straddle a group boundary.
+  validate_instance_tags(tags, seeds.size());
+  return dispatch(seeds, options_.instance_id_offset, tags);
+}
+
+void Sampler::set_executor(std::shared_ptr<sim::ThreadPool> pool) {
+  pool_ = std::move(pool);
+}
+
+void Sampler::set_partitions(std::shared_ptr<const PartitionedGraph> parts) {
+  parts_ = std::move(parts);
+}
+
 RunResult Sampler::dispatch(std::span<const std::vector<VertexId>> seeds,
-                            std::uint32_t instance_id_offset) {
+                            std::uint32_t instance_id_offset,
+                            std::span<const std::uint32_t> tags) {
   RunResult result;
   switch (decision_.resolved) {
     case ExecutionMode::kInMemory:
-      result = run_in_memory(seeds, instance_id_offset, /*device_id=*/0);
+      result = run_in_memory(seeds, instance_id_offset, tags, /*device_id=*/0);
       break;
     case ExecutionMode::kOutOfMemory:
-      result = run_out_of_memory(seeds, instance_id_offset, /*device_id=*/0);
+      result =
+          run_out_of_memory(seeds, instance_id_offset, tags, /*device_id=*/0);
       break;
     case ExecutionMode::kMultiDevice:
-      result = run_multi_device(seeds, instance_id_offset);
+      result = run_multi_device(seeds, instance_id_offset, tags);
       break;
     case ExecutionMode::kAuto:
       CSAW_CHECK_MSG(false, "resolved mode can never be kAuto");
@@ -238,9 +260,10 @@ RunResult Sampler::dispatch(std::span<const std::vector<VertexId>> seeds,
 }
 
 sim::ThreadPool* Sampler::ensure_pool() {
+  if (pool_ != nullptr) return pool_.get();  // set_executor's pool wins
   const std::uint32_t width = sim::resolve_num_threads(options_.num_threads);
   if (width <= 1) return nullptr;
-  if (pool_ == nullptr) pool_ = std::make_shared<sim::ThreadPool>(width);
+  pool_ = std::make_shared<sim::ThreadPool>(width);
   return pool_.get();
 }
 
@@ -250,12 +273,14 @@ void Sampler::attach_executor(sim::Device& device) {
 
 RunResult Sampler::run_in_memory(std::span<const std::vector<VertexId>> seeds,
                                  std::uint32_t instance_id_offset,
+                                 std::span<const std::uint32_t> tags,
                                  std::uint32_t device_id) {
   sim::Device device(device_id, options_.device_params);
   attach_executor(device);
   CsrGraphView view(*graph_);
   EngineConfig config = options_.engine_config();
   config.instance_id_offset = instance_id_offset;
+  config.instance_tags.assign(tags.begin(), tags.end());
   SamplingEngine engine(view, policy_, spec_, config);
   SampleRun run = engine.run(device, seeds);
 
@@ -269,11 +294,13 @@ RunResult Sampler::run_in_memory(std::span<const std::vector<VertexId>> seeds,
 
 RunResult Sampler::run_out_of_memory(
     std::span<const std::vector<VertexId>> seeds,
-    std::uint32_t instance_id_offset, std::uint32_t device_id) {
+    std::uint32_t instance_id_offset, std::span<const std::uint32_t> tags,
+    std::uint32_t device_id) {
   sim::Device device(device_id, options_.device_params);
   attach_executor(device);
   OomConfig config = options_.oom_config();
   config.engine.instance_id_offset = instance_id_offset;
+  config.engine.instance_tags.assign(tags.begin(), tags.end());
   if (parts_ == nullptr) {
     // Single-device dispatch only; the multi-device path pre-builds the
     // partitioning before its groups run concurrently.
@@ -294,7 +321,7 @@ RunResult Sampler::run_out_of_memory(
 
 RunResult Sampler::run_multi_device(
     std::span<const std::vector<VertexId>> seeds,
-    std::uint32_t instance_id_offset) {
+    std::uint32_t instance_id_offset, std::span<const std::uint32_t> tags) {
   const auto num_instances = static_cast<std::uint32_t>(seeds.size());
 
   RunResult result;
@@ -325,9 +352,15 @@ RunResult Sampler::run_multi_device(
     const std::uint32_t end = std::min(begin + per_device, num_instances);
     if (begin == end) return;
     const auto group = seeds.subspan(begin, end - begin);
-    parts[d] = decision_.out_of_memory
-                   ? run_out_of_memory(group, instance_id_offset + begin, d)
-                   : run_in_memory(group, instance_id_offset + begin, d);
+    // Tagged runs split the tag span alongside the seed span: groups are
+    // contiguous, so each device sees its requests' exact global ids.
+    const auto group_tags =
+        tags.empty() ? tags : tags.subspan(begin, end - begin);
+    parts[d] =
+        decision_.out_of_memory
+            ? run_out_of_memory(group, instance_id_offset + begin, group_tags,
+                                d)
+            : run_in_memory(group, instance_id_offset + begin, group_tags, d);
   };
   if (pool_ != nullptr && options_.num_devices > 1) {
     pool_->parallel_for(options_.num_devices,

@@ -153,19 +153,55 @@ class Sampler {
   RunResult run_batches_single_seed(std::span<const VertexId> seeds,
                                     std::uint32_t batch_size);
 
+  /// The coalesced (service-tier) entry point: one engine run over
+  /// instances whose global RNG ids are given per instance by `tags`
+  /// (strictly increasing, one per seeds entry) instead of the contiguous
+  /// `instance_id_offset + i` assignment. Because the counter-based RNG
+  /// addresses every draw by the global id, instance i's samples here are
+  /// byte-identical to a plain run() whose offset placed it at tags[i] —
+  /// which is how csaw::Service batches requests from different clients
+  /// into one run and still returns each request the exact bytes a solo
+  /// run would have produced. The batch executes through the resolved
+  /// execution mode like any other run (multi-device splits the tag span
+  /// with the seed span). Re-entrancy contract: one Sampler must run one
+  /// call at a time, but any number of Samplers may share one executor
+  /// pool (set_executor) and one partitioning (set_partitions) — a
+  /// dispatcher thread can therefore stream batch after batch through
+  /// fresh Samplers without re-spawning threads or re-partitioning.
+  RunResult run_tagged(std::span<const std::vector<VertexId>> seeds,
+                       std::span<const std::uint32_t> tags);
+
+  /// Attaches an externally owned host pool shared with other samplers
+  /// (the service tier passes one pool through every batch). Replaces the
+  /// lazily created per-sampler pool; the pool's width wins over
+  /// SamplerOptions::num_threads.
+  void set_executor(std::shared_ptr<sim::ThreadPool> pool);
+
+  /// Shares a prebuilt partitioning for the out-of-memory backend instead
+  /// of building one on first dispatch — the service's graph registry
+  /// partitions a graph once and reuses it across every batch. `parts`
+  /// must partition this sampler's graph into options().num_partitions
+  /// ranges (checked when the out-of-memory engine consumes it).
+  void set_partitions(std::shared_ptr<const PartitionedGraph> parts);
+
  private:
   /// Dispatches one run with an explicit global-id base offset (the
-  /// batched path shifts it per chunk).
+  /// batched path shifts it per chunk) or explicit per-instance tags
+  /// (the service path; tags win when non-empty).
   RunResult dispatch(std::span<const std::vector<VertexId>> seeds,
-                     std::uint32_t instance_id_offset);
+                     std::uint32_t instance_id_offset,
+                     std::span<const std::uint32_t> tags = {});
   RunResult run_in_memory(std::span<const std::vector<VertexId>> seeds,
                           std::uint32_t instance_id_offset,
+                          std::span<const std::uint32_t> tags,
                           std::uint32_t device_id);
   RunResult run_out_of_memory(std::span<const std::vector<VertexId>> seeds,
                               std::uint32_t instance_id_offset,
+                              std::span<const std::uint32_t> tags,
                               std::uint32_t device_id);
   RunResult run_multi_device(std::span<const std::vector<VertexId>> seeds,
-                             std::uint32_t instance_id_offset);
+                             std::uint32_t instance_id_offset,
+                             std::span<const std::uint32_t> tags);
 
   /// Creates the run-wide host pool on first use (width from
   /// num_threads / CSAW_THREADS); null when the resolved width is serial.

@@ -207,7 +207,14 @@ ChainContext::Slot& ChainContext::begin_task(std::uint32_t kernel,
 std::vector<Device::PipelinedKernel> Device::execute_pipelined(
     std::uint32_t num_kernels, std::uint64_t num_chains,
     const ChainBody& body) {
-  std::vector<ChainContext> chains(num_chains, ChainContext(num_kernels));
+  // Chain contexts come from the device-lifetime pool: residency-looped
+  // and batch-streamed executions reuse the same slot vectors instead of
+  // allocating num_chains contexts per launch.
+  if (chain_pool_.size() < num_chains) chain_pool_.resize(num_chains);
+  for (std::uint64_t c = 0; c < num_chains; ++c) {
+    chain_pool_[c].reset(num_kernels);
+  }
+  std::vector<ChainContext>& chains = chain_pool_;
   ThreadPool* pool = executor();
   if (pool == nullptr || pool->num_threads() <= 1 || num_chains <= 1) {
     const std::uint32_t worker = pool == nullptr ? 0 : pool->current_worker();

@@ -87,8 +87,24 @@ void ThreadPool::run_batch(std::size_t num_items, const Task& fn,
   batch.remaining = num_items;
   batch.queued.store(num_items, std::memory_order_relaxed);
 
+  const bool external = tls_worker < 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (external) {
+      // Worker slot 0 belongs to the one external thread driving the
+      // pool; a second concurrent external thread would alias its
+      // per-worker scratch. Fail loudly — this is the misuse the service
+      // dispatcher model exists to prevent.
+      CSAW_CHECK_MSG(
+          external_depth_ == 0 ||
+              external_owner_ == std::this_thread::get_id(),
+          "two external threads drove one ThreadPool concurrently; worker "
+          "identities would collide. Route work through a single "
+          "dispatcher thread (as csaw::Service does) or give each thread "
+          "its own pool");
+      external_owner_ = std::this_thread::get_id();
+      ++external_depth_;
+    }
     active_.push_back(&batch);
     ++batch.visitors;
   }
@@ -124,6 +140,7 @@ void ThreadPool::run_batch(std::size_t num_items, const Task& fn,
     done_cv_.wait(lock);
   }
   active_.erase(std::find(active_.begin(), active_.end(), &batch));
+  if (external) --external_depth_;
   if (batch.error) std::rethrow_exception(batch.error);
 }
 

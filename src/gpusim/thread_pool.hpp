@@ -40,7 +40,17 @@ std::uint32_t resolve_num_threads(std::uint32_t requested);
 ///
 /// At most one *external* (non-worker) thread may use a pool at a time:
 /// worker identities passed to items are unique per thread only under that
-/// condition (the external thread owns worker slot 0).
+/// condition (the external thread owns worker slot 0). The pool enforces
+/// this for every batch it registers — a second external thread
+/// submitting such work while another's batch is in flight throws
+/// CheckError instead of silently corrupting per-worker scratch. (The
+/// inline shortcut for width-1 pools and single-item batches never
+/// registers a batch and is exempt: it runs entirely on the caller's
+/// stack and touches no per-worker scratch of the in-flight batch.) This is the sharing contract the service tier
+/// builds on: client threads never touch the pool; one dispatcher thread
+/// drives batch after batch through it while the engines' nested
+/// parallel_for / parallel_chains calls (issued from pool workers) remain
+/// deadlock-free via the help-while-waiting loop below.
 class ThreadPool {
  public:
   /// Worker function: item index plus the executing worker's identity in
@@ -123,6 +133,10 @@ class ThreadPool {
   std::condition_variable done_cv_;  ///< batch owners: progress happened
   std::vector<Batch*> active_;       ///< in-flight batches, registration order
   bool stopping_ = false;
+  /// Single-external-owner enforcement (under mu_): how many batches the
+  /// owning external thread has in flight (nesting counts), and who owns.
+  std::size_t external_depth_ = 0;
+  std::thread::id external_owner_;
 };
 
 }  // namespace csaw::sim

@@ -74,9 +74,10 @@ void OomEngine::ensure_workers(std::uint32_t width) {
 OomRun OomEngine::run(sim::Device& device,
                       std::span<const std::vector<VertexId>> seeds) {
   const auto num_instances = static_cast<std::uint32_t>(seeds.size());
+  validate_instance_tags(config_.engine, num_instances);
   instances_.assign(num_instances, InstanceState());
   for (std::uint32_t i = 0; i < num_instances; ++i) {
-    instances_[i].init(config_.engine.instance_id_offset + i, seeds[i],
+    instances_[i].init(config_.engine.global_instance_id(i), seeds[i],
                        graph_->num_vertices(), spec_.filter_visited);
   }
 
@@ -111,7 +112,7 @@ OomRun OomEngine::run(sim::Device& device,
         const VertexId seed = seeds[i][s];
         CSAW_CHECK(seed < graph_->num_vertices());
         queues_[parts_->part_of(seed)].push(FrontierEntry{
-            seed, config_.engine.instance_id_offset + i, /*depth=*/0,
+            seed, config_.engine.global_instance_id(i), /*depth=*/0,
             static_cast<std::uint32_t>(s), kInvalidVertex});
       }
     }
@@ -262,8 +263,7 @@ void OomEngine::run_residency_pipelined(sim::Device& device,
   std::vector<std::vector<std::vector<FrontierEntry>>> pending;
   for (std::size_t i = 0; i < chosen; ++i) {
     for (const FrontierEntry& e : queues_[plan.partitions[i]].drain()) {
-      const std::uint32_t local =
-          e.instance - config_.engine.instance_id_offset;
+      const std::uint32_t local = config_.engine.local_instance_id(e.instance);
       if (chain_of_[local] == kNoChain) {
         chain_of_[local] = static_cast<std::uint32_t>(chain_instances.size());
         chain_instances.push_back(local);
@@ -433,8 +433,7 @@ void OomEngine::process_entry(std::uint32_t p, const FrontierEntry& entry,
                               sim::WarpContext& warp, WorkerScratch& scratch,
                               std::vector<FrontierEntry>& routed) {
   const PartitionView& view = parts_->view(p);
-  const std::uint32_t local =
-      entry.instance - config_.engine.instance_id_offset;
+  const std::uint32_t local = config_.engine.local_instance_id(entry.instance);
   InstanceState& inst = instances_[local];
   inst.prev_vertex = entry.prev;
 

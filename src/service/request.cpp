@@ -1,0 +1,40 @@
+#include "service/request.hpp"
+
+namespace csaw {
+
+SampleRequest SampleRequest::single_seeds(std::string graph,
+                                          AlgorithmId algorithm,
+                                          std::uint32_t depth_or_length,
+                                          std::span<const VertexId> seed_list,
+                                          std::uint32_t neighbor_size) {
+  SampleRequest request;
+  request.graph = std::move(graph);
+  request.algorithm = algorithm;
+  request.depth_or_length = depth_or_length;
+  request.neighbor_size = neighbor_size;
+  request.seeds.reserve(seed_list.size());
+  for (const VertexId v : seed_list) request.seeds.push_back({v});
+  return request;
+}
+
+std::string to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "accepted";
+    case RejectReason::kUnknownGraph:
+      return "unknown_graph";
+    case RejectReason::kEmptyRequest:
+      return "empty_request";
+    case RejectReason::kInvalidSeed:
+      return "invalid_seed";
+    case RejectReason::kOversizedRequest:
+      return "oversized_request";
+    case RejectReason::kQueueFull:
+      return "queue_full";
+    case RejectReason::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+}  // namespace csaw

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.hpp"
+#include "graph/csr.hpp"
+
+namespace csaw {
+
+/// Sentinel for SampleRequest::rng_base: the service assigns the next
+/// free Philox stream range at admission.
+inline constexpr std::uint32_t kAutoRngBase = 0xFFFFFFFFu;
+
+/// One client request to the sampling service: an algorithm from the
+/// registry, a registered graph by name, and the seed vertices of each
+/// requested instance. Requests are identified by registry coordinates
+/// (not raw Policy hooks) so the batching scheduler can prove two queued
+/// requests run the same kernels and coalesce them into one engine run.
+struct SampleRequest {
+  /// Name the graph was registered under (Service::add_graph).
+  std::string graph;
+  AlgorithmId algorithm = AlgorithmId::kBiasedRandomWalk;
+  /// Walk length for walk algorithms, tree depth for sampling.
+  std::uint32_t depth_or_length = 2;
+  std::uint32_t neighbor_size = 2;
+  /// seeds[i] holds the seed vertices of requested instance i.
+  std::vector<std::vector<VertexId>> seeds;
+  /// Philox stream base: instance i of this request draws as global
+  /// instance `rng_base + i`, whether the request runs alone or coalesced
+  /// into a batch — that id (not execution order) addresses every random
+  /// draw, which is what makes the service's determinism contract hold.
+  /// kAutoRngBase (the default) lets the service assign the next free
+  /// range at admission: each accepted request is then deterministic for
+  /// the service's lifetime, but the assignment depends on submission
+  /// order across client threads. Pin a base explicitly to make a
+  /// request's samples reproducible across service lifetimes; pinned
+  /// ranges that overlap are never coalesced into one batch, a pinned
+  /// range that would wrap past the sentinel is rejected as oversized,
+  /// and admitting a pinned range advances the auto cursor past its end
+  /// (so auto requests never collide with it — pinning *below* ranges
+  /// the service already handed out is the one collision left to the
+  /// client).
+  std::uint32_t rng_base = kAutoRngBase;
+
+  std::uint32_t num_instances() const noexcept {
+    return static_cast<std::uint32_t>(seeds.size());
+  }
+
+  /// Convenience: one single-seed instance per vertex of `seed_list`.
+  static SampleRequest single_seeds(std::string graph, AlgorithmId algorithm,
+                                    std::uint32_t depth_or_length,
+                                    std::span<const VertexId> seed_list,
+                                    std::uint32_t neighbor_size = 2);
+};
+
+/// Why the service refused a request at admission. Every reason has a
+/// counter in ServiceStats; kNone means accepted.
+enum class RejectReason {
+  kNone,
+  /// SampleRequest::graph names no registered graph.
+  kUnknownGraph,
+  /// The request carries zero instances.
+  kEmptyRequest,
+  /// A seed vertex is out of range for the target graph (caught at
+  /// admission so a bad request cannot poison a coalesced batch).
+  kInvalidSeed,
+  /// More instances than ServiceConfig::max_request_instances, or the
+  /// auto-assigned Philox stream space is exhausted.
+  kOversizedRequest,
+  /// ServiceConfig::max_queue_depth requests already queued.
+  kQueueFull,
+  /// The service is shutting down.
+  kShutdown,
+};
+
+/// Human-readable reason ("queue_full", ...); "accepted" for kNone.
+std::string to_string(RejectReason reason);
+
+/// Monotonic counters of one service's lifetime, snapshotted atomically
+/// by Service::stats().
+struct ServiceStats {
+  std::uint64_t submitted = 0;  ///< all submit() calls, accepted or not
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;  ///< requests whose future holds a RunResult
+  std::uint64_t failed = 0;     ///< requests whose future holds an exception
+
+  // --- Admission rejections by reason.
+  std::uint64_t rejected_unknown_graph = 0;
+  std::uint64_t rejected_empty = 0;
+  std::uint64_t rejected_invalid_seed = 0;
+  std::uint64_t rejected_oversized = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_shutdown = 0;
+
+  // --- Batching effectiveness.
+  std::uint64_t batches = 0;  ///< engine runs the dispatcher executed
+  /// Requests that shared their engine run with at least one other.
+  std::uint64_t coalesced_requests = 0;
+  std::uint64_t max_batch_requests = 0;  ///< widest batch, in requests
+  std::uint64_t peak_queue_depth = 0;
+
+  // --- Work served.
+  std::uint64_t sampled_edges = 0;
+  /// Sum of batch makespans (batches stream sequentially through the
+  /// device): sampled_edges / sim_seconds is the service's simulated SEPS.
+  double sim_seconds = 0.0;
+
+  std::uint64_t rejected_total() const noexcept {
+    return rejected_unknown_graph + rejected_empty + rejected_invalid_seed +
+           rejected_oversized + rejected_queue_full + rejected_shutdown;
+  }
+};
+
+}  // namespace csaw

@@ -1,0 +1,464 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace csaw {
+namespace {
+
+/// Two requests may share one engine run when they provably run the same
+/// kernels: same graph and same registry coordinates. (Execution options
+/// are service-wide, so they never differ within one service.)
+bool compatible(const SampleRequest& a, const SampleRequest& b) {
+  return a.graph == b.graph && a.algorithm == b.algorithm &&
+         a.depth_or_length == b.depth_or_length &&
+         a.neighbor_size == b.neighbor_size;
+}
+
+/// Whether [base, base+count) intersects any already-batched stream
+/// range. Overlapping ranges would collide on Philox streams, so the
+/// scheduler leaves the later request for a later batch.
+bool overlaps(const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+                  ranges,
+              std::uint32_t base, std::uint32_t count) {
+  for (const auto& [b, c] : ranges) {
+    if (base < b + c && b < base + count) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig config) : config_(std::move(config)) {
+  CSAW_CHECK(config_.max_queue_depth >= 1);
+  CSAW_CHECK(config_.max_request_instances >= 1);
+  CSAW_CHECK(config_.max_batch_instances >= config_.max_request_instances);
+  const std::uint32_t width =
+      sim::resolve_num_threads(config_.options.num_threads);
+  if (width > 1) pool_ = std::make_shared<sim::ThreadPool>(width);
+  paused_ = config_.start_paused;
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+Service::~Service() { shutdown(); }
+
+void Service::add_graph(std::string name,
+                        std::shared_ptr<const CsrGraph> graph) {
+  CSAW_CHECK(graph != nullptr);
+  GraphEntry entry;
+  entry.graph = std::move(graph);
+  // The footprint-vs-budget measure kAuto applies per batch, computed
+  // once at registration so graphs() can report the residency plan before
+  // any request runs.
+  switch (config_.options.memory_assumption) {
+    case MemoryAssumption::kExceeds:
+      entry.paged = true;
+      break;
+    case MemoryAssumption::kFits:
+      entry.paged = false;
+      break;
+    case MemoryAssumption::kMeasure:
+      entry.paged =
+          static_cast<double>(entry.graph->bytes()) >
+          config_.options.memory_budget_fraction *
+              static_cast<double>(config_.options.device_params.memory_bytes);
+      break;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool inserted = graphs_.emplace(std::move(name), std::move(entry))
+                            .second;
+  CSAW_CHECK_MSG(inserted, "graph already registered under that name");
+}
+
+void Service::add_graph(std::string name, CsrGraph graph) {
+  add_graph(std::move(name),
+            std::make_shared<const CsrGraph>(std::move(graph)));
+}
+
+std::vector<GraphResidency> Service::graphs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GraphResidency> result;
+  result.reserve(graphs_.size());
+  for (const auto& [name, entry] : graphs_) {
+    result.push_back(GraphResidency{name, entry.graph->bytes(), entry.paged,
+                                    entry.parts != nullptr});
+  }
+  return result;
+}
+
+void Service::count_rejection_locked(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      break;
+    case RejectReason::kUnknownGraph:
+      ++stats_.rejected_unknown_graph;
+      break;
+    case RejectReason::kEmptyRequest:
+      ++stats_.rejected_empty;
+      break;
+    case RejectReason::kInvalidSeed:
+      ++stats_.rejected_invalid_seed;
+      break;
+    case RejectReason::kOversizedRequest:
+      ++stats_.rejected_oversized;
+      break;
+    case RejectReason::kQueueFull:
+      ++stats_.rejected_queue_full;
+      break;
+    case RejectReason::kShutdown:
+      ++stats_.rejected_shutdown;
+      break;
+  }
+}
+
+Submission Service::submit(SampleRequest request) {
+  Submission submission;
+
+  // Phase 1 (locked, O(1)): liveness and graph lookup.
+  std::shared_ptr<const CsrGraph> graph;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (stopping_) {
+      submission.rejected = RejectReason::kShutdown;
+    } else if (const auto it = graphs_.find(request.graph);
+               it == graphs_.end()) {
+      submission.rejected = RejectReason::kUnknownGraph;
+    } else {
+      graph = it->second.graph;
+    }
+    if (submission.rejected != RejectReason::kNone) {
+      count_rejection_locked(submission.rejected);
+      return submission;
+    }
+  }
+
+  // Phase 2 (unlocked): shape validation — per-seed bounds checking is
+  // O(total seeds) and must not serialize other clients or stall the
+  // dispatcher behind the service mutex. Graphs are never unregistered,
+  // so the snapshot stays valid.
+  const auto count = static_cast<std::uint32_t>(request.seeds.size());
+  RejectReason verdict = RejectReason::kNone;
+  if (request.seeds.empty()) {
+    verdict = RejectReason::kEmptyRequest;
+  } else if (count > config_.max_request_instances) {
+    verdict = RejectReason::kOversizedRequest;
+  } else if (request.rng_base != kAutoRngBase &&
+             count > kAutoRngBase - request.rng_base) {
+    // A pinned range must fit below the sentinel without wrapping —
+    // wrapped tags would abort the coalesced batch they ride in, failing
+    // innocent neighbors; admission is where bad requests must die.
+    verdict = RejectReason::kOversizedRequest;
+  } else {
+    const VertexId num_vertices = graph->num_vertices();
+    for (const auto& instance_seeds : request.seeds) {
+      for (const VertexId v : instance_seeds) {
+        if (v >= num_vertices) {
+          verdict = RejectReason::kInvalidSeed;
+          break;
+        }
+      }
+      if (verdict != RejectReason::kNone) break;
+    }
+  }
+  if (verdict != RejectReason::kNone) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_rejection_locked(verdict);
+    submission.rejected = verdict;
+    return submission;
+  }
+
+  // Phase 3 (locked): capacity, stream-range assignment, enqueue.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {  // shutdown may have begun during phase 2
+      submission.rejected = RejectReason::kShutdown;
+    } else if (queue_.size() >= config_.max_queue_depth) {
+      submission.rejected = RejectReason::kQueueFull;
+    } else if (request.rng_base == kAutoRngBase &&
+               count > kAutoRngBase - next_rng_base_) {
+      // Auto assignment ran out of the 32-bit id space (≈4 billion
+      // instances served) — the sentinel itself is reserved.
+      submission.rejected = RejectReason::kOversizedRequest;
+    }
+    if (submission.rejected != RejectReason::kNone) {
+      count_rejection_locked(submission.rejected);
+      return submission;
+    }
+
+    std::uint32_t rng_base = request.rng_base;
+    if (rng_base == kAutoRngBase) {
+      rng_base = next_rng_base_;
+      next_rng_base_ += count;
+    } else {
+      // Keep the auto cursor ahead of every admitted range, pinned ones
+      // included: later auto requests can then never collide with any
+      // stream range this service has handed out. (A pin *below* the
+      // cursor remains the client's responsibility — see request.hpp.)
+      if (rng_base + count > next_rng_base_) {
+        next_rng_base_ = rng_base + count;
+      }
+    }
+
+    Pending pending;
+    pending.request = std::move(request);
+    pending.ticket = next_ticket_++;
+    pending.rng_base = rng_base;
+    submission.ticket = pending.ticket;
+    submission.rng_base = rng_base;
+    submission.result = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+    ++stats_.accepted;
+    stats_.peak_queue_depth =
+        std::max<std::uint64_t>(stats_.peak_queue_depth, queue_.size());
+  }
+  work_cv_.notify_one();
+  return submission;
+}
+
+RunResult Service::sample(SampleRequest request) {
+  Submission submission = submit(std::move(request));
+  if (!submission.accepted()) {
+    throw ServiceError(
+        "Service::sample rejected: " + to_string(submission.rejected),
+        submission.rejected);
+  }
+  return submission.result.get();
+}
+
+void Service::pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Service::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  work_cv_.notify_all();
+}
+
+void Service::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && !in_flight_; });
+}
+
+void Service::shutdown() {
+  std::thread to_join;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+    paused_ = false;  // a paused queue must still drain before the join
+    if (dispatcher_.joinable()) {
+      // Exactly one caller claims the join by moving the thread out
+      // under the lock; concurrent shutdown()/destructor calls wait for
+      // that caller instead of double-joining (UB).
+      to_join = std::move(dispatcher_);
+    } else {
+      work_cv_.notify_all();
+      idle_cv_.wait(lock, [&] { return shutdown_complete_; });
+      return;
+    }
+  }
+  work_cv_.notify_all();
+  to_join.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_complete_ = true;
+    // Notify while holding mu_: a predicate waiter may wake and destroy
+    // the service the moment the flag is visible, so an after-unlock
+    // notify could touch a destroyed condition variable.
+    idle_cv_.notify_all();
+  }
+}
+
+ServiceStats Service::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<Service::Pending> Service::take_batch_locked() {
+  std::vector<Pending> batch;
+  batch.reserve(queue_.size() + 1);  // `head` must survive every push_back
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+
+  const SampleRequest& head = batch.front().request;
+  std::uint32_t total = head.num_instances();
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges = {
+      {batch.front().rng_base, total}};
+
+  // Coalesce every queued request that provably runs the same kernels,
+  // fits the batch budget and collides with no already-chosen Philox
+  // range. Skipped requests keep their queue position for a later batch.
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    const std::uint32_t count = it->request.num_instances();
+    if (!compatible(head, it->request) ||
+        total + count > config_.max_batch_instances ||
+        overlaps(ranges, it->rng_base, count)) {
+      ++it;
+      continue;
+    }
+    ranges.emplace_back(it->rng_base, count);
+    total += count;
+    batch.push_back(std::move(*it));
+    it = queue_.erase(it);
+  }
+
+  // The engines require strictly increasing tags; batch composition order
+  // is irrelevant to the bytes (each instance's draws are addressed by
+  // its own global id), so sort by stream base.
+  std::sort(batch.begin(), batch.end(), [](const Pending& a, const Pending& b) {
+    return a.rng_base < b.rng_base;
+  });
+  return batch;
+}
+
+void Service::run_batch(std::vector<Pending> batch) {
+  const std::size_t num_requests = batch.size();
+  try {
+    std::shared_ptr<const CsrGraph> graph;
+    std::shared_ptr<const PartitionedGraph> parts;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const GraphEntry& entry = graphs_.at(batch.front().request.graph);
+      graph = entry.graph;
+      parts = entry.parts;
+    }
+
+    // One flat instance list: request r's instances occupy a contiguous
+    // index range and carry the global ids [rng_base, rng_base + k) as
+    // engine tags — the whole determinism story of the service is that
+    // these ids, not batch positions, address the random draws.
+    std::vector<std::vector<VertexId>> seeds;
+    std::vector<std::uint32_t> tags;
+    for (Pending& pending : batch) {
+      for (std::size_t i = 0; i < pending.request.seeds.size(); ++i) {
+        // Seed lists are dead after the run (the split below reads only
+        // num_instances, which moving the inner vectors preserves).
+        seeds.push_back(std::move(pending.request.seeds[i]));
+        tags.push_back(pending.rng_base + static_cast<std::uint32_t>(i));
+      }
+    }
+
+    const SampleRequest& head = batch.front().request;
+    const AlgorithmSetup setup = make_algorithm(
+        head.algorithm, head.depth_or_length, head.neighbor_size);
+    Sampler sampler(*graph, setup, config_.options);
+    if (pool_ != nullptr) sampler.set_executor(pool_);
+    if (sampler.decision().out_of_memory) {
+      if (parts == nullptr) {
+        // First paged batch on this graph: build the shared partitioning
+        // once, outside the lock, and publish it for every later batch.
+        parts = std::make_shared<const PartitionedGraph>(
+            *graph, config_.options.num_partitions);
+        std::lock_guard<std::mutex> lock(mu_);
+        graphs_.at(head.graph).parts = parts;
+      }
+      sampler.set_partitions(parts);
+    }
+
+    RunResult whole = sampler.run_tagged(seeds, tags);
+
+    // Split the batch back into per-request results *before* booking or
+    // fulfilling anything: a throw here (allocation) must take the whole
+    // batch down the failure path exactly once. Samples are the request's
+    // own bytes; the schedule-shaped fields (sim_seconds, device_seconds,
+    // stats, oom) describe the batch the request rode on.
+    const std::uint64_t batch_edges = whole.sampled_edges();
+    std::vector<RunResult> results;
+    results.reserve(num_requests);
+    std::uint32_t offset = 0;
+    for (const Pending& pending : batch) {
+      const std::uint32_t count = pending.request.num_instances();
+      RunResult result;
+      result.samples.reset(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        // Row moves, not per-edge copies: the batch store is dead after
+        // the split.
+        result.samples.put(i, whole.samples.take(offset + i));
+      }
+      result.sim_seconds = whole.sim_seconds;
+      result.device_seconds = whole.device_seconds;
+      result.stats = whole.stats;
+      result.mode = whole.mode;
+      result.mode_reason = whole.mode_reason;
+      result.oom = whole.oom;
+      offset += count;
+      results.push_back(std::move(result));
+    }
+
+    // Book the batch before fulfilling any promise: a client waking on
+    // its future must already see this batch in stats().
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.completed += num_requests;
+      ++stats_.batches;
+      if (num_requests > 1) stats_.coalesced_requests += num_requests;
+      stats_.max_batch_requests =
+          std::max<std::uint64_t>(stats_.max_batch_requests, num_requests);
+      stats_.sampled_edges += batch_edges;  // counted before the row moves
+      stats_.sim_seconds += whole.sim_seconds;
+    }
+
+    for (std::size_t r = 0; r < num_requests; ++r) {
+      try {
+        batch[r].promise.set_value(std::move(results[r]));
+      } catch (...) {
+        // A set_value failure concerns this request alone: re-book it
+        // from completed to failed and hand its client the error, so
+        // the batch is never counted twice and no request lands in both
+        // columns.
+        const std::exception_ptr error = std::current_exception();
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          --stats_.completed;
+          ++stats_.failed;
+        }
+        try {
+          batch[r].promise.set_exception(error);
+        } catch (const std::future_error&) {
+        }
+      }
+    }
+  } catch (...) {
+    // A failed batch fails every request in it, with the same exception;
+    // the service itself stays up. Fulfillment has its own handler
+    // above, so this path only runs before anything was booked — every
+    // request is counted completed or failed, never both.
+    const std::exception_ptr error = std::current_exception();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.failed += num_requests;
+      ++stats_.batches;
+    }
+    for (Pending& pending : batch) {
+      pending.promise.set_exception(error);
+    }
+  }
+}
+
+void Service::dispatcher_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stopping_ || (!paused_ && !queue_.empty());
+    });
+    if (queue_.empty()) {
+      if (stopping_) return;  // drained; admission already rejects
+      continue;
+    }
+    std::vector<Pending> batch = take_batch_locked();
+    in_flight_ = true;
+    lock.unlock();
+    run_batch(std::move(batch));
+    lock.lock();
+    in_flight_ = false;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace csaw

@@ -1,0 +1,202 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sampler.hpp"
+#include "service/request.hpp"
+
+namespace csaw {
+
+/// Thrown by the blocking Service::sample wrapper when admission refuses
+/// the request (the async submit() reports the same condition as a typed
+/// RejectReason instead).
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(std::string what, RejectReason reason)
+      : std::runtime_error(std::move(what)), reason_(reason) {}
+  RejectReason reason() const noexcept { return reason_; }
+
+ private:
+  RejectReason reason_;
+};
+
+/// Configuration of one csaw::Service.
+struct ServiceConfig {
+  /// Execution options every batch runs with. `mode` is normally left on
+  /// kAuto so each batch picks in-memory / out-of-memory / multi-device
+  /// from its graph's footprint (the facade's existing selection logic);
+  /// instance_id_offset is ignored — the service addresses Philox streams
+  /// through per-request rng_base tags instead.
+  SamplerOptions options;
+  /// Admission bound: requests queued but not yet dispatched.
+  std::uint32_t max_queue_depth = 256;
+  /// Admission bound: instances (seed lists) one request may carry.
+  std::uint32_t max_request_instances = 1024;
+  /// Batching bound: instances one coalesced engine run may carry.
+  std::uint32_t max_batch_instances = 4096;
+  /// Start with the dispatcher paused (tests and benches queue a known
+  /// request mix first, then resume() to get deterministic batching).
+  bool start_paused = false;
+};
+
+/// Result of Service::submit: a typed admission verdict plus, when
+/// accepted, the future the dispatcher will fulfill.
+struct Submission {
+  /// kNone when the request was admitted.
+  RejectReason rejected = RejectReason::kNone;
+  /// Admission order (1-based); 0 when rejected.
+  std::uint64_t ticket = 0;
+  /// The assigned (or pinned) Philox stream base; a plain Sampler run
+  /// with instance_id_offset == rng_base reproduces the request's bytes.
+  std::uint32_t rng_base = 0;
+  /// Valid only when accepted. Holds the request's RunResult, or the
+  /// exception its batch failed with.
+  std::future<RunResult> result;
+
+  bool accepted() const noexcept { return rejected == RejectReason::kNone; }
+};
+
+/// One registry entry's residency plan, as reported by Service::graphs().
+struct GraphResidency {
+  std::string name;
+  std::uint64_t bytes = 0;
+  /// Whether the graph's CSR footprint exceeds the configured device
+  /// budget (same measure kAuto uses): paged graphs run the
+  /// out-of-memory backend and share one PartitionedGraph across batches.
+  bool paged = false;
+  /// True once the shared partitioning has been built (lazily, on the
+  /// first paged batch).
+  bool partitions_built = false;
+};
+
+/// The serving tier above csaw::Sampler: a long-lived, multi-tenant
+/// sampling service. Clients register named graphs once, then submit
+/// SampleRequests from any number of threads; a single dispatcher thread
+/// coalesces compatible queued requests (same graph, same registry
+/// algorithm + parameters) into one multi-instance engine run, picks the
+/// execution mode per batch through the facade's kAuto logic, and
+/// fulfills each request's future with its slice of the batch.
+///
+/// Determinism contract (tests/service/): a request's samples are
+/// byte-identical whether it ran alone or coalesced into any batch, at
+/// any host thread count — every instance draws from the Philox stream
+/// addressed by `rng_base + i`, carried through the engines as a
+/// per-instance tag (EngineConfig::instance_tags), so batch composition
+/// and execution order are invisible in the bytes. What batching *does*
+/// change is the simulated schedule: a request's RunResult reports the
+/// makespan and stats of the batch it rode on.
+///
+/// Shutdown is graceful: already-admitted requests are drained, new ones
+/// are rejected with RejectReason::kShutdown. The destructor shuts down.
+class Service {
+ public:
+  explicit Service(ServiceConfig config = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  const ServiceConfig& config() const noexcept { return config_; }
+
+  /// Registers `graph` under `name` (rejects duplicates with CheckError).
+  /// Safe to call while the service is running; requests naming the graph
+  /// admit from that point on. The registry computes the graph's
+  /// residency plan once: footprint vs. the configured device budget
+  /// decides whether batches on it will page, and paged graphs get one
+  /// shared PartitionedGraph reused by every batch.
+  void add_graph(std::string name, std::shared_ptr<const CsrGraph> graph);
+  void add_graph(std::string name, CsrGraph graph);
+
+  /// Residency plans of all registered graphs, in name order.
+  std::vector<GraphResidency> graphs() const;
+
+  /// Asynchronous entry point: validates the request (admission control)
+  /// and either queues it, returning the future its batch will fulfill,
+  /// or rejects it with a typed reason. Never blocks on sampling work.
+  /// Thread-safe; any number of client threads may submit concurrently.
+  Submission submit(SampleRequest request);
+
+  /// Blocking convenience wrapper: submit + wait. Throws ServiceError on
+  /// rejection and rethrows the batch's exception on failure.
+  RunResult sample(SampleRequest request);
+
+  /// Pauses the dispatcher: admitted requests queue up (admission bounds
+  /// still apply) until resume(). Deterministic-batching hook for tests
+  /// and benches.
+  void pause();
+  void resume();
+
+  /// Blocks until the queue is empty and no batch is in flight. Call
+  /// resume() first if the service is paused — a paused nonempty queue
+  /// never drains.
+  void drain();
+
+  /// Stops admission (kShutdown), drains already-admitted requests and
+  /// joins the dispatcher. Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Atomic snapshot of the lifetime counters.
+  ServiceStats stats() const;
+
+ private:
+  struct GraphEntry {
+    std::shared_ptr<const CsrGraph> graph;
+    bool paged = false;
+    /// Built by the dispatcher on the first paged batch, under mu_.
+    std::shared_ptr<const PartitionedGraph> parts;
+  };
+
+  /// One admitted request waiting for (or riding in) a batch.
+  struct Pending {
+    SampleRequest request;
+    std::uint64_t ticket = 0;
+    std::uint32_t rng_base = 0;
+    std::promise<RunResult> promise;
+  };
+
+  /// Bumps the per-reason rejection counter (under mu_).
+  void count_rejection_locked(RejectReason reason);
+  /// Pops the head request plus every compatible queued request that fits
+  /// ServiceConfig::max_batch_instances, in rng_base order (under mu_).
+  std::vector<Pending> take_batch_locked();
+  /// Runs one coalesced batch through a fresh Sampler on the shared pool
+  /// and fulfills every promise (dispatcher thread, outside mu_).
+  void run_batch(std::vector<Pending> batch);
+  void dispatcher_main();
+
+  ServiceConfig config_;
+  /// The host pool shared by the dispatcher and every batch's engines;
+  /// null when the resolved width is 1.
+  std::shared_ptr<sim::ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< dispatcher: work queued / stop
+  std::condition_variable idle_cv_;  ///< drain(): queue empty, no batch
+  std::map<std::string, GraphEntry> graphs_;
+  std::deque<Pending> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  bool in_flight_ = false;  ///< a batch is executing
+  /// Set (and idle_cv_ notified) once the dispatcher has been joined;
+  /// concurrent shutdown() callers wait on it instead of double-joining.
+  bool shutdown_complete_ = false;
+  std::uint64_t next_ticket_ = 1;
+  std::uint32_t next_rng_base_ = 0;
+  ServiceStats stats_;
+
+  /// Started last: every other member is initialized before the
+  /// dispatcher can observe the service.
+  std::thread dispatcher_;
+};
+
+}  // namespace csaw

@@ -216,6 +216,86 @@ TEST(Sampler, InstanceIdOffsetShiftsDraws) {
       << "shifting the global instance ids must shift the RNG draws";
 }
 
+TEST(Sampler, TaggedRunMatchesOffsetRunsPerRange) {
+  // run_tagged is the service tier's coalescing primitive: one engine run
+  // whose instances carry explicit global ids. A coalesced run over two
+  // id ranges must reproduce, byte for byte, the two offset runs that
+  // would have served each range alone — in every execution mode.
+  const CsrGraph g = generate_rmat(1024, 8192, 82);
+  const auto setup = biased_random_walk(8);
+  const auto seeds_a = spread_seeds(g, 6);
+  const auto seeds_b = spread_seeds(g, 9);
+
+  for (const ExecutionMode mode :
+       {ExecutionMode::kInMemory, ExecutionMode::kOutOfMemory,
+        ExecutionMode::kMultiDevice, ExecutionMode::kAuto}) {
+    SamplerOptions options;
+    options.mode = mode;
+    if (mode == ExecutionMode::kMultiDevice) options.num_devices = 2;
+    if (mode == ExecutionMode::kOutOfMemory) {
+      options.memory_assumption = MemoryAssumption::kExceeds;
+    }
+    const std::string label = to_string(mode);
+
+    SamplerOptions solo_a = options;
+    solo_a.instance_id_offset = 40;
+    const RunResult a =
+        Sampler(g, setup, solo_a).run_single_seed(seeds_a);
+
+    SamplerOptions solo_b = options;
+    solo_b.instance_id_offset = 300;
+    const RunResult b =
+        Sampler(g, setup, solo_b).run_single_seed(seeds_b);
+
+    std::vector<std::vector<VertexId>> seeds;
+    std::vector<std::uint32_t> tags;
+    for (std::size_t i = 0; i < seeds_a.size(); ++i) {
+      seeds.push_back({seeds_a[i]});
+      tags.push_back(40 + static_cast<std::uint32_t>(i));
+    }
+    for (std::size_t i = 0; i < seeds_b.size(); ++i) {
+      seeds.push_back({seeds_b[i]});
+      tags.push_back(300 + static_cast<std::uint32_t>(i));
+    }
+    const RunResult whole = Sampler(g, setup, options).run_tagged(seeds, tags);
+    ASSERT_GT(whole.sampled_edges(), 0u) << label;
+
+    for (std::uint32_t i = 0; i < seeds_a.size(); ++i) {
+      EXPECT_EQ(whole.samples.edges(i), a.samples.edges(i))
+          << label << ", range A instance " << i;
+    }
+    for (std::uint32_t i = 0; i < seeds_b.size(); ++i) {
+      EXPECT_EQ(whole.samples.edges(seeds_a.size() + i), b.samples.edges(i))
+          << label << ", range B instance " << i;
+    }
+  }
+}
+
+TEST(Sampler, TaggedRunRejectsMalformedTags) {
+  const CsrGraph g = generate_rmat(512, 4096, 83);
+  const auto setup = biased_random_walk(4);
+  Sampler sampler(g, setup);
+  const std::vector<std::vector<VertexId>> seeds = {{0}, {1}, {2}};
+
+  const std::vector<std::uint32_t> short_tags = {0, 1};
+  EXPECT_THROW(sampler.run_tagged(seeds, short_tags), CheckError);
+  const std::vector<std::uint32_t> unsorted = {5, 3, 9};
+  EXPECT_THROW(sampler.run_tagged(seeds, unsorted), CheckError);
+  const std::vector<std::uint32_t> duplicate = {3, 3, 9};
+  EXPECT_THROW(sampler.run_tagged(seeds, duplicate), CheckError);
+
+  // Multi-device dispatch splits the tag span per group; a duplicate
+  // straddling the group boundary must still be rejected up front (each
+  // single-instance subspan would pass a per-engine check).
+  SamplerOptions multi;
+  multi.mode = ExecutionMode::kMultiDevice;
+  multi.num_devices = 2;
+  Sampler split(g, setup, multi);
+  const std::vector<std::vector<VertexId>> two_seeds = {{0}, {1}};
+  const std::vector<std::uint32_t> straddling = {3, 3};
+  EXPECT_THROW(split.run_tagged(two_seeds, straddling), CheckError);
+}
+
 TEST(Sampler, LegacyMultiDeviceShimRejectsConflictingOomOffset) {
   // MultiDeviceConfig.oom.engine.instance_id_offset used to be silently
   // overridden; the facade rejects the conflict instead.

@@ -1,0 +1,199 @@
+// The service's headline guarantee: a request's samples are byte-identical
+// whether it ran alone or coalesced into any batch, across all four
+// execution modes and at any host thread count. Each instance draws from
+// the Philox stream addressed by its request's rng_base — carried through
+// the engines as an explicit per-instance tag — so neither batch
+// composition nor the executing schedule can reach the bytes. The solo
+// reference is a plain csaw::Sampler run at the same offset, which also
+// proves the service adds nothing to the facade's own contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sampler.hpp"
+#include "graph/generators.hpp"
+#include "service/service.hpp"
+
+namespace csaw {
+namespace {
+
+constexpr std::uint32_t kWidths[] = {1, 2, 7};
+constexpr std::uint32_t kWalkLength = 8;
+constexpr std::uint32_t kInstances = 10;
+constexpr std::uint32_t kBase = 64;  // the probed request's stream range
+
+const std::shared_ptr<const CsrGraph>& shared_graph() {
+  static const auto g =
+      std::make_shared<const CsrGraph>(generate_rmat(1024, 8192, 93));
+  return g;
+}
+
+std::vector<VertexId> spread_seeds(std::uint32_t n, std::uint32_t stride) {
+  std::vector<VertexId> seeds(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    seeds[i] =
+        static_cast<VertexId>((i * stride) % shared_graph()->num_vertices());
+  }
+  return seeds;
+}
+
+SamplerOptions mode_options(ExecutionMode mode, std::uint32_t width) {
+  SamplerOptions options;
+  options.mode = mode;
+  options.num_threads = width;
+  if (mode == ExecutionMode::kMultiDevice) options.num_devices = 2;
+  if (mode == ExecutionMode::kOutOfMemory) {
+    options.memory_assumption = MemoryAssumption::kExceeds;
+  }
+  return options;
+}
+
+SampleRequest probe_request() {
+  SampleRequest request = SampleRequest::single_seeds(
+      "g", AlgorithmId::kBiasedRandomWalk, kWalkLength,
+      spread_seeds(kInstances, 131));
+  request.rng_base = kBase;
+  return request;
+}
+
+/// A compatible decoy whose stream range [base, base+n) stays clear of
+/// the probe's.
+SampleRequest decoy_request(std::uint32_t base, std::uint32_t n,
+                            std::uint32_t stride) {
+  SampleRequest request = SampleRequest::single_seeds(
+      "g", AlgorithmId::kBiasedRandomWalk, kWalkLength,
+      spread_seeds(n, stride));
+  request.rng_base = base;
+  return request;
+}
+
+void expect_same_samples(const SampleStore& a, const SampleStore& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.num_instances(), b.num_instances()) << label;
+  for (std::uint32_t i = 0; i < a.num_instances(); ++i) {
+    EXPECT_EQ(a.edges(i), b.edges(i)) << label << ", instance " << i;
+  }
+}
+
+void expect_solo_coalesced_equivalence(ExecutionMode mode) {
+  // The facade reference: the probe's exact bytes, straight through
+  // csaw::Sampler at the probe's stream offset, serial host.
+  SamplerOptions reference_options = mode_options(mode, /*width=*/1);
+  reference_options.instance_id_offset = kBase;
+  Sampler reference(*shared_graph(),
+                    make_algorithm(AlgorithmId::kBiasedRandomWalk,
+                                   kWalkLength),
+                    reference_options);
+  const RunResult expected =
+      reference.run_single_seed(spread_seeds(kInstances, 131));
+  ASSERT_GT(expected.sampled_edges(), 0u);
+
+  for (const std::uint32_t width : kWidths) {
+    const std::string label =
+        to_string(mode) + " @ " + std::to_string(width) + " threads";
+
+    // Solo: the probe is the only request the service ever sees.
+    {
+      ServiceConfig config;
+      config.options = mode_options(mode, width);
+      config.start_paused = true;
+      Service service(config);
+      service.add_graph("g", shared_graph());
+      Submission probe = service.submit(probe_request());
+      ASSERT_TRUE(probe.accepted()) << label;
+      service.resume();
+      const RunResult solo = probe.result.get();
+      expect_same_samples(solo.samples, expected.samples, label + ", solo");
+      EXPECT_EQ(service.stats().batches, 1u) << label;
+    }
+
+    // Coalesced: the probe shares its batch with decoys on both sides of
+    // its stream range, queued in an order that interleaves them.
+    {
+      ServiceConfig config;
+      config.options = mode_options(mode, width);
+      config.start_paused = true;
+      Service service(config);
+      service.add_graph("g", shared_graph());
+      Submission low = service.submit(decoy_request(0, 7, 37));
+      Submission probe = service.submit(probe_request());
+      Submission high = service.submit(decoy_request(200, 5, 211));
+      ASSERT_TRUE(low.accepted() && probe.accepted() && high.accepted())
+          << label;
+      service.resume();
+      service.drain();
+
+      const RunResult coalesced = probe.result.get();
+      expect_same_samples(coalesced.samples, expected.samples,
+                          label + ", coalesced");
+      // All three really shared one engine run — otherwise this test
+      // proves nothing.
+      const ServiceStats stats = service.stats();
+      EXPECT_EQ(stats.batches, 1u) << label;
+      EXPECT_EQ(stats.coalesced_requests, 3u) << label;
+
+      // The decoys are requests of their own and get their own streams'
+      // bytes back: the equivalence is per request, not just for the
+      // probed one.
+      SamplerOptions low_options = mode_options(mode, /*width=*/1);
+      low_options.instance_id_offset = 0;
+      Sampler low_reference(*shared_graph(),
+                            make_algorithm(AlgorithmId::kBiasedRandomWalk,
+                                           kWalkLength),
+                            low_options);
+      const RunResult low_expected =
+          low_reference.run_single_seed(spread_seeds(7, 37));
+      expect_same_samples(low.result.get().samples, low_expected.samples,
+                          label + ", low decoy");
+    }
+  }
+}
+
+TEST(ServiceDeterminism, InMemory) {
+  expect_solo_coalesced_equivalence(ExecutionMode::kInMemory);
+}
+
+TEST(ServiceDeterminism, OutOfMemory) {
+  expect_solo_coalesced_equivalence(ExecutionMode::kOutOfMemory);
+}
+
+TEST(ServiceDeterminism, MultiDevice) {
+  expect_solo_coalesced_equivalence(ExecutionMode::kMultiDevice);
+}
+
+TEST(ServiceDeterminism, Auto) {
+  expect_solo_coalesced_equivalence(ExecutionMode::kAuto);
+}
+
+TEST(ServiceDeterminism, BatchCompositionIsInvisible) {
+  // Same probe, three different batch shapes (alone, one neighbor, many
+  // neighbors of varying size): one set of bytes.
+  const SamplerOptions options = mode_options(ExecutionMode::kAuto, 2);
+  std::vector<SampleStore> runs;
+  for (const std::uint32_t decoys : {0u, 1u, 4u}) {
+    ServiceConfig config;
+    config.options = options;
+    config.start_paused = true;
+    Service service(config);
+    service.add_graph("g", shared_graph());
+    Submission probe = service.submit(probe_request());
+    std::vector<Submission> extra;
+    for (std::uint32_t d = 0; d < decoys; ++d) {
+      extra.push_back(
+          service.submit(decoy_request(200 + 16 * d, 3 + d, 17 + d)));
+    }
+    service.resume();
+    service.drain();
+    runs.push_back(probe.result.get().samples);
+    for (Submission& s : extra) s.result.get();
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    expect_same_samples(runs[r], runs[0],
+                        "batch shape " + std::to_string(r));
+  }
+}
+
+}  // namespace
+}  // namespace csaw

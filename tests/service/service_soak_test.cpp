@@ -1,0 +1,111 @@
+// Concurrency soak for csaw::Service: 8 client threads fire 200 mixed
+// requests (two graphs, two algorithms, occasional invalid ones) at a
+// live service while a separate thread polls stats() and graphs(). CI
+// runs this under ThreadSanitizer with CSAW_THREADS=4 (the service-soak
+// job), turning data races between admission, the dispatcher and the
+// shared engine pool into hard failures. Assertions here are about
+// accounting closure — every accepted request resolves, every counter
+// adds up — not about bytes (service_determinism_test.cpp owns those).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "service/service.hpp"
+
+namespace csaw {
+namespace {
+
+constexpr std::uint32_t kClients = 8;
+constexpr std::uint32_t kRequestsPerClient = 25;  // 8 x 25 = 200 total
+
+TEST(ServiceSoak, MixedTrafficFromEightClients) {
+  ServiceConfig config;
+  config.max_queue_depth = 64;
+  Service service(config);
+  const auto small =
+      std::make_shared<const CsrGraph>(generate_rmat(512, 4096, 95));
+  const auto large =
+      std::make_shared<const CsrGraph>(generate_rmat(2048, 16384, 96));
+  service.add_graph("small", small);
+  service.add_graph("large", large);
+
+  std::atomic<std::uint64_t> resolved{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> edges{0};
+
+  const auto client = [&](std::uint32_t c) {
+    std::vector<std::future<RunResult>> in_flight;
+    for (std::uint32_t r = 0; r < kRequestsPerClient; ++r) {
+      SampleRequest request;
+      const bool use_large = r % 3 == 0;
+      request.graph = use_large ? "large" : "small";
+      request.algorithm = (r % 2 == 0) ? AlgorithmId::kBiasedRandomWalk
+                                       : AlgorithmId::kBiasedNeighborSampling;
+      request.depth_or_length = 4 + (r % 3);
+      const VertexId num_vertices =
+          (use_large ? large : small)->num_vertices();
+      const std::uint32_t instances = 2 + (r % 4);
+      for (std::uint32_t i = 0; i < instances; ++i) {
+        request.seeds.push_back(
+            {static_cast<VertexId>((c * 131 + r * 17 + i) % num_vertices)});
+      }
+      if (r % 10 == 9) request.graph = "missing";  // exercise rejection
+      Submission submission = service.submit(std::move(request));
+      if (!submission.accepted()) {
+        EXPECT_EQ(submission.rejected, RejectReason::kUnknownGraph);
+        ++rejected;
+        continue;
+      }
+      in_flight.push_back(std::move(submission.result));
+      // Resolve a few early so queue pressure and waiting interleave.
+      if (in_flight.size() >= 4) {
+        edges += in_flight.front().get().sampled_edges();
+        in_flight.erase(in_flight.begin());
+        ++resolved;
+      }
+    }
+    for (auto& future : in_flight) {
+      edges += future.get().sampled_edges();
+      ++resolved;
+    }
+  };
+
+  std::atomic<bool> stop_observer{false};
+  std::thread observer([&] {
+    // Concurrent reads of the control plane while traffic flows.
+    while (!stop_observer.load()) {
+      (void)service.stats();
+      (void)service.graphs();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    clients.emplace_back(client, c);
+  }
+  for (auto& t : clients) t.join();
+  stop_observer.store(true);
+  observer.join();
+  service.shutdown();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, kClients * kRequestsPerClient);
+  EXPECT_EQ(stats.accepted, resolved.load());
+  EXPECT_EQ(stats.completed, resolved.load());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.rejected_total(), rejected.load());
+  EXPECT_EQ(stats.rejected_unknown_graph, rejected.load());
+  EXPECT_EQ(stats.sampled_edges, edges.load());
+  EXPECT_GT(stats.sampled_edges, 0u);
+  EXPECT_LE(stats.batches, stats.completed);
+  EXPECT_GT(stats.batches, 0u);
+}
+
+}  // namespace
+}  // namespace csaw

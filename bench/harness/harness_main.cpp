@@ -81,6 +81,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  std::cout << "-- service overlap: serialized vs concurrent dispatch "
+               "(wall-clock, informational)\n";
+  try {
+    record.set("service_overlap", bench::run_service_overlap(env, std::cout));
+  } catch (const std::exception& e) {
+    std::cerr << "service overlap scenario failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::cout << "-- service fairness: flood vs light tenant under quota "
+               "(wall-clock, informational)\n";
+  try {
+    record.set("service_fairness",
+               bench::run_service_fairness(env, std::cout));
+  } catch (const std::exception& e) {
+    std::cerr << "service fairness scenario failed: " << e.what() << "\n";
+    return 1;
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot open " << out_path << " for writing\n";

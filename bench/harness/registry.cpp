@@ -40,6 +40,12 @@ const CsrGraph& smoke_graph() {
   return g;
 }
 
+/// Independent second graph for the concurrent-dispatch smoke case.
+const CsrGraph& smoke_graph_b() {
+  static const CsrGraph g = generate_rmat(8192, 65536, 0xC5A8);
+  return g;
+}
+
 }  // namespace
 
 const std::vector<SmokeCase>& figure_smoke_cases() {
@@ -131,6 +137,64 @@ const std::vector<SmokeCase>& figure_smoke_cases() {
          }
          service.shutdown();
          const ServiceStats stats = service.stats();
+         SmokeResult smoke;
+         smoke.wall_seconds = timer.seconds();
+         smoke.sampled_edges = stats.sampled_edges;
+         smoke.seps = sampled_edges_per_second(stats.sampled_edges,
+                                               stats.sim_seconds);
+         return smoke;
+       }},
+      {"service_concurrent", "§serving (repo-native)",
+       [] {
+         // The concurrent dispatcher end to end, deterministically: a
+         // fixed two-tenant request mix over two independent graphs
+         // queues while paused, then dispatches with two batch runners
+         // on the shared pool. Batch *composition* is a pure function of
+         // the mix (each graph+algorithm class coalesces from a static
+         // queue), so sampled_edges and the summed simulated makespan —
+         // the gated SEPS — are schedule-independent even though batch
+         // *interleaving* is not.
+         WallTimer timer;
+         ServiceConfig config;
+         config.start_paused = true;
+         config.max_concurrent_batches = 2;
+         config.max_queue_depth = 64;
+         Service service(config);
+         service.add_graph(
+             "smoke_a", std::make_shared<const CsrGraph>(smoke_graph()));
+         service.add_graph(
+             "smoke_b", std::make_shared<const CsrGraph>(smoke_graph_b()));
+         std::vector<Submission> submissions;
+         for (std::uint32_t r = 0; r < 40; ++r) {
+           const CsrGraph& graph =
+               (r % 2 == 0) ? smoke_graph() : smoke_graph_b();
+           SampleRequest request;
+           request.graph = (r % 2 == 0) ? "smoke_a" : "smoke_b";
+           request.tenant = (r % 5 == 0) ? "burst" : "steady";
+           request.algorithm = (r % 4 == 0)
+                                   ? AlgorithmId::kBiasedNeighborSampling
+                                   : AlgorithmId::kBiasedRandomWalk;
+           request.depth_or_length = (r % 4 == 0) ? 2 : 24 + (r % 3);
+           const std::uint32_t instances = 3 + (r % 4);
+           for (std::uint32_t i = 0; i < instances; ++i) {
+             request.seeds.push_back({static_cast<VertexId>(
+                 (r * 131 + i * 17) % graph.num_vertices())});
+           }
+           submissions.push_back(service.submit(std::move(request)));
+         }
+         service.resume();
+         for (Submission& s : submissions) {
+           CSAW_CHECK_MSG(s.accepted(), "concurrent smoke rejected: "
+                                            << to_string(s.rejected));
+           s.result.get();
+         }
+         service.shutdown();
+         const ServiceStats stats = service.stats();
+         // The deterministic overlap witness: with two independent-graph
+         // heads queued and capacity 2, the scheduler must have had two
+         // batches formed-in-flight at once (a scheduling fact, unlike
+         // executing overlap, which is timing-dependent).
+         CSAW_CHECK(stats.peak_inflight_batches == 2);
          SmokeResult smoke;
          smoke.wall_seconds = timer.seconds();
          smoke.sampled_edges = stats.sampled_edges;

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "graph/generators.hpp"
 #include "service/service.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
@@ -26,6 +27,72 @@ double percentile(std::vector<double>& sorted_values, double p) {
   const auto index = static_cast<std::size_t>(
       p * static_cast<double>(sorted_values.size() - 1));
   return sorted_values[index];
+}
+
+// --- Overlap scenario shape (fixed, env-independent).
+constexpr std::uint32_t kOverlapStreams = 2;  // one per graph
+constexpr std::uint32_t kOverlapClassesPerStream = 4;  // batches per graph
+constexpr std::uint32_t kOverlapRequestsPerClass = 4;
+constexpr std::uint32_t kOverlapInstances = 8;
+constexpr std::uint32_t kOverlapWalkLength = 48;
+
+const std::shared_ptr<const CsrGraph>& overlap_graph(std::uint32_t i) {
+  static const auto g0 =
+      std::make_shared<const CsrGraph>(generate_rmat(8192, 65536, 0xC5B0));
+  static const auto g1 =
+      std::make_shared<const CsrGraph>(generate_rmat(8192, 65536, 0xC5B1));
+  return i == 0 ? g0 : g1;
+}
+
+/// Queues the fixed two-stream request mix (paused), resumes, drains and
+/// returns the wall seconds plus the final stats. Identical mix both
+/// times: only max_concurrent_batches differs between the two calls.
+std::pair<double, ServiceStats> run_overlap_once(
+    std::uint32_t max_concurrent_batches) {
+  ServiceConfig config;
+  config.max_concurrent_batches = max_concurrent_batches;
+  config.max_queue_depth =
+      kOverlapStreams * kOverlapClassesPerStream * kOverlapRequestsPerClass;
+  config.start_paused = true;
+  Service service(config);
+  service.add_graph("s0", overlap_graph(0));
+  service.add_graph("s1", overlap_graph(1));
+
+  std::vector<Submission> submissions;
+  std::uint32_t next_base = 0;
+  for (std::uint32_t klass = 0; klass < kOverlapClassesPerStream; ++klass) {
+    for (std::uint32_t r = 0; r < kOverlapRequestsPerClass; ++r) {
+      for (std::uint32_t s = 0; s < kOverlapStreams; ++s) {
+        const CsrGraph& graph = *overlap_graph(s);
+        std::vector<VertexId> seed_list(kOverlapInstances);
+        for (std::uint32_t i = 0; i < kOverlapInstances; ++i) {
+          seed_list[i] = static_cast<VertexId>(
+              ((klass * 131 + r * 17 + i) * 7 + s) % graph.num_vertices());
+        }
+        SampleRequest request = SampleRequest::single_seeds(
+            s == 0 ? "s0" : "s1", AlgorithmId::kBiasedRandomWalk,
+            kOverlapWalkLength + klass,  // distinct lengths: one batch/class
+            seed_list);
+        request.rng_base = next_base;  // pinned: bytes independent of order
+        next_base += kOverlapInstances;
+        submissions.push_back(service.submit(std::move(request)));
+      }
+    }
+  }
+  for (const Submission& s : submissions) {
+    CSAW_CHECK_MSG(s.accepted(), "overlap scenario rejected a request: "
+                                     << to_string(s.rejected));
+  }
+
+  WallTimer wall;
+  service.resume();
+  service.drain();
+  const double wall_seconds = wall.seconds();
+  for (Submission& s : submissions) {
+    CSAW_CHECK(s.result.get().sampled_edges() > 0);
+  }
+  service.shutdown();
+  return {wall_seconds, service.stats()};
 }
 
 }  // namespace
@@ -121,6 +188,168 @@ Json run_service_throughput(const BenchEnv& /*env*/, std::ostream& log) {
   record.set("batches", stats.batches);
   record.set("coalesced_requests", stats.coalesced_requests);
   record.set("max_batch_requests", stats.max_batch_requests);
+  return record;
+}
+
+Json run_service_overlap(const BenchEnv& /*env*/, std::ostream& log) {
+  const auto [serialized_wall, serialized_stats] =
+      run_overlap_once(/*max_concurrent_batches=*/1);
+  const auto [concurrent_wall, concurrent_stats] =
+      run_overlap_once(/*max_concurrent_batches=*/2);
+  const double speedup =
+      concurrent_wall > 0.0 ? serialized_wall / concurrent_wall : 1.0;
+
+  TablePrinter table({"dispatch", "wall s", "batches", "peak concurrent"});
+  {
+    auto row = table.row();
+    row.cell("serialized");
+    row.cell(serialized_wall, 3);
+    row.cell(static_cast<std::int64_t>(serialized_stats.batches));
+    row.cell(
+        static_cast<std::int64_t>(serialized_stats.peak_concurrent_batches));
+  }
+  {
+    auto row = table.row();
+    row.cell("concurrent");
+    row.cell(concurrent_wall, 3);
+    row.cell(static_cast<std::int64_t>(concurrent_stats.batches));
+    row.cell(
+        static_cast<std::int64_t>(concurrent_stats.peak_concurrent_batches));
+  }
+  table.print(log);
+  log << "overlap speedup: " << speedup << "x (host wall, informational)\n";
+
+  Json record = Json::object();
+  record.set("streams", static_cast<std::uint64_t>(kOverlapStreams));
+  record.set("requests_per_stream",
+             static_cast<std::uint64_t>(kOverlapClassesPerStream *
+                                        kOverlapRequestsPerClass));
+  record.set("instances_per_request",
+             static_cast<std::uint64_t>(kOverlapInstances));
+  record.set("walk_length", static_cast<std::uint64_t>(kOverlapWalkLength));
+  record.set("sampled_edges", concurrent_stats.sampled_edges);
+  record.set("serialized_wall_seconds", serialized_wall);
+  record.set("concurrent_wall_seconds", concurrent_wall);
+  record.set("speedup", speedup);
+  record.set("serialized_batches", serialized_stats.batches);
+  record.set("concurrent_batches", concurrent_stats.batches);
+  record.set("peak_concurrent_batches",
+             concurrent_stats.peak_concurrent_batches);
+  return record;
+}
+
+Json run_service_fairness(const BenchEnv& /*env*/, std::ostream& log) {
+  // A flooding tenant hammers one graph with heavy walks while a light
+  // tenant intermittently asks for tiny ones; quota + deficit round
+  // robin must keep the light tenant's tail latency decoupled from the
+  // flood's. Shapes are fixed (env-independent) like every scenario.
+  constexpr std::uint32_t kFloodRequests = 24;
+  constexpr std::uint32_t kFloodInstances = 8;
+  constexpr std::uint32_t kFloodWalkLength = 512;
+  constexpr std::uint32_t kLightRequests = 8;
+  constexpr std::uint32_t kLightWalkLength = 8;
+
+  ServiceConfig config;
+  config.max_concurrent_batches = 2;
+  config.tenant_quota = 2 * kFloodInstances;  // two flood batches in flight
+  config.max_queue_depth = kFloodRequests + kLightRequests;
+  Service service(config);
+  const auto graph =
+      std::make_shared<const CsrGraph>(generate_rmat(8192, 65536, 0xC5B2));
+  service.add_graph("shared", graph);
+
+  std::vector<double> flood_ms;
+  std::vector<double> light_ms;
+  std::thread flood([&] {
+    // A real flood: every request is queued before any result is read,
+    // so the flood's queue pressure is bounded only by the quota and the
+    // fairness pass — not by this client's politeness.
+    std::vector<WallTimer> timers;
+    std::vector<Submission> submissions;
+    timers.reserve(kFloodRequests);
+    submissions.reserve(kFloodRequests);
+    for (std::uint32_t r = 0; r < kFloodRequests; ++r) {
+      std::vector<VertexId> seed_list(kFloodInstances);
+      for (std::uint32_t i = 0; i < kFloodInstances; ++i) {
+        seed_list[i] =
+            static_cast<VertexId>((r * 131 + i * 17) % graph->num_vertices());
+      }
+      SampleRequest request = SampleRequest::single_seeds(
+          "shared", AlgorithmId::kBiasedRandomWalk,
+          kFloodWalkLength + (r % 4),  // four batch classes
+          seed_list);
+      request.tenant = "flood";
+      request.rng_base = r * kFloodInstances;
+      timers.emplace_back();
+      submissions.push_back(service.submit(std::move(request)));
+      CSAW_CHECK_MSG(submissions.back().accepted(),
+                     "fairness flood rejected: "
+                         << to_string(submissions.back().rejected));
+    }
+    flood_ms.reserve(kFloodRequests);
+    for (std::uint32_t r = 0; r < kFloodRequests; ++r) {
+      submissions[r].result.get();
+      flood_ms.push_back(timers[r].milliseconds());
+    }
+  });
+  std::thread light([&] {
+    light_ms.reserve(kLightRequests);
+    for (std::uint32_t r = 0; r < kLightRequests; ++r) {
+      SampleRequest request = SampleRequest::single_seeds(
+          "shared", AlgorithmId::kBiasedRandomWalk,
+          kLightWalkLength + (r % 4), std::vector<VertexId>{r % 977});
+      request.tenant = "light";
+      request.rng_base = 100000 + r;
+      WallTimer timer;
+      Submission submission = service.submit(std::move(request));
+      CSAW_CHECK_MSG(submission.accepted(), "fairness light rejected: "
+                                                << to_string(
+                                                       submission.rejected));
+      submission.result.get();
+      light_ms.push_back(timer.milliseconds());
+    }
+  });
+  flood.join();
+  light.join();
+  service.shutdown();
+  const ServiceStats stats = service.stats();
+
+  std::sort(flood_ms.begin(), flood_ms.end());
+  std::sort(light_ms.begin(), light_ms.end());
+  const double flood_p95 = percentile(flood_ms, 0.95);
+  const double light_p50 = percentile(light_ms, 0.50);
+  const double light_p95 = percentile(light_ms, 0.95);
+
+  TablePrinter table({"tenant", "requests", "p50 ms", "p95 ms"});
+  {
+    auto row = table.row();
+    row.cell("flood");
+    row.cell(static_cast<std::int64_t>(kFloodRequests));
+    row.cell(percentile(flood_ms, 0.50), 2);
+    row.cell(flood_p95, 2);
+  }
+  {
+    auto row = table.row();
+    row.cell("light");
+    row.cell(static_cast<std::int64_t>(kLightRequests));
+    row.cell(light_p50, 2);
+    row.cell(light_p95, 2);
+  }
+  table.print(log);
+  log << "quota deferrals: " << stats.quota_deferrals << "\n";
+
+  Json record = Json::object();
+  record.set("flood_requests", static_cast<std::uint64_t>(kFloodRequests));
+  record.set("flood_instances", static_cast<std::uint64_t>(kFloodInstances));
+  record.set("flood_walk_length",
+             static_cast<std::uint64_t>(kFloodWalkLength));
+  record.set("light_requests", static_cast<std::uint64_t>(kLightRequests));
+  record.set("tenant_quota", static_cast<std::uint64_t>(config.tenant_quota));
+  record.set("flood_latency_ms_p95", flood_p95);
+  record.set("light_latency_ms_p50", light_p50);
+  record.set("light_latency_ms_p95", light_p95);
+  record.set("quota_deferrals", stats.quota_deferrals);
+  record.set("peak_concurrent_batches", stats.peak_concurrent_batches);
   return record;
 }
 

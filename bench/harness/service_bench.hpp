@@ -24,4 +24,23 @@ namespace csaw::bench {
 /// composition (and so the latency split) depends on thread timing.
 Json run_service_throughput(const BenchEnv& env, std::ostream& log);
 
+/// Runs the dispatch-overlap scenario twice — identical two-graph request
+/// streams under max_concurrent_batches = 1 (the serialized PR 4
+/// dispatcher) and = 2 (concurrent) — and returns the "service_overlap"
+/// block: both wall times, their ratio, and the concurrent run's
+/// peak_concurrent_batches. Sampled bytes are pinned-stream deterministic;
+/// the wall times and the speedup are host timing and NEVER gated — they
+/// are the operator-facing evidence that independent-graph batches really
+/// execute simultaneously.
+Json run_service_overlap(const BenchEnv& env, std::ostream& log);
+
+/// Runs the fairness scenario: a flooding tenant (many heavy requests)
+/// and a light tenant (few tiny requests) against one live service with
+/// tenant_quota + deficit-round-robin enabled. Returns the
+/// "service_fairness" block: per-tenant client-observed p50/p95 latency
+/// plus the quota-deferral counter. Wall-clock, informational, never
+/// gated — it documents that the light tenant's tail latency stays
+/// decoupled from the flood.
+Json run_service_fairness(const BenchEnv& env, std::ostream& log);
+
 }  // namespace csaw::bench

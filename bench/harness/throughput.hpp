@@ -12,8 +12,12 @@ namespace csaw::bench {
 /// Schema version of the BENCH_throughput.json trajectory record; bump it
 /// whenever a field changes meaning. The full schema is documented in
 /// docs/BENCHMARKS.md. v3 added the "service" block and the
-/// service_throughput figure-smoke case.
-constexpr int kTrajectorySchemaVersion = 3;
+/// service_throughput figure-smoke case. v4 added latency percentiles to
+/// the service block's siblings: the "service_overlap" block (concurrent
+/// vs serialized dispatch of two independent-graph streams), the
+/// "service_fairness" block (flooding vs light tenant under quota + DRR)
+/// and the service_concurrent figure-smoke case.
+constexpr int kTrajectorySchemaVersion = 4;
 
 /// Runs the throughput trajectory workloads (biased neighbor sampling +
 /// biased random walk on the CSAW_THROUGHPUT_GRAPH stand-in, default LJ)

@@ -1,19 +1,23 @@
 // Serving demo: csaw::Service as a long-lived multi-tenant sampling
-// front end.
+// front end. The full operator guide is docs/SERVING.md.
 //
-//  1. Stand up one Service (it owns the dispatcher thread and the shared
-//     host pool) and register named graphs with it.
+//  1. Stand up one Service (it owns the scheduler, the batch-runner
+//     threads and the shared host pool) and register named graphs.
 //  2. Fire requests at it from several client threads — each submit()
-//     returns a future immediately; the dispatcher coalesces compatible
-//     queued requests into one multi-instance engine run and picks the
-//     execution mode per batch (the facade's kAuto logic).
+//     returns a future immediately; the scheduler coalesces compatible
+//     queued requests into one multi-instance engine run, overlaps
+//     batches of independent graphs (max_concurrent_batches), holds
+//     partial batches up to batching_deadline to catch stragglers, and
+//     rotates dispatch fairly across tenants.
 //  3. Read per-request results off the futures and the service-wide
-//     counters off stats().
+//     counters — including the per-tenant slice — off stats().
 //
 // Every request's samples are byte-identical to a solo csaw::Sampler run
-// at its assigned rng_base, no matter how it was batched — the service
-// determinism contract (tests/service/service_determinism_test.cpp).
+// at its assigned rng_base, no matter how it was batched, scheduled or
+// overlapped — the service determinism contract
+// (tests/service/service_determinism_test.cpp).
 #include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <memory>
 #include <thread>
@@ -36,6 +40,12 @@ int main() {
   // watch the same requests page through the out-of-memory engine).
   ServiceConfig config;
   config.max_queue_depth = kClients * kRequestsPerClient;
+  // Scheduler policy (docs/SERVING.md): overlap the two graphs' batches,
+  // hold a forming batch up to 500 µs for compatible stragglers, and cap
+  // any one tenant at 64 in-flight instances.
+  config.max_concurrent_batches = 2;
+  config.batching_deadline = std::chrono::microseconds(500);
+  config.tenant_quota = 64;
   Service service(config);
   const auto social =
       std::make_shared<const CsrGraph>(generate_rmat(4096, 65536, 0xC5A));
@@ -69,6 +79,7 @@ int main() {
             walk ? AlgorithmId::kBiasedRandomWalk
                  : AlgorithmId::kBiasedNeighborSampling,
             walk ? 16 : 2, seed_list);
+        request.tenant = "client-" + std::to_string(c);  // fairness identity
 
         WallTimer latency;
         Submission submission = service.submit(std::move(request));
@@ -110,6 +121,16 @@ int main() {
             << ", simulated service SEPS: "
             << sampled_edges_per_second(stats.sampled_edges,
                                         stats.sim_seconds)
-            << "\n";
+            << "\n"
+            << "scheduler: peak " << stats.peak_concurrent_batches
+            << " concurrent batches, " << stats.deadline_launches
+            << " deadline launches, " << stats.quota_deferrals
+            << " quota deferrals\n";
+  for (const TenantStats& tenant : stats.tenants) {
+    std::cout << "tenant '" << tenant.tenant << "': " << tenant.completed
+              << " completed, " << tenant.sampled_edges
+              << " edges, peak in-flight " << tenant.peak_inflight_instances
+              << " instances\n";
+  }
   return 0;
 }

@@ -165,16 +165,23 @@ class Sampler {
   /// execution mode like any other run (multi-device splits the tag span
   /// with the seed span). Re-entrancy contract: one Sampler must run one
   /// call at a time, but any number of Samplers may share one executor
-  /// pool (set_executor) and one partitioning (set_partitions) — a
-  /// dispatcher thread can therefore stream batch after batch through
-  /// fresh Samplers without re-spawning threads or re-partitioning.
+  /// pool (set_executor) and one partitioning (set_partitions) — and
+  /// those Samplers may run *concurrently*, each driven by its own
+  /// thread, up to the pool's external-slot capacity
+  /// (sim::ThreadPool::max_workers()): every driving thread holds a
+  /// unique worker identity, so the per-run engine scratch of
+  /// simultaneous runs never aliases. csaw::Service uses exactly this —
+  /// one batch-runner thread per in-flight batch, one shared pool sized
+  /// to max_concurrent_batches — to overlap independent-graph batches.
   RunResult run_tagged(std::span<const std::vector<VertexId>> seeds,
                        std::span<const std::uint32_t> tags);
 
   /// Attaches an externally owned host pool shared with other samplers
   /// (the service tier passes one pool through every batch). Replaces the
   /// lazily created per-sampler pool; the pool's width wins over
-  /// SamplerOptions::num_threads.
+  /// SamplerOptions::num_threads. Concurrent runs of distinct Samplers on
+  /// one pool are safe up to the pool's external-thread capacity (see
+  /// run_tagged's re-entrancy contract).
   void set_executor(std::shared_ptr<sim::ThreadPool> pool);
 
   /// Shares a prebuilt partitioning for the out-of-memory backend instead

@@ -35,8 +35,11 @@ void Device::set_executor(std::shared_ptr<ThreadPool> pool) {
 }
 
 std::uint32_t Device::max_workers() const noexcept {
+  // The pool's identity bound, not its thread count: concurrent external
+  // drivers (the service tier's batch runners) hold identities past the
+  // spawned workers', and per-worker scratch must cover them.
   const ThreadPool* pool = executor();
-  return pool == nullptr ? 1u : pool->num_threads();
+  return pool == nullptr ? 1u : pool->max_workers();
 }
 
 void Device::execute_tasks(std::uint64_t num_tasks, const WorkerWarpBody& body,
@@ -82,7 +85,7 @@ void Device::execute_tasks(std::uint64_t num_tasks, const WorkerWarpBody& body,
   // accumulation byte for byte; warp_rounds are per-task slots and the
   // intra-block imbalance is computed from them post-barrier, exactly as
   // in the serial path.
-  std::vector<KernelStats> worker_stats(pool->num_threads());
+  std::vector<KernelStats> worker_stats(pool->max_workers());
   const auto run_range = [&](std::uint64_t begin, std::uint64_t end,
                              std::uint32_t worker) {
     KernelStats& local = worker_stats[worker];

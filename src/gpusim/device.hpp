@@ -155,7 +155,11 @@ class Device {
   void set_executor(std::shared_ptr<ThreadPool> pool);
 
   /// Upper bound (exclusive) of worker identities passed to bodies; 1
-  /// when serial. Engines size per-worker scratch with this.
+  /// when serial. Engines size per-worker scratch with this. With an
+  /// attached pool this is ThreadPool::max_workers() — wider than the
+  /// thread count when the pool admits several concurrent external
+  /// drivers, so per-batch scratch rows never alias across the engine
+  /// runs sharing the pool.
   std::uint32_t max_workers() const noexcept;
 
   /// Launches `num_tasks` warp-tasks of `body` on `stream`, holding

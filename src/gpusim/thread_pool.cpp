@@ -8,8 +8,14 @@
 namespace csaw::sim {
 namespace {
 
-/// Worker slot of the current thread; -1 outside any pool (external
-/// threads map to slot 0 in current_worker()).
+/// Worker identity of the current thread *in tls_pool*; -1 when the
+/// thread holds no identity. The pool pointer qualifies the identity:
+/// an identity claimed in one pool means nothing in another, so a
+/// thread driving pool Q from inside its registration in pool P must go
+/// through Q's own external admission (and restores P's identity when
+/// Q's batch unwinds) instead of silently reusing P's — possibly
+/// out-of-range or colliding — identity.
+thread_local const void* tls_pool = nullptr;
 thread_local std::int64_t tls_worker = -1;
 
 }  // namespace
@@ -24,11 +30,16 @@ std::uint32_t resolve_num_threads(std::uint32_t requested) {
   return hw == 0 ? 1 : static_cast<std::uint32_t>(hw);
 }
 
-ThreadPool::ThreadPool(std::uint32_t num_threads)
-    : num_threads_(num_threads) {
+ThreadPool::ThreadPool(std::uint32_t num_threads,
+                       std::uint32_t max_external_threads)
+    : num_threads_(num_threads),
+      max_external_(max_external_threads),
+      external_slots_(max_external_threads) {
   CSAW_CHECK(num_threads >= 1);
+  CSAW_CHECK(max_external_threads >= 1);
   workers_.reserve(num_threads - 1);
-  // The external caller owns worker slot 0; spawned workers take 1..n-1.
+  // External slot 0 owns worker identity 0; spawned workers take 1..n-1
+  // (further external slots extend past them — external_identity()).
   for (std::uint32_t w = 1; w < num_threads; ++w) {
     workers_.emplace_back([this, w] { worker_main(w); });
   }
@@ -44,7 +55,9 @@ ThreadPool::~ThreadPool() {
 }
 
 std::uint32_t ThreadPool::current_worker() const noexcept {
-  return tls_worker < 0 ? 0u : static_cast<std::uint32_t>(tls_worker);
+  return (tls_pool == this && tls_worker >= 0)
+             ? static_cast<std::uint32_t>(tls_worker)
+             : 0u;
 }
 
 void ThreadPool::parallel_for(std::size_t num_items, const Task& fn) {
@@ -58,8 +71,12 @@ void ThreadPool::parallel_chains(std::size_t num_chains, const Task& fn) {
 void ThreadPool::run_batch(std::size_t num_items, const Task& fn,
                            Distribution distribution) {
   if (num_items == 0) return;
-  const std::uint32_t self = current_worker();
   if (num_threads_ == 1 || num_items == 1) {
+    // Inline shortcut: runs on the caller's stack under the caller's
+    // current identity (its claimed slot when nested inside a registered
+    // batch, 0 otherwise — safe because each engine run has exactly one
+    // driving thread, so its scratch row has a single writer).
+    const std::uint32_t self = current_worker();
     for (std::size_t i = 0; i < num_items; ++i) fn(i, self);
     return;
   }
@@ -87,27 +104,44 @@ void ThreadPool::run_batch(std::size_t num_items, const Task& fn,
   batch.remaining = num_items;
   batch.queued.store(num_items, std::memory_order_relaxed);
 
-  const bool external = tls_worker < 0;
+  // A thread with no identity *in this pool* claims a free external
+  // slot for the duration of this (outermost-in-this-pool) batch;
+  // nested batches it issues on the same pool reuse the claimed
+  // identity through tls_worker and release nothing. An identity held
+  // in a different pool does not count — it is saved and restored
+  // around this pool's registration.
+  const bool registered_here = !(tls_pool == this && tls_worker >= 0);
+  const void* const saved_pool = tls_pool;
+  const std::int64_t saved_worker = tls_worker;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (external) {
-      // Worker slot 0 belongs to the one external thread driving the
-      // pool; a second concurrent external thread would alias its
-      // per-worker scratch. Fail loudly — this is the misuse the service
-      // dispatcher model exists to prevent.
-      CSAW_CHECK_MSG(
-          external_depth_ == 0 ||
-              external_owner_ == std::this_thread::get_id(),
-          "two external threads drove one ThreadPool concurrently; worker "
-          "identities would collide. Route work through a single "
-          "dispatcher thread (as csaw::Service does) or give each thread "
-          "its own pool");
-      external_owner_ = std::this_thread::get_id();
-      ++external_depth_;
+    if (registered_here) {
+      std::uint32_t slot = max_external_;
+      for (std::uint32_t k = 0; k < max_external_; ++k) {
+        if (external_slots_[k] == std::thread::id{}) {
+          slot = k;
+          break;
+        }
+      }
+      // Every slot held: admitting this thread would hand out a worker
+      // identity some concurrent thread already uses, aliasing per-worker
+      // scratch. Fail loudly — size max_external_threads to the number of
+      // threads that drive the pool concurrently (csaw::Service sizes it
+      // to max_concurrent_batches).
+      CSAW_CHECK_MSG(slot < max_external_,
+                     "all " << max_external_
+                            << " external slot(s) of this ThreadPool are "
+                               "held by concurrently driving threads; "
+                               "raise max_external_threads or route work "
+                               "through fewer threads");
+      external_slots_[slot] = std::this_thread::get_id();
+      tls_pool = this;
+      tls_worker = external_identity(slot);
     }
     active_.push_back(&batch);
     ++batch.visitors;
   }
+  const std::uint32_t self = static_cast<std::uint32_t>(tls_worker);
   work_cv_.notify_all();
   done_cv_.notify_all();  // owners waiting on other batches may help this one
 
@@ -140,11 +174,22 @@ void ThreadPool::run_batch(std::size_t num_items, const Task& fn,
     done_cv_.wait(lock);
   }
   active_.erase(std::find(active_.begin(), active_.end(), &batch));
-  if (external) --external_depth_;
+  if (registered_here) {
+    // Outermost frame of this pool's registration: free the slot (a
+    // later batch — from this thread or another — may claim it afresh)
+    // and restore whatever identity the thread held before (another
+    // pool's, or none).
+    const auto it = std::find(external_slots_.begin(), external_slots_.end(),
+                              std::this_thread::get_id());
+    *it = std::thread::id{};
+    tls_pool = saved_pool;
+    tls_worker = saved_worker;
+  }
   if (batch.error) std::rethrow_exception(batch.error);
 }
 
 void ThreadPool::worker_main(std::uint32_t worker) {
+  tls_pool = this;
   tls_worker = worker;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -170,18 +215,23 @@ void ThreadPool::worker_main(std::uint32_t worker) {
 
 bool ThreadPool::pop_item(Batch& batch, std::uint32_t worker,
                           std::size_t& item) {
+  // Item queues exist per spawned-worker slot only; identities past
+  // num_threads (extra external slots) fold onto a home queue — the
+  // identity stays unique for scratch, the queue is just where this
+  // thread looks first.
+  const std::uint32_t home = worker % num_threads_;
   // Own queue first (front), then steal from the back of the others.
   {
-    std::lock_guard<std::mutex> lock(batch.queue_mu[worker]);
-    if (!batch.queues[worker].empty()) {
-      item = batch.queues[worker].front();
-      batch.queues[worker].pop_front();
+    std::lock_guard<std::mutex> lock(batch.queue_mu[home]);
+    if (!batch.queues[home].empty()) {
+      item = batch.queues[home].front();
+      batch.queues[home].pop_front();
       batch.queued.fetch_sub(1, std::memory_order_relaxed);
       return true;
     }
   }
   for (std::uint32_t step = 1; step < num_threads_; ++step) {
-    const std::uint32_t victim = (worker + step) % num_threads_;
+    const std::uint32_t victim = (home + step) % num_threads_;
     std::lock_guard<std::mutex> lock(batch.queue_mu[victim]);
     if (!batch.queues[victim].empty()) {
       item = batch.queues[victim].back();

@@ -38,29 +38,39 @@ std::uint32_t resolve_num_threads(std::uint32_t requested);
 /// work and, while waiting for stragglers, helps drain other in-flight
 /// batches instead of blocking — so nesting cannot deadlock.
 ///
-/// At most one *external* (non-worker) thread may use a pool at a time:
-/// worker identities passed to items are unique per thread only under that
-/// condition (the external thread owns worker slot 0). The pool enforces
-/// this for every batch it registers — a second external thread
-/// submitting such work while another's batch is in flight throws
-/// CheckError instead of silently corrupting per-worker scratch. (The
-/// inline shortcut for width-1 pools and single-item batches never
-/// registers a batch and is exempt: it runs entirely on the caller's
-/// stack and touches no per-worker scratch of the in-flight batch.) This is the sharing contract the service tier
-/// builds on: client threads never touch the pool; one dispatcher thread
-/// drives batch after batch through it while the engines' nested
-/// parallel_for / parallel_chains calls (issued from pool workers) remain
-/// deadlock-free via the help-while-waiting loop below.
+/// External (non-worker) threads are admitted up to a fixed capacity
+/// (`max_external_threads`, default 1): each one claims a registered
+/// *external slot* for the duration of its outermost batch, giving it a
+/// worker identity no other thread — spawned worker or concurrent
+/// external — can hold at the same time. Identities passed to items are
+/// therefore unique per executing thread even when several engine runs
+/// share the pool, which is what makes per-batch WorkerScratch safe: a
+/// scratch row is only ever touched by the one thread owning that
+/// identity. A thread arriving when every slot is held throws CheckError
+/// instead of silently aliasing scratch. (The inline shortcut for
+/// width-1 pools and single-item batches never registers a batch and is
+/// exempt: it runs entirely on the caller's stack, and every engine is
+/// driven by exactly one external thread, so its scratch row 0 has a
+/// single writer.) This is the sharing contract the service tier builds
+/// on: client threads never touch the pool; up to
+/// `ServiceConfig::max_concurrent_batches` batch-runner threads drive
+/// independent engine runs through it concurrently, while the engines'
+/// nested parallel_for / parallel_chains calls (issued from pool
+/// workers) remain deadlock-free via the help-while-waiting loop below.
 class ThreadPool {
  public:
   /// Worker function: item index plus the executing worker's identity in
-  /// [0, num_threads()). The identity indexes per-worker scratch.
+  /// [0, max_workers()). The identity indexes per-worker scratch.
   using Task = std::function<void(std::size_t item, std::uint32_t worker)>;
 
   /// Spawns `num_threads - 1` workers (the calling thread is the last
   /// worker). `num_threads` must be >= 1; a width-1 pool runs everything
-  /// inline.
-  explicit ThreadPool(std::uint32_t num_threads);
+  /// inline. `max_external_threads` (>= 1) bounds how many external
+  /// threads may drive batches concurrently; the first holds the classic
+  /// worker identity 0, additional ones get identities past the spawned
+  /// workers' — see max_workers().
+  explicit ThreadPool(std::uint32_t num_threads,
+                      std::uint32_t max_external_threads = 1);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -68,6 +78,15 @@ class ThreadPool {
 
   /// Total execution width, including the calling thread.
   std::uint32_t num_threads() const noexcept { return num_threads_; }
+
+  /// Exclusive upper bound of worker identities passed to tasks:
+  /// `num_threads() + max_external_threads - 1` (external slot 0 reuses
+  /// identity 0; every further slot extends the range). Per-worker
+  /// scratch must be sized with this, not num_threads() — engines get it
+  /// through Device::max_workers().
+  std::uint32_t max_workers() const noexcept {
+    return num_threads_ + max_external_ - 1;
+  }
 
   /// Worker identity of the current thread: its slot for pool workers, 0
   /// for external threads.
@@ -125,7 +144,15 @@ class ThreadPool {
   /// Marks one item of `batch` done (or failed) and wakes waiters.
   void finish_item(Batch& batch, std::exception_ptr error);
 
+  /// Worker identity of external slot k: slot 0 keeps the classic
+  /// identity 0 (spawned workers occupy 1..num_threads-1), slot k >= 1
+  /// extends past the spawned workers to num_threads + k - 1.
+  std::uint32_t external_identity(std::uint32_t slot) const noexcept {
+    return slot == 0 ? 0u : num_threads_ + slot - 1;
+  }
+
   std::uint32_t num_threads_;
+  std::uint32_t max_external_;
   std::vector<std::thread> workers_;
 
   std::mutex mu_;
@@ -133,10 +160,12 @@ class ThreadPool {
   std::condition_variable done_cv_;  ///< batch owners: progress happened
   std::vector<Batch*> active_;       ///< in-flight batches, registration order
   bool stopping_ = false;
-  /// Single-external-owner enforcement (under mu_): how many batches the
-  /// owning external thread has in flight (nesting counts), and who owns.
-  std::size_t external_depth_ = 0;
-  std::thread::id external_owner_;
+  /// External-thread admission (under mu_): slot k is held by the thread
+  /// whose id is stored there, or free when default-constructed. A thread
+  /// claims a slot on its outermost run_batch and releases it when that
+  /// frame unwinds; nested batches reuse the claimed identity via the
+  /// thread-local worker id.
+  std::vector<std::thread::id> external_slots_;
 };
 
 }  // namespace csaw::sim

@@ -22,6 +22,14 @@ inline constexpr std::uint32_t kAutoRngBase = 0xFFFFFFFFu;
 struct SampleRequest {
   /// Name the graph was registered under (Service::add_graph).
   std::string graph;
+  /// Fairness identity: the scheduler's deficit-round-robin pass rotates
+  /// across tenants and `ServiceConfig::tenant_quota` bounds each
+  /// tenant's in-flight instances, so no tenant can starve the others by
+  /// flooding. Free-form (no registration needed); the empty string is a
+  /// valid tenant of its own — single-tenant deployments can ignore the
+  /// field entirely. Tenancy never reaches the engines: it affects *when*
+  /// a request launches, never its bytes.
+  std::string tenant;
   AlgorithmId algorithm = AlgorithmId::kBiasedRandomWalk;
   /// Walk length for walk algorithms, tree depth for sampling.
   std::uint32_t depth_or_length = 2;
@@ -79,6 +87,22 @@ enum class RejectReason {
 /// Human-readable reason ("queue_full", ...); "accepted" for kNone.
 std::string to_string(RejectReason reason);
 
+/// Per-tenant slice of ServiceStats, keyed by SampleRequest::tenant.
+/// Tenants appear on their first accepted request and are reported in
+/// name order.
+struct TenantStats {
+  std::string tenant;
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  /// Edges this tenant's own requests sampled (per-request slices, not
+  /// whole-batch totals — coalesced neighbors are not charged here).
+  std::uint64_t sampled_edges = 0;
+  /// Widest in-flight instance footprint the tenant ever held — compare
+  /// against ServiceConfig::tenant_quota when tuning it.
+  std::uint64_t peak_inflight_instances = 0;
+};
+
 /// Monotonic counters of one service's lifetime, snapshotted atomically
 /// by Service::stats().
 struct ServiceStats {
@@ -101,6 +125,30 @@ struct ServiceStats {
   std::uint64_t coalesced_requests = 0;
   std::uint64_t max_batch_requests = 0;  ///< widest batch, in requests
   std::uint64_t peak_queue_depth = 0;
+
+  // --- Scheduler behavior (concurrent dispatch, deadline, fairness).
+  /// Most batches ever executing simultaneously — 2+ proves
+  /// independent-graph overlap actually happened (bounded by
+  /// ServiceConfig::max_concurrent_batches). Timing-dependent: a batch
+  /// may retire before the next runner starts.
+  std::uint64_t peak_concurrent_batches = 0;
+  /// Most batches simultaneously *formed but not retired* (queued for a
+  /// runner or executing) — how much of max_concurrent_batches the
+  /// scheduler ever used. Unlike peak_concurrent_batches this is a
+  /// scheduling fact, deterministic for a paused-then-resumed request
+  /// mix, which is what the gated service_concurrent smoke case checks.
+  std::uint64_t peak_inflight_batches = 0;
+  /// Batches launched *partial* because their head request's
+  /// ServiceConfig::batching_deadline expired before the batch filled.
+  std::uint64_t deadline_launches = 0;
+  /// Scheduler passes that skipped a request because its tenant's
+  /// in-flight instances would exceed ServiceConfig::tenant_quota. A
+  /// request may be counted on several passes while it waits; treat this
+  /// as pressure, not a request count.
+  std::uint64_t quota_deferrals = 0;
+  /// Per-tenant counters, in tenant-name order (empty-string tenant
+  /// first when present).
+  std::vector<TenantStats> tenants;
 
   // --- Work served.
   std::uint64_t sampled_edges = 0;

@@ -10,7 +10,9 @@ namespace {
 
 /// Two requests may share one engine run when they provably run the same
 /// kernels: same graph and same registry coordinates. (Execution options
-/// are service-wide, so they never differ within one service.)
+/// are service-wide, so they never differ within one service. Tenancy is
+/// deliberately absent: it decides when a batch launches, not what may
+/// ride in it.)
 bool compatible(const SampleRequest& a, const SampleRequest& b) {
   return a.graph == b.graph && a.algorithm == b.algorithm &&
          a.depth_or_length == b.depth_or_length &&
@@ -35,11 +37,32 @@ Service::Service(ServiceConfig config) : config_(std::move(config)) {
   CSAW_CHECK(config_.max_queue_depth >= 1);
   CSAW_CHECK(config_.max_request_instances >= 1);
   CSAW_CHECK(config_.max_batch_instances >= config_.max_request_instances);
+  CSAW_CHECK(config_.max_concurrent_batches >= 1);
+  quantum_ = config_.fairness_quantum > 0
+                 ? config_.fairness_quantum
+                 : std::max(1u, config_.max_request_instances / 4);
   const std::uint32_t width =
       sim::resolve_num_threads(config_.options.num_threads);
-  if (width > 1) pool_ = std::make_shared<sim::ThreadPool>(width);
+  if (width > 1) {
+    // One external slot per batch runner: concurrent engine runs then
+    // hold distinct worker identities and their per-batch scratch rows
+    // never alias (ThreadPool's admission contract).
+    pool_ = std::make_shared<sim::ThreadPool>(
+        width, config_.max_concurrent_batches);
+  }
   paused_ = config_.start_paused;
-  dispatcher_ = std::thread([this] { dispatcher_main(); });
+  runners_.reserve(config_.max_concurrent_batches);
+  for (std::uint32_t r = 0; r < config_.max_concurrent_batches; ++r) {
+    runners_.emplace_back([this] { runner_main(); });
+  }
+  dispatcher_ = std::thread([this] {
+    dispatcher_main();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      dispatcher_done_ = true;
+    }
+    batch_cv_.notify_all();  // runners may now exit once ready_ drains
+  });
 }
 
 Service::~Service() { shutdown(); }
@@ -145,6 +168,11 @@ Submission Service::submit(SampleRequest request) {
     verdict = RejectReason::kEmptyRequest;
   } else if (count > config_.max_request_instances) {
     verdict = RejectReason::kOversizedRequest;
+  } else if (config_.tenant_quota > 0 && count > config_.tenant_quota) {
+    // A request wider than its tenant's whole quota could never launch —
+    // the scheduler would defer it forever. Die at admission instead of
+    // starving silently in the queue.
+    verdict = RejectReason::kOversizedRequest;
   } else if (request.rng_base != kAutoRngBase &&
              count > kAutoRngBase - request.rng_base) {
     // A pinned range must fit below the sentinel without wrapping —
@@ -202,10 +230,17 @@ Submission Service::submit(SampleRequest request) {
       }
     }
 
+    // First accepted request of a tenant adds it to the fairness ring;
+    // it stays for the service's lifetime (tenant counts are small).
+    TenantState& tenant = tenants_[request.tenant];
+    if (tenant.accepted == 0) tenant_ring_.push_back(request.tenant);
+    ++tenant.accepted;
+
     Pending pending;
     pending.request = std::move(request);
     pending.ticket = next_ticket_++;
     pending.rng_base = rng_base;
+    pending.enqueued = std::chrono::steady_clock::now();
     submission.ticket = pending.ticket;
     submission.rng_base = rng_base;
     submission.result = pending.promise.get_future();
@@ -214,7 +249,7 @@ Submission Service::submit(SampleRequest request) {
     stats_.peak_queue_depth =
         std::max<std::uint64_t>(stats_.peak_queue_depth, queue_.size());
   }
-  work_cv_.notify_one();
+  work_cv_.notify_all();
   return submission;
 }
 
@@ -243,28 +278,36 @@ void Service::resume() {
 
 void Service::drain() {
   std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [&] { return queue_.empty() && !in_flight_; });
+  idle_cv_.wait(lock, [&] {
+    return queue_.empty() && batches_in_flight_ == 0;
+  });
 }
 
 void Service::shutdown() {
-  std::thread to_join;
+  std::thread dispatcher_to_join;
+  std::vector<std::thread> runners_to_join;
   {
     std::unique_lock<std::mutex> lock(mu_);
     stopping_ = true;
     paused_ = false;  // a paused queue must still drain before the join
     if (dispatcher_.joinable()) {
-      // Exactly one caller claims the join by moving the thread out
+      // Exactly one caller claims the join by moving the threads out
       // under the lock; concurrent shutdown()/destructor calls wait for
       // that caller instead of double-joining (UB).
-      to_join = std::move(dispatcher_);
+      dispatcher_to_join = std::move(dispatcher_);
+      runners_to_join = std::move(runners_);
     } else {
       work_cv_.notify_all();
+      batch_cv_.notify_all();
       idle_cv_.wait(lock, [&] { return shutdown_complete_; });
       return;
     }
   }
   work_cv_.notify_all();
-  to_join.join();
+  batch_cv_.notify_all();
+  dispatcher_to_join.join();
+  batch_cv_.notify_all();  // dispatcher_done_ is set; wake idle runners
+  for (std::thread& runner : runners_to_join) runner.join();
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_complete_ = true;
@@ -277,43 +320,197 @@ void Service::shutdown() {
 
 ServiceStats Service::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServiceStats snapshot = stats_;
+  snapshot.tenants.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) {
+    TenantStats out;
+    out.tenant = name;
+    out.accepted = tenant.accepted;
+    out.completed = tenant.completed;
+    out.failed = tenant.failed;
+    out.sampled_edges = tenant.sampled_edges;
+    out.peak_inflight_instances = tenant.peak_inflight_instances;
+    snapshot.tenants.push_back(std::move(out));
+  }
+  return snapshot;
 }
 
-std::vector<Service::Pending> Service::take_batch_locked() {
-  std::vector<Pending> batch;
-  batch.reserve(queue_.size() + 1);  // `head` must survive every push_back
-  batch.push_back(std::move(queue_.front()));
-  queue_.pop_front();
-
-  const SampleRequest& head = batch.front().request;
-  std::uint32_t total = head.num_instances();
+std::uint32_t Service::coalescible_instances_locked(
+    const Pending& head) const {
+  // Mirrors form_batch_locked exactly — Philox-range overlaps and
+  // tenant quotas excluded — so a head is only ever declared "full"
+  // (and launched inside its batching window without being counted as
+  // a deadline launch) when formation would really produce a full
+  // batch.
+  std::uint32_t total = head.request.num_instances();
   std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges = {
-      {batch.front().rng_base, total}};
+      {head.rng_base, total}};
+  std::map<std::string, std::uint32_t> added;
+  added[head.request.tenant] = total;
+  for (const Pending& pending : queue_) {
+    if (&pending == &head) continue;
+    const std::uint32_t count = pending.request.num_instances();
+    if (!compatible(head.request, pending.request) ||
+        total + count > config_.max_batch_instances ||
+        overlaps(ranges, pending.rng_base, count)) {
+      continue;
+    }
+    const std::string& tenant_name = pending.request.tenant;
+    if (config_.tenant_quota > 0 &&
+        tenants_.at(tenant_name).inflight_instances + added[tenant_name] +
+                count >
+            config_.tenant_quota) {
+      continue;
+    }
+    ranges.emplace_back(pending.rng_base, count);
+    added[tenant_name] += count;
+    total += count;
+    if (total >= config_.max_batch_instances) break;
+  }
+  return total;
+}
+
+Service::HeadChoice Service::select_head_locked(
+    std::chrono::steady_clock::time_point now) {
+  HeadChoice choice;
+  // Pass 1 over the queue: per tenant, the earliest *launchable* head —
+  // its graph idle, its tenant under quota, and its batch either not
+  // deadline-gated, already full, or past the deadline. Heads still
+  // inside their deadline window are recorded so the dispatcher knows
+  // when to wake.
+  struct Candidate {
+    std::size_t index;
+    std::uint32_t cost;
+    bool by_deadline;
+  };
+  std::map<std::string, Candidate> candidates;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Pending& pending = queue_[i];
+    const SampleRequest& request = pending.request;
+    if (graphs_in_flight_.count(request.graph) != 0) continue;
+    const std::uint32_t cost = request.num_instances();
+    const TenantState& tenant = tenants_.at(request.tenant);
+    if (config_.tenant_quota > 0 &&
+        tenant.inflight_instances + cost > config_.tenant_quota) {
+      ++stats_.quota_deferrals;
+      continue;
+    }
+    if (candidates.count(request.tenant) != 0) continue;
+
+    bool launchable = true;
+    bool by_deadline = false;
+    if (config_.batching_deadline.count() > 0 && !stopping_) {
+      const auto deadline = pending.enqueued + config_.batching_deadline;
+      const bool full =
+          coalescible_instances_locked(pending) >= config_.max_batch_instances;
+      if (full) {
+        launchable = true;  // a full batch never waits out its deadline
+      } else if (now >= deadline) {
+        by_deadline = true;  // launches partial — counted for operators
+      } else {
+        launchable = false;
+        if (!choice.has_waiting || deadline < choice.next_deadline) {
+          choice.next_deadline = deadline;
+        }
+        choice.has_waiting = true;
+      }
+    }
+    if (launchable) {
+      candidates.emplace(request.tenant, Candidate{i, cost, by_deadline});
+    }
+  }
+  if (candidates.empty()) return choice;
+
+  // Pass 2: deficit round robin across the tenant ring. Each turn a
+  // tenant with a candidate earns `quantum_` instances of credit and
+  // launches once the credit covers its head's cost — large-request
+  // tenants therefore wait proportionally more turns. Tenants with no
+  // candidate forfeit their credit (no hoarding while idle or blocked).
+  for (;;) {
+    for (std::size_t step = 0; step < tenant_ring_.size(); ++step) {
+      const std::size_t pos = (ring_cursor_ + step) % tenant_ring_.size();
+      const std::string& name = tenant_ring_[pos];
+      TenantState& tenant = tenants_.at(name);
+      const auto it = candidates.find(name);
+      if (it == candidates.end()) {
+        tenant.deficit = 0;
+        continue;
+      }
+      tenant.deficit += quantum_;
+      if (tenant.deficit < it->second.cost) continue;
+      tenant.deficit -= it->second.cost;
+      ring_cursor_ = (pos + 1) % tenant_ring_.size();
+      choice.found = true;
+      choice.queue_index = it->second.index;
+      choice.by_deadline = it->second.by_deadline;
+      return choice;
+    }
+  }
+}
+
+Service::FormedBatch Service::form_batch_locked(std::size_t head_index) {
+  FormedBatch batch;
+  batch.items.reserve(queue_.size());
+  batch.items.push_back(std::move(queue_[head_index]));
+  queue_.erase(queue_.begin() +
+               static_cast<std::deque<Pending>::difference_type>(head_index));
+
+  const SampleRequest& head = batch.items.front().request;
+  batch.graph = head.graph;
+  std::uint32_t total = head.num_instances();
+  batch.tenant_instances[head.tenant] = total;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges = {
+      {batch.items.front().rng_base, total}};
 
   // Coalesce every queued request that provably runs the same kernels,
-  // fits the batch budget and collides with no already-chosen Philox
-  // range. Skipped requests keep their queue position for a later batch.
+  // fits the batch budget and its tenant's quota, and collides with no
+  // already-chosen Philox range. Skipped requests keep their queue
+  // position for a later batch.
   for (auto it = queue_.begin(); it != queue_.end();) {
     const std::uint32_t count = it->request.num_instances();
+    const std::string& tenant_name = it->request.tenant;
     if (!compatible(head, it->request) ||
         total + count > config_.max_batch_instances ||
         overlaps(ranges, it->rng_base, count)) {
       ++it;
       continue;
     }
+    if (config_.tenant_quota > 0 &&
+        tenants_.at(tenant_name).inflight_instances +
+                batch.tenant_instances[tenant_name] + count >
+            config_.tenant_quota) {
+      ++stats_.quota_deferrals;
+      ++it;
+      continue;
+    }
     ranges.emplace_back(it->rng_base, count);
     total += count;
-    batch.push_back(std::move(*it));
+    batch.tenant_instances[tenant_name] += count;
+    batch.items.push_back(std::move(*it));
     it = queue_.erase(it);
   }
 
   // The engines require strictly increasing tags; batch composition order
   // is irrelevant to the bytes (each instance's draws are addressed by
   // its own global id), so sort by stream base.
-  std::sort(batch.begin(), batch.end(), [](const Pending& a, const Pending& b) {
-    return a.rng_base < b.rng_base;
-  });
+  std::sort(batch.items.begin(), batch.items.end(),
+            [](const Pending& a, const Pending& b) {
+              return a.rng_base < b.rng_base;
+            });
+
+  // Book the in-flight state the batch holds until a runner retires it:
+  // its graph (same-graph batches never overlap) and its per-tenant
+  // instance footprint (what tenant_quota bounds).
+  graphs_in_flight_.insert(batch.graph);
+  for (const auto& [tenant_name, instances] : batch.tenant_instances) {
+    TenantState& tenant = tenants_.at(tenant_name);
+    tenant.inflight_instances += instances;
+    tenant.peak_inflight_instances = std::max<std::uint64_t>(
+        tenant.peak_inflight_instances, tenant.inflight_instances);
+  }
+  ++batches_in_flight_;
+  stats_.peak_inflight_batches = std::max<std::uint64_t>(
+      stats_.peak_inflight_batches, batches_in_flight_);
   return batch;
 }
 
@@ -353,6 +550,8 @@ void Service::run_batch(std::vector<Pending> batch) {
       if (parts == nullptr) {
         // First paged batch on this graph: build the shared partitioning
         // once, outside the lock, and publish it for every later batch.
+        // Per-graph batch serialization (graphs_in_flight_) guarantees no
+        // concurrent batch builds the same graph's partitioning twice.
         parts = std::make_shared<const PartitionedGraph>(
             *graph, config_.options.num_partitions);
         std::lock_guard<std::mutex> lock(mu_);
@@ -402,6 +601,11 @@ void Service::run_batch(std::vector<Pending> batch) {
           std::max<std::uint64_t>(stats_.max_batch_requests, num_requests);
       stats_.sampled_edges += batch_edges;  // counted before the row moves
       stats_.sim_seconds += whole.sim_seconds;
+      for (std::size_t r = 0; r < num_requests; ++r) {
+        TenantState& tenant = tenants_.at(batch[r].request.tenant);
+        ++tenant.completed;
+        tenant.sampled_edges += results[r].sampled_edges();
+      }
     }
 
     for (std::size_t r = 0; r < num_requests; ++r) {
@@ -417,6 +621,9 @@ void Service::run_batch(std::vector<Pending> batch) {
           std::lock_guard<std::mutex> lock(mu_);
           --stats_.completed;
           ++stats_.failed;
+          TenantState& tenant = tenants_.at(batch[r].request.tenant);
+          --tenant.completed;
+          ++tenant.failed;
         }
         try {
           batch[r].promise.set_exception(error);
@@ -434,6 +641,9 @@ void Service::run_batch(std::vector<Pending> batch) {
       std::lock_guard<std::mutex> lock(mu_);
       stats_.failed += num_requests;
       ++stats_.batches;
+      for (const Pending& pending : batch) {
+        ++tenants_.at(pending.request.tenant).failed;
+      }
     }
     for (Pending& pending : batch) {
       pending.promise.set_exception(error);
@@ -451,13 +661,68 @@ void Service::dispatcher_main() {
       if (stopping_) return;  // drained; admission already rejects
       continue;
     }
-    std::vector<Pending> batch = take_batch_locked();
-    in_flight_ = true;
+    if (batches_in_flight_ >= config_.max_concurrent_batches) {
+      // All runner capacity is formed or executing; a retiring batch
+      // notifies work_cv_. (Plain wait: we re-evaluate everything.)
+      work_cv_.wait(lock);
+      continue;
+    }
+
+    const auto now = std::chrono::steady_clock::now();
+    HeadChoice choice = select_head_locked(now);
+    if (!choice.found) {
+      if (choice.has_waiting) {
+        // Every eligible head is still inside its batching window: sleep
+        // until the earliest deadline (or a new arrival re-evaluates —
+        // the head may fill up and launch early).
+        work_cv_.wait_until(lock, choice.next_deadline);
+      } else {
+        // Everything queued is blocked on an in-flight graph or a tenant
+        // quota; a retiring batch frees both and notifies.
+        work_cv_.wait(lock);
+      }
+      continue;
+    }
+
+    FormedBatch batch = form_batch_locked(choice.queue_index);
+    if (choice.by_deadline) ++stats_.deadline_launches;
+    ready_.push_back(std::move(batch));
+    batch_cv_.notify_one();
+    // Loop immediately: with capacity left and another independent-graph
+    // head queued, the next batch forms before this one finishes.
+  }
+}
+
+void Service::runner_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    batch_cv_.wait(lock, [&] {
+      return !ready_.empty() || (stopping_ && dispatcher_done_);
+    });
+    if (ready_.empty()) {
+      if (stopping_ && dispatcher_done_) return;  // no more batches form
+      continue;
+    }
+    FormedBatch batch = std::move(ready_.front());
+    ready_.pop_front();
+    ++executing_batches_;
+    stats_.peak_concurrent_batches = std::max<std::uint64_t>(
+        stats_.peak_concurrent_batches, executing_batches_);
+
     lock.unlock();
-    run_batch(std::move(batch));
+    run_batch(std::move(batch.items));  // fulfills every promise; no-throw
     lock.lock();
-    in_flight_ = false;
-    if (queue_.empty()) idle_cv_.notify_all();
+
+    --executing_batches_;
+    --batches_in_flight_;
+    graphs_in_flight_.erase(batch.graph);
+    for (const auto& [tenant_name, instances] : batch.tenant_instances) {
+      tenants_.at(tenant_name).inflight_instances -= instances;
+    }
+    // Retiring a batch frees scheduler capacity, the graph, and tenant
+    // quota — the dispatcher may have been waiting on any of them.
+    work_cv_.notify_all();
+    if (queue_.empty() && batches_in_flight_ == 0) idle_cv_.notify_all();
   }
 }
 

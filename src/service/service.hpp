@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -7,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -30,7 +32,8 @@ class ServiceError : public std::runtime_error {
   RejectReason reason_;
 };
 
-/// Configuration of one csaw::Service.
+/// Configuration of one csaw::Service. Every knob is documented with its
+/// tuning guidance in docs/SERVING.md.
 struct ServiceConfig {
   /// Execution options every batch runs with. `mode` is normally left on
   /// kAuto so each batch picks in-memory / out-of-memory / multi-device
@@ -44,6 +47,31 @@ struct ServiceConfig {
   std::uint32_t max_request_instances = 1024;
   /// Batching bound: instances one coalesced engine run may carry.
   std::uint32_t max_batch_instances = 4096;
+  /// Scheduling bound: batches that may be in flight simultaneously. The
+  /// scheduler never overlaps two batches of the *same* graph (paged
+  /// graphs share residency state and same-graph batches coalesce
+  /// anyway), so overlap happens across independent graphs — each batch
+  /// runs on its own batch-runner thread, all sharing one host
+  /// ThreadPool whose external-slot capacity is sized to this knob.
+  /// 1 restores the serialized PR 4 dispatcher.
+  std::uint32_t max_concurrent_batches = 2;
+  /// Latency-aware batching: how long the scheduler may hold a batch
+  /// head open to coalesce later arrivals before launching the batch
+  /// partial. 0 (the default) launches immediately with whatever is
+  /// queued; a batch that reaches max_batch_instances launches before
+  /// its deadline either way. Deadline-expired launches are counted in
+  /// ServiceStats::deadline_launches.
+  std::chrono::microseconds batching_deadline{0};
+  /// Fairness bound: in-flight instances one tenant (SampleRequest::
+  /// tenant) may hold across all its batches; requests over the bound
+  /// stay queued (never rejected) until the tenant's earlier batches
+  /// retire. 0 = unbounded.
+  std::uint32_t tenant_quota = 0;
+  /// Deficit-round-robin credit (in instances) a tenant earns per
+  /// scheduling turn: tenants submitting large requests wait
+  /// proportionally more turns than small-request tenants. 0 = auto
+  /// (max_request_instances / 4, at least 1).
+  std::uint32_t fairness_quantum = 0;
   /// Start with the dispatcher paused (tests and benches queue a known
   /// request mix first, then resume() to get deterministic batching).
   bool start_paused = false;
@@ -81,20 +109,25 @@ struct GraphResidency {
 
 /// The serving tier above csaw::Sampler: a long-lived, multi-tenant
 /// sampling service. Clients register named graphs once, then submit
-/// SampleRequests from any number of threads; a single dispatcher thread
-/// coalesces compatible queued requests (same graph, same registry
-/// algorithm + parameters) into one multi-instance engine run, picks the
-/// execution mode per batch through the facade's kAuto logic, and
-/// fulfills each request's future with its slice of the batch.
+/// SampleRequests from any number of threads; a scheduler thread forms
+/// batches of compatible queued requests (same graph, same registry
+/// algorithm + parameters) and up to max_concurrent_batches batch-runner
+/// threads execute independent-graph batches simultaneously on one
+/// shared host pool. Batch formation is policy-driven: a deficit-round-
+/// robin pass across tenants picks each batch's head (so no tenant can
+/// monopolize dispatch), tenant_quota bounds any tenant's in-flight
+/// instances, and batching_deadline trades a bounded wait for fuller
+/// batches. The full operator guide is docs/SERVING.md.
 ///
 /// Determinism contract (tests/service/): a request's samples are
-/// byte-identical whether it ran alone or coalesced into any batch, at
-/// any host thread count — every instance draws from the Philox stream
-/// addressed by `rng_base + i`, carried through the engines as a
-/// per-instance tag (EngineConfig::instance_tags), so batch composition
-/// and execution order are invisible in the bytes. What batching *does*
-/// change is the simulated schedule: a request's RunResult reports the
-/// makespan and stats of the batch it rode on.
+/// byte-identical whether it ran alone, coalesced into any batch, or
+/// concurrently with other batches, at any host thread count — every
+/// instance draws from the Philox stream addressed by `rng_base + i`,
+/// carried through the engines as a per-instance tag
+/// (EngineConfig::instance_tags), so batch composition, scheduling
+/// policy and execution order are invisible in the bytes. What batching
+/// *does* change is the simulated schedule: a request's RunResult
+/// reports the makespan and stats of the batch it rode on.
 ///
 /// Shutdown is graceful: already-admitted requests are drained, new ones
 /// are rejected with RejectReason::kShutdown. The destructor shuts down.
@@ -131,28 +164,30 @@ class Service {
   RunResult sample(SampleRequest request);
 
   /// Pauses the dispatcher: admitted requests queue up (admission bounds
-  /// still apply) until resume(). Deterministic-batching hook for tests
-  /// and benches.
+  /// still apply) until resume(); batches already formed or in flight
+  /// finish. Deterministic-batching hook for tests and benches.
   void pause();
   void resume();
 
-  /// Blocks until the queue is empty and no batch is in flight. Call
-  /// resume() first if the service is paused — a paused nonempty queue
-  /// never drains.
+  /// Blocks until the queue is empty and no batch is formed or in
+  /// flight. Call resume() first if the service is paused — a paused
+  /// nonempty queue never drains.
   void drain();
 
   /// Stops admission (kShutdown), drains already-admitted requests and
-  /// joins the dispatcher. Idempotent; the destructor calls it.
+  /// joins the scheduler + batch-runner threads. Idempotent; the
+  /// destructor calls it.
   void shutdown();
 
-  /// Atomic snapshot of the lifetime counters.
+  /// Atomic snapshot of the lifetime counters (including the per-tenant
+  /// slice).
   ServiceStats stats() const;
 
  private:
   struct GraphEntry {
     std::shared_ptr<const CsrGraph> graph;
     bool paged = false;
-    /// Built by the dispatcher on the first paged batch, under mu_.
+    /// Built by the first paged batch on this graph, under mu_.
     std::shared_ptr<const PartitionedGraph> parts;
   };
 
@@ -161,41 +196,104 @@ class Service {
     SampleRequest request;
     std::uint64_t ticket = 0;
     std::uint32_t rng_base = 0;
+    /// Admission time: anchors the batching_deadline of any batch this
+    /// request heads.
+    std::chrono::steady_clock::time_point enqueued;
     std::promise<RunResult> promise;
+  };
+
+  /// Scheduler-side per-tenant state (under mu_): the deficit-round-
+  /// robin credit, the in-flight instance count tenant_quota bounds, and
+  /// the lifetime counters stats() reports.
+  struct TenantState {
+    std::uint64_t deficit = 0;
+    std::uint32_t inflight_instances = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t sampled_edges = 0;
+    std::uint64_t peak_inflight_instances = 0;
+  };
+
+  /// A batch the dispatcher formed, queued for (or claimed by) a batch
+  /// runner. Graph/tenant bookkeeping stays behind so the runner can
+  /// release it after run_batch consumed the items.
+  struct FormedBatch {
+    std::vector<Pending> items;
+    std::string graph;
+    /// Instances per tenant, released from inflight_instances on retire.
+    std::map<std::string, std::uint32_t> tenant_instances;
+  };
+
+  /// Outcome of one scheduling pass over the queue (under mu_).
+  struct HeadChoice {
+    bool found = false;              ///< a launchable head was selected
+    std::size_t queue_index = 0;     ///< its position in queue_
+    bool by_deadline = false;        ///< launches partial: deadline expired
+    /// When !found but eligible heads are waiting out their deadline:
+    /// the earliest launch time among them.
+    bool has_waiting = false;
+    std::chrono::steady_clock::time_point next_deadline{};
   };
 
   /// Bumps the per-reason rejection counter (under mu_).
   void count_rejection_locked(RejectReason reason);
-  /// Pops the head request plus every compatible queued request that fits
-  /// ServiceConfig::max_batch_instances, in rng_base order (under mu_).
-  std::vector<Pending> take_batch_locked();
+  /// Instances the batch headed by `head` could coalesce right now:
+  /// compatible queued requests, capped at max_batch_instances (used to
+  /// decide whether a deadline-gated head is already full).
+  std::uint32_t coalescible_instances_locked(const Pending& head) const;
+  /// One deficit-round-robin scheduling pass: picks the next launchable
+  /// batch head among eligible queued requests (graph not in flight,
+  /// tenant under quota), or reports the earliest pending deadline.
+  HeadChoice select_head_locked(std::chrono::steady_clock::time_point now);
+  /// Extracts queue_[head_index] plus every compatible queued request
+  /// that fits max_batch_instances and its tenant's quota, in rng_base
+  /// order, and books the graph/tenant in-flight state (under mu_).
+  FormedBatch form_batch_locked(std::size_t head_index);
   /// Runs one coalesced batch through a fresh Sampler on the shared pool
-  /// and fulfills every promise (dispatcher thread, outside mu_).
+  /// and fulfills every promise (batch-runner thread, outside mu_).
   void run_batch(std::vector<Pending> batch);
   void dispatcher_main();
+  void runner_main();
 
   ServiceConfig config_;
-  /// The host pool shared by the dispatcher and every batch's engines;
-  /// null when the resolved width is 1.
+  std::uint32_t quantum_ = 1;  ///< resolved fairness_quantum
+  /// The host pool shared by every batch's engines; its external-slot
+  /// capacity admits max_concurrent_batches runner threads. Null when
+  /// the resolved width is 1 (runners then drive serial engines).
   std::shared_ptr<sim::ThreadPool> pool_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;  ///< dispatcher: work queued / stop
-  std::condition_variable idle_cv_;  ///< drain(): queue empty, no batch
+  std::condition_variable work_cv_;   ///< dispatcher: queue/capacity/policy
+  std::condition_variable batch_cv_;  ///< runners: formed batch ready / stop
+  std::condition_variable idle_cv_;   ///< drain()/shutdown() progress
   std::map<std::string, GraphEntry> graphs_;
   std::deque<Pending> queue_;
+  std::deque<FormedBatch> ready_;  ///< formed, not yet claimed by a runner
+  /// Graphs with a formed or executing batch — the scheduler never
+  /// overlaps two batches of one graph.
+  std::set<std::string> graphs_in_flight_;
+  std::map<std::string, TenantState> tenants_;
+  /// Deficit-round-robin rotation: tenants in first-seen order plus the
+  /// cursor of the next turn.
+  std::vector<std::string> tenant_ring_;
+  std::size_t ring_cursor_ = 0;
+  std::uint32_t batches_in_flight_ = 0;   ///< formed (ready or executing)
+  std::uint32_t executing_batches_ = 0;   ///< inside run_batch
   bool paused_ = false;
   bool stopping_ = false;
-  bool in_flight_ = false;  ///< a batch is executing
-  /// Set (and idle_cv_ notified) once the dispatcher has been joined;
+  bool dispatcher_done_ = false;  ///< dispatcher exited; no more batches form
+  /// Set (and idle_cv_ notified) once all threads have been joined;
   /// concurrent shutdown() callers wait on it instead of double-joining.
   bool shutdown_complete_ = false;
   std::uint64_t next_ticket_ = 1;
   std::uint32_t next_rng_base_ = 0;
   ServiceStats stats_;
 
-  /// Started last: every other member is initialized before the
-  /// dispatcher can observe the service.
+  /// Started last: every other member is initialized before any thread
+  /// can observe the service. Runners execute formed batches; the
+  /// dispatcher owns all batching/fairness policy.
+  std::vector<std::thread> runners_;
   std::thread dispatcher_;
 };
 

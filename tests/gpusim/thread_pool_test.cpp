@@ -4,9 +4,14 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "util/check.hpp"
 
 namespace csaw::sim {
 namespace {
@@ -86,6 +91,136 @@ TEST(ThreadPool, NestedParallelForCompletes) {
   for (std::size_t i = 0; i < inner_hits.size(); ++i) {
     EXPECT_EQ(inner_hits[i].load(), 1) << "inner item " << i;
   }
+}
+
+TEST(ThreadPool, MaxWorkersCoversExternalSlots) {
+  // External slot 0 reuses identity 0, so a single-external pool's
+  // identity bound equals its width; every further slot extends it.
+  EXPECT_EQ(ThreadPool(4).max_workers(), 4u);
+  EXPECT_EQ(ThreadPool(4, 1).max_workers(), 4u);
+  EXPECT_EQ(ThreadPool(4, 3).max_workers(), 6u);
+  EXPECT_EQ(ThreadPool(1, 2).max_workers(), 2u);
+}
+
+TEST(ThreadPool, ConcurrentExternalThreadsGetDistinctIdentities) {
+  // Two external threads drive separate batches at the same time (the
+  // service tier's batch-runner model): each must hold its own worker
+  // identity — aliased identities would alias per-batch engine scratch —
+  // and a third external thread must be refused while both slots are
+  // held, not silently admitted.
+  ThreadPool pool(2, 2);
+  ASSERT_EQ(pool.max_workers(), 3u);
+
+  std::atomic<bool> release{false};
+  std::atomic<bool> started_a{false};
+  std::atomic<bool> started_b{false};
+  std::mutex ids_mu;
+  std::set<std::uint32_t> ids_a;  // identities of items thread A executed
+  std::set<std::uint32_t> ids_b;
+
+  const auto driver = [&](std::atomic<bool>& started,
+                          std::set<std::uint32_t>& ids) {
+    const std::thread::id self = std::this_thread::get_id();
+    pool.parallel_for(2, [&](std::size_t, std::uint32_t worker) {
+      EXPECT_LT(worker, pool.max_workers());
+      if (std::this_thread::get_id() == self) {
+        std::lock_guard<std::mutex> lock(ids_mu);
+        ids.insert(worker);
+      }
+      // Any item of this batch executing implies its driver registered
+      // (registration precedes the batch becoming visible to workers) —
+      // its external slot is held until the batch completes, which the
+      // gate below delays until the refusal has been observed.
+      started.store(true);
+      while (!release.load()) std::this_thread::yield();
+    });
+  };
+  std::thread a([&] { driver(started_a, ids_a); });
+  std::thread b([&] { driver(started_b, ids_b); });
+  while (!started_a.load() || !started_b.load()) std::this_thread::yield();
+
+  // Both slots held: a third concurrent external thread is refused.
+  EXPECT_THROW(pool.parallel_for(2, [](std::size_t, std::uint32_t) {}),
+               CheckError);
+
+  release.store(true);
+  a.join();
+  b.join();
+
+  // Each driver executed at least its blocking item, always under one
+  // identity, and the two drivers' identities differ.
+  ASSERT_EQ(ids_a.size(), 1u);
+  ASSERT_EQ(ids_b.size(), 1u);
+  EXPECT_NE(*ids_a.begin(), *ids_b.begin());
+
+  // Slots were released with the batches: a fresh external batch admits.
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(8, [&](std::size_t, std::uint32_t) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 8u);
+}
+
+TEST(ThreadPool, CrossPoolDrivingReRegistersInTheOtherPool) {
+  // A worker identity is only meaningful in the pool that issued it. A
+  // thread holding a high external identity in pool P (here: slot 1 of
+  // a width-4 pool → identity 4) that drives a batch on a *different*
+  // pool Q must go through Q's own admission and execute under a
+  // Q-issued identity — reusing P's identity would index past Q-sized
+  // scratch — and must get P's identity back once Q's batch unwinds.
+  ThreadPool p(4, 2);
+  ThreadPool q(2, 1);
+
+  // Park another external thread in P's slot 0 so the main thread's
+  // registration lands in slot 1 (identity 4).
+  std::atomic<bool> release{false};
+  std::atomic<bool> parked{false};
+  std::thread occupant([&] {
+    p.parallel_for(2, [&](std::size_t, std::uint32_t) {
+      parked.store(true);
+      while (!release.load()) std::this_thread::yield();
+    });
+  });
+  while (!parked.load()) std::this_thread::yield();
+
+  const std::thread::id self = std::this_thread::get_id();
+  std::mutex mu;
+  std::vector<std::uint32_t> own_p_ids;
+  std::vector<std::uint32_t> q_ids;
+  std::vector<std::uint32_t> restored_ids;
+  // Items not executed by the main thread spin until it has done the
+  // cross-pool work: q admits one external driver at a time, and the
+  // spin guarantees the main thread gets at least one item (the free
+  // workers cannot finish the batch without it).
+  std::atomic<bool> done{false};
+  p.parallel_for(4, [&](std::size_t, std::uint32_t worker) {
+    if (std::this_thread::get_id() != self) {
+      while (!done.load()) std::this_thread::yield();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      own_p_ids.push_back(worker);
+    }
+    q.parallel_for(2, [&](std::size_t, std::uint32_t q_worker) {
+      std::lock_guard<std::mutex> lock(mu);
+      q_ids.push_back(q_worker);
+    });
+    // Single-item inline shortcut reads the thread's current identity:
+    // after Q's batch unwound it must be P's again.
+    p.parallel_for(1, [&](std::size_t, std::uint32_t restored) {
+      std::lock_guard<std::mutex> lock(mu);
+      restored_ids.push_back(restored);
+    });
+    done.store(true);
+  });
+  release.store(true);
+  occupant.join();
+
+  for (const std::uint32_t id : own_p_ids) EXPECT_EQ(id, 4u);
+  ASSERT_FALSE(q_ids.empty());
+  for (const std::uint32_t id : q_ids) EXPECT_LT(id, q.max_workers());
+  for (const std::uint32_t id : restored_ids) EXPECT_EQ(id, 4u);
 }
 
 TEST(ThreadPool, ResolveNumThreadsHonorsRequestAndEnv) {

@@ -30,6 +30,14 @@ const std::shared_ptr<const CsrGraph>& shared_graph() {
   return g;
 }
 
+/// Independent graph for the concurrent-batch scenario: its batch may
+/// execute simultaneously with the probe's on the shared pool.
+const std::shared_ptr<const CsrGraph>& other_graph() {
+  static const auto g =
+      std::make_shared<const CsrGraph>(generate_rmat(1024, 8192, 94));
+  return g;
+}
+
 std::vector<VertexId> spread_seeds(std::uint32_t n, std::uint32_t stride) {
   std::vector<VertexId> seeds(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -147,6 +155,35 @@ void expect_solo_coalesced_equivalence(ExecutionMode mode) {
           low_reference.run_single_seed(spread_seeds(7, 37));
       expect_same_samples(low.result.get().samples, low_expected.samples,
                           label + ", low decoy");
+    }
+
+    // Concurrent: the probe's batch shares the pool with a simultaneous
+    // independent-graph batch from another tenant — two engine runs,
+    // two batch-runner threads, one executor. The scheduler may overlap
+    // them in any way; the probe's bytes must not care.
+    {
+      ServiceConfig config;
+      config.options = mode_options(mode, width);
+      config.max_concurrent_batches = 2;
+      config.start_paused = true;
+      Service service(config);
+      service.add_graph("g", shared_graph());
+      service.add_graph("other", other_graph());
+      SampleRequest neighbor = SampleRequest::single_seeds(
+          "other", AlgorithmId::kBiasedRandomWalk, 4 * kWalkLength,
+          spread_seeds(24, 59));
+      neighbor.tenant = "other-tenant";
+      Submission busy = service.submit(std::move(neighbor));
+      Submission probe = service.submit(probe_request());
+      ASSERT_TRUE(busy.accepted() && probe.accepted()) << label;
+      service.resume();
+      service.drain();
+
+      expect_same_samples(probe.result.get().samples, expected.samples,
+                          label + ", concurrent");
+      ASSERT_GT(busy.result.get().sampled_edges(), 0u) << label;
+      const ServiceStats stats = service.stats();
+      EXPECT_EQ(stats.batches, 2u) << label;  // distinct graphs: no merge
     }
   }
 }

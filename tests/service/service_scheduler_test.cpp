@@ -1,0 +1,268 @@
+// Scheduling policy of the concurrent csaw::Service dispatcher:
+// latency-aware batching (a head may wait out ServiceConfig::
+// batching_deadline to coalesce late arrivals, but a full batch — or a
+// draining shutdown — launches immediately), independent-graph batch
+// overlap bounded by max_concurrent_batches, and the fairness pass
+// (deficit round robin across tenants plus the tenant_quota in-flight
+// bound) that keeps a flooding tenant from stalling everyone else.
+// Byte-level guarantees live in service_determinism_test.cpp; this suite
+// is about *when* batches launch and *who* gets dispatch capacity.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "service/service.hpp"
+
+namespace csaw {
+namespace {
+
+using namespace std::chrono_literals;
+
+const std::shared_ptr<const CsrGraph>& graph_a() {
+  static const auto g =
+      std::make_shared<const CsrGraph>(generate_rmat(1024, 8192, 97));
+  return g;
+}
+
+const std::shared_ptr<const CsrGraph>& graph_b() {
+  static const auto g =
+      std::make_shared<const CsrGraph>(generate_rmat(1024, 8192, 98));
+  return g;
+}
+
+std::vector<VertexId> spread_seeds(const CsrGraph& g, std::uint32_t n,
+                                   std::uint32_t stride = 131) {
+  std::vector<VertexId> seeds(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    seeds[i] = static_cast<VertexId>((i * stride) % g.num_vertices());
+  }
+  return seeds;
+}
+
+SampleRequest walk_request(const std::string& graph, std::uint32_t instances,
+                           std::uint32_t length,
+                           const std::string& tenant = {}) {
+  SampleRequest request = SampleRequest::single_seeds(
+      graph, AlgorithmId::kBiasedRandomWalk, length,
+      spread_seeds(*graph_a(), instances));
+  request.tenant = tenant;
+  return request;
+}
+
+ServiceConfig serial_engine_config() {
+  ServiceConfig config;
+  config.options.num_threads = 1;
+  return config;
+}
+
+TEST(ServiceScheduler, DeadlineLaunchesPartialBatch) {
+  // A lone request can never fill max_batch_instances: with a deadline
+  // configured, the only way it launches (short of shutdown) is the
+  // deadline expiring — and the launch is counted as such.
+  ServiceConfig config = serial_engine_config();
+  config.batching_deadline = 25ms;
+  Service service(config);
+  service.add_graph("a", graph_a());
+
+  Submission only = service.submit(walk_request("a", 2, 8));
+  ASSERT_TRUE(only.accepted());
+  EXPECT_GT(only.result.get().sampled_edges(), 0u);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.deadline_launches, 1u);
+}
+
+TEST(ServiceScheduler, FullBatchLaunchesBeforeItsDeadline) {
+  // Two compatible requests exactly filling max_batch_instances launch
+  // immediately — a long deadline must not hold a full batch hostage.
+  ServiceConfig config = serial_engine_config();
+  config.batching_deadline = 30s;  // a hung test, if the full check broke
+  config.max_request_instances = 4;
+  config.max_batch_instances = 8;
+  config.start_paused = true;
+  Service service(config);
+  service.add_graph("a", graph_a());
+
+  Submission first = service.submit(walk_request("a", 4, 8));
+  Submission second = service.submit(walk_request("a", 4, 8));
+  ASSERT_TRUE(first.accepted() && second.accepted());
+  service.resume();
+  EXPECT_GT(first.result.get().sampled_edges(), 0u);
+  EXPECT_GT(second.result.get().sampled_edges(), 0u);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.coalesced_requests, 2u);
+  EXPECT_EQ(stats.deadline_launches, 0u);
+}
+
+TEST(ServiceScheduler, ShutdownDrainsWithoutWaitingOutDeadlines) {
+  ServiceConfig config = serial_engine_config();
+  config.batching_deadline = 30s;
+  config.start_paused = true;
+  Service service(config);
+  service.add_graph("a", graph_a());
+
+  Submission queued = service.submit(walk_request("a", 2, 8));
+  ASSERT_TRUE(queued.accepted());
+  const auto begin = std::chrono::steady_clock::now();
+  service.shutdown();  // must not sleep 30s per queued request
+  EXPECT_GT(queued.result.get().sampled_edges(), 0u);
+  EXPECT_LT(std::chrono::steady_clock::now() - begin, 10s);
+  EXPECT_EQ(service.stats().deadline_launches, 0u);
+}
+
+TEST(ServiceScheduler, IndependentGraphBatchesRunConcurrently) {
+  // Two batches on different graphs may be in flight at once; the same
+  // graph never overlaps itself. Formation is deterministic (everything
+  // queued while paused); the *executing* overlap is asserted loosely —
+  // wall-clock overlap is the bench harness's job.
+  ServiceConfig config = serial_engine_config();
+  config.max_concurrent_batches = 2;
+  config.start_paused = true;
+  Service service(config);
+  service.add_graph("a", graph_a());
+  service.add_graph("b", graph_b());
+
+  Submission on_a = service.submit(walk_request("a", 24, 48));
+  Submission on_b = service.submit(walk_request("b", 24, 48));
+  ASSERT_TRUE(on_a.accepted() && on_b.accepted());
+  service.resume();
+  service.drain();
+
+  EXPECT_GT(on_a.result.get().sampled_edges(), 0u);
+  EXPECT_GT(on_b.result.get().sampled_edges(), 0u);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batches, 2u);  // different graphs never coalesce
+  EXPECT_EQ(stats.coalesced_requests, 0u);
+  // Deterministic: the dispatcher forms both batches (one per idle
+  // graph) before any runner can retire the first, so both were
+  // in flight simultaneously at the scheduling level.
+  EXPECT_EQ(stats.peak_inflight_batches, 2u);
+  EXPECT_GE(stats.peak_concurrent_batches, 1u);
+  EXPECT_LE(stats.peak_concurrent_batches, 2u);
+}
+
+TEST(ServiceScheduler, TenantQuotaBoundsAFloodingTenant) {
+  // "noisy" floods two graphs; with tenant_quota covering only one of
+  // its requests, its second batch must defer — and "quiet", on a third
+  // graph, is dispatched into the freed slot instead of starving behind
+  // the flood. The deferral is deterministic: the dispatcher books the
+  // first batch's in-flight instances before the same locked scheduling
+  // pass evaluates the second request.
+  ServiceConfig config = serial_engine_config();
+  config.max_concurrent_batches = 2;
+  config.tenant_quota = 4;
+  config.start_paused = true;
+  Service service(config);
+  service.add_graph("f1", graph_a());
+  service.add_graph("f2", graph_b());
+  service.add_graph("v", std::make_shared<const CsrGraph>(
+                             generate_rmat(1024, 8192, 99)));
+
+  // ~20ms of host work per noisy batch: the ordering assertions below
+  // tolerate two orders of magnitude of scheduler/wake latency.
+  Submission noisy1 = service.submit(walk_request("f1", 4, 4096, "noisy"));
+  Submission noisy2 = service.submit(walk_request("f2", 4, 4096, "noisy"));
+  Submission quiet = service.submit(walk_request("v", 1, 2, "quiet"));
+  ASSERT_TRUE(noisy1.accepted() && noisy2.accepted() && quiet.accepted());
+  service.resume();
+
+  // The quiet tenant's tiny batch rides the second runner slot while the
+  // flood's first (heavy) batch occupies the first; the flood's second
+  // request is still quota-deferred at that point.
+  EXPECT_GT(quiet.result.get().sampled_edges(), 0u);
+  EXPECT_EQ(noisy2.result.wait_for(0ms), std::future_status::timeout)
+      << "the flooding tenant overran its quota";
+
+  service.drain();
+  EXPECT_GT(noisy1.result.get().sampled_edges(), 0u);
+  EXPECT_GT(noisy2.result.get().sampled_edges(), 0u);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batches, 3u);
+  EXPECT_GE(stats.quota_deferrals, 1u);
+  for (const TenantStats& tenant : stats.tenants) {
+    if (tenant.tenant == "noisy") {
+      EXPECT_EQ(tenant.completed, 2u);
+      EXPECT_LE(tenant.peak_inflight_instances, 4u);  // the quota held
+    }
+    if (tenant.tenant == "quiet") EXPECT_EQ(tenant.completed, 1u);
+  }
+}
+
+TEST(ServiceScheduler, DeficitRoundRobinRotatesTenants) {
+  // One graph, one batch at a time: dispatch order is pure fairness
+  // policy. Tenant "bulk" queues three incompatible (non-coalescible)
+  // requests before "tiny" queues one; round-robin hands the second
+  // batch to "tiny" instead of draining the whole flood first.
+  ServiceConfig config = serial_engine_config();
+  config.max_concurrent_batches = 1;
+  config.start_paused = true;
+  Service service(config);
+  service.add_graph("a", graph_a());
+
+  // bulk2/bulk3 carry ~20ms of host work each (distinct lengths keep
+  // them non-coalescible), so "bulk3 has not run yet" holds with two
+  // orders of magnitude of margin when tiny's future resolves.
+  Submission bulk1 = service.submit(walk_request("a", 4, 8, "bulk"));
+  Submission bulk2 = service.submit(walk_request("a", 8, 2048, "bulk"));
+  Submission bulk3 = service.submit(walk_request("a", 8, 2049, "bulk"));
+  Submission tiny = service.submit(walk_request("a", 1, 2, "tiny"));
+  ASSERT_TRUE(bulk1.accepted() && bulk2.accepted() && bulk3.accepted() &&
+              tiny.accepted());
+  service.resume();
+
+  // Batches run strictly one at a time, so when tiny's future resolves,
+  // the flood's last batch cannot have run yet — unless fairness failed
+  // and tiny was dispatched behind the whole flood.
+  EXPECT_GT(tiny.result.get().sampled_edges(), 0u);
+  EXPECT_EQ(bulk3.result.wait_for(0ms), std::future_status::timeout)
+      << "tiny was starved behind the flood";
+
+  service.drain();
+  bulk1.result.get();
+  bulk2.result.get();
+  bulk3.result.get();
+  EXPECT_EQ(service.stats().batches, 4u);
+}
+
+TEST(ServiceScheduler, PerTenantStatsAccumulate) {
+  ServiceConfig config = serial_engine_config();
+  config.start_paused = true;
+  Service service(config);
+  service.add_graph("a", graph_a());
+
+  Submission alpha1 = service.submit(walk_request("a", 3, 8, "alpha"));
+  Submission alpha2 = service.submit(walk_request("a", 2, 8, "alpha"));
+  Submission beta = service.submit(walk_request("a", 4, 8, "beta"));
+  ASSERT_TRUE(alpha1.accepted() && alpha2.accepted() && beta.accepted());
+  service.resume();
+  service.drain();
+
+  const std::uint64_t alpha_edges = alpha1.result.get().sampled_edges() +
+                                    alpha2.result.get().sampled_edges();
+  const std::uint64_t beta_edges = beta.result.get().sampled_edges();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batches, 1u);  // compatible across tenants: one run
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants[0].tenant, "alpha");
+  EXPECT_EQ(stats.tenants[0].accepted, 2u);
+  EXPECT_EQ(stats.tenants[0].completed, 2u);
+  EXPECT_EQ(stats.tenants[0].sampled_edges, alpha_edges);
+  EXPECT_EQ(stats.tenants[0].peak_inflight_instances, 5u);
+  EXPECT_EQ(stats.tenants[1].tenant, "beta");
+  EXPECT_EQ(stats.tenants[1].completed, 1u);
+  EXPECT_EQ(stats.tenants[1].sampled_edges, beta_edges);
+  EXPECT_EQ(stats.tenants[1].failed + stats.tenants[0].failed, 0u);
+}
+
+}  // namespace
+}  // namespace csaw

@@ -26,6 +26,13 @@ constexpr std::uint32_t kRequestsPerClient = 25;  // 8 x 25 = 200 total
 TEST(ServiceSoak, MixedTrafficFromEightClients) {
   ServiceConfig config;
   config.max_queue_depth = 64;
+  // Exercise every scheduler policy at once: three concurrent batch
+  // runners on the shared pool, a short batching window so both the
+  // deadline-wait and the launch paths run, and a quota tight enough
+  // that some tenants get deferred under load.
+  config.max_concurrent_batches = 3;
+  config.batching_deadline = std::chrono::microseconds(200);
+  config.tenant_quota = 12;
   Service service(config);
   const auto small =
       std::make_shared<const CsrGraph>(generate_rmat(512, 4096, 95));
@@ -55,6 +62,7 @@ TEST(ServiceSoak, MixedTrafficFromEightClients) {
             {static_cast<VertexId>((c * 131 + r * 17 + i) % num_vertices)});
       }
       if (r % 10 == 9) request.graph = "missing";  // exercise rejection
+      request.tenant = "client-" + std::to_string(c % 3);  // 3 tenants
       Submission submission = service.submit(std::move(request));
       if (!submission.accepted()) {
         EXPECT_EQ(submission.rejected, RejectReason::kUnknownGraph);
@@ -105,6 +113,27 @@ TEST(ServiceSoak, MixedTrafficFromEightClients) {
   EXPECT_GT(stats.sampled_edges, 0u);
   EXPECT_LE(stats.batches, stats.completed);
   EXPECT_GT(stats.batches, 0u);
+
+  // Concurrency stayed within its bound, and the per-tenant slice closes
+  // over the totals — no request is double-counted or dropped between
+  // the global and the tenant columns.
+  EXPECT_GE(stats.peak_concurrent_batches, 1u);
+  EXPECT_LE(stats.peak_concurrent_batches, 3u);
+  std::uint64_t tenant_accepted = 0;
+  std::uint64_t tenant_completed = 0;
+  std::uint64_t tenant_failed = 0;
+  std::uint64_t tenant_edges = 0;
+  for (const TenantStats& tenant : stats.tenants) {
+    tenant_accepted += tenant.accepted;
+    tenant_completed += tenant.completed;
+    tenant_failed += tenant.failed;
+    tenant_edges += tenant.sampled_edges;
+    EXPECT_LE(tenant.peak_inflight_instances, 12u);  // the quota held
+  }
+  EXPECT_EQ(tenant_accepted, stats.accepted);
+  EXPECT_EQ(tenant_completed, stats.completed);
+  EXPECT_EQ(tenant_failed, stats.failed);
+  EXPECT_EQ(tenant_edges, stats.sampled_edges);
 }
 
 }  // namespace

@@ -53,6 +53,21 @@ std::vector<Metric> collect_metrics(const Json& record) {
                                entry.at("seps").as_double()});
     }
   }
+  // Paged-service SEPS are simulated (analytic device model), so they
+  // gate like the workload and smoke metrics; the block's wall-free
+  // counters (transfers, hits) are recorded but not compared.
+  if (const Json* paged = record.find("paged_service")) {
+    if (const Json* single = paged->find("single_graph")) {
+      metrics.push_back(Metric{"paged/single_graph/legacy",
+                               single->at("legacy_seps").as_double()});
+      metrics.push_back(Metric{"paged/single_graph/cached",
+                               single->at("cached_seps").as_double()});
+    }
+    if (const Json* contention = paged->find("contention")) {
+      metrics.push_back(
+          Metric{"paged/contention", contention->at("seps").as_double()});
+    }
+  }
   return metrics;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "harness/paged_bench.hpp"
 #include "harness/registry.hpp"
 #include "harness/service_bench.hpp"
 #include "harness/throughput.hpp"
@@ -72,6 +73,15 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   record.set("figure_smoke", std::move(smoke_json));
+
+  std::cout << "-- paged service: demand cache vs global residency plan "
+               "(simulated, gated)\n";
+  try {
+    record.set("paged_service", bench::run_paged_service(env, std::cout));
+  } catch (const std::exception& e) {
+    std::cerr << "paged service scenario failed: " << e.what() << "\n";
+    return 1;
+  }
 
   std::cout << "-- service throughput (wall-clock, informational)\n";
   try {

@@ -16,8 +16,11 @@ namespace csaw::bench {
 /// the service block's siblings: the "service_overlap" block (concurrent
 /// vs serialized dispatch of two independent-graph streams), the
 /// "service_fairness" block (flooding vs light tenant under quota + DRR)
-/// and the service_concurrent figure-smoke case.
-constexpr int kTrajectorySchemaVersion = 4;
+/// and the service_concurrent figure-smoke case. v5 added the
+/// "paged_service" block: the demand-driven partition cache vs the legacy
+/// global residency plan (single_graph) and two paged graphs contending
+/// for one undersized device (contention) — all simulated SEPS, gated.
+constexpr int kTrajectorySchemaVersion = 5;
 
 /// Runs the throughput trajectory workloads (biased neighbor sampling +
 /// biased random walk on the CSAW_THROUGHPUT_GRAPH stand-in, default LJ)

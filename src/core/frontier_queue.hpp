@@ -14,6 +14,11 @@ namespace csaw {
 struct FrontierEntry {
   VertexId vertex = 0;
   std::uint32_t instance = 0;
+  /// Local (engine) index of `instance` — carried in the entry so the hot
+  /// path never runs the O(log n) global→local search tagged runs
+  /// otherwise need (EngineConfig::local_instance_id). Seeds stamp it;
+  /// children inherit it.
+  std::uint32_t local = 0;
   std::uint32_t depth = 0;
   /// Position of this vertex in its instance's frontier at `depth` —
   /// preserved so the counter-based RNG coordinates are identical no
@@ -30,6 +35,7 @@ class FrontierQueue {
   void push(const FrontierEntry& e) {
     vertices_.push_back(e.vertex);
     instances_.push_back(e.instance);
+    locals_.push_back(e.local);
     depths_.push_back(e.depth);
     slots_.push_back(e.slot);
     prevs_.push_back(e.prev);
@@ -39,13 +45,14 @@ class FrontierQueue {
   std::size_t size() const noexcept { return vertices_.size(); }
 
   FrontierEntry at(std::size_t i) const {
-    return FrontierEntry{vertices_[i], instances_[i], depths_[i], slots_[i],
-                         prevs_[i]};
+    return FrontierEntry{vertices_[i], instances_[i], locals_[i], depths_[i],
+                         slots_[i], prevs_[i]};
   }
 
   void clear() noexcept {
     vertices_.clear();
     instances_.clear();
+    locals_.clear();
     depths_.clear();
     slots_.clear();
     prevs_.clear();
@@ -57,12 +64,13 @@ class FrontierQueue {
   /// Memory footprint of the queue arrays (device-resident in the paper).
   std::uint64_t bytes() const noexcept {
     return vertices_.size() *
-           (2 * sizeof(VertexId) + 3 * sizeof(std::uint32_t));
+           (2 * sizeof(VertexId) + 4 * sizeof(std::uint32_t));
   }
 
  private:
   std::vector<VertexId> vertices_;
   std::vector<std::uint32_t> instances_;
+  std::vector<std::uint32_t> locals_;
   std::vector<std::uint32_t> depths_;
   std::vector<std::uint32_t> slots_;
   std::vector<VertexId> prevs_;

@@ -30,6 +30,10 @@ void OomMetrics::accumulate(const OomMetrics& other) noexcept {
   bytes_transferred += other.bytes_transferred;
   scheduling_rounds += other.scheduling_rounds;
   kernel_launches += other.kernel_launches;
+  cache_hits += other.cache_hits;
+  cache_evictions += other.cache_evictions;
+  prefetch_transfers += other.prefetch_transfers;
+  transfer_overlap_seconds += other.transfer_overlap_seconds;
 }
 
 double sampled_edges_per_second(std::uint64_t edges, double seconds) {

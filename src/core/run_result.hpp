@@ -44,6 +44,19 @@ struct OomMetrics {
   /// Number of kernel launches.
   std::size_t kernel_launches = 0;
 
+  // --- Demand-driven partition cache (cached OOM path; all zero on the
+  // legacy global-plan path).
+  /// Residency rounds served without a demand transfer (partition already
+  /// on device or its prefetch in flight).
+  std::size_t cache_hits = 0;
+  std::size_t cache_evictions = 0;
+  /// Speculative transfers issued behind the computing partition; counted
+  /// in partition_transfers/bytes_transferred too.
+  std::size_t prefetch_transfers = 0;
+  /// Simulated seconds of host-to-device copy time that overlapped a
+  /// kernel — the transfer/compute overlap the cache buys.
+  double transfer_overlap_seconds = 0.0;
+
   /// Accumulates counters; kernel_imbalance is averaged weighted by
   /// scheduling_rounds (multi-device and batched runs).
   void accumulate(const OomMetrics& other) noexcept;

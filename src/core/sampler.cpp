@@ -186,6 +186,7 @@ OomConfig SamplerOptions::oom_config() const {
   config.workload_aware = oom_workload_aware;
   config.block_balancing = oom_block_balancing;
   config.unbatched_gang_size = oom_unbatched_gang_size;
+  config.demand_cache = oom_demand_cache;
   config.engine = engine_config();
   return config;
 }
@@ -234,6 +235,11 @@ void Sampler::set_executor(std::shared_ptr<sim::ThreadPool> pool) {
 
 void Sampler::set_partitions(std::shared_ptr<const PartitionedGraph> parts) {
   parts_ = std::move(parts);
+}
+
+void Sampler::set_partition_cache(std::shared_ptr<PartitionCache> cache) {
+  cache_ = std::move(cache);
+  if (cache_ != nullptr) parts_ = cache_->parts_ptr();
 }
 
 RunResult Sampler::dispatch(std::span<const std::vector<VertexId>> seeds,
@@ -308,6 +314,18 @@ RunResult Sampler::run_out_of_memory(
         *graph_, options_.num_partitions);
   }
   OomEngine engine(*graph_, policy_, spec_, config, parts_);
+  if (config.demand_cache &&
+      decision_.resolved == ExecutionMode::kOutOfMemory) {
+    // Single-device paging shares one persistent cache across runs and
+    // batches (warm partitions). Multi-device groups skip this: each
+    // simulated device owns its memory, so every group's engine builds a
+    // private cache instead.
+    if (cache_ == nullptr) {
+      cache_ = std::make_shared<PartitionCache>(
+          parts_, options_.resident_partitions, options_.num_streams);
+    }
+    engine.set_cache(cache_);
+  }
   OomRun run = engine.run(device, seeds);
 
   RunResult result;

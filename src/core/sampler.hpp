@@ -76,6 +76,15 @@ struct SamplerOptions {
   bool oom_workload_aware = true;
   bool oom_block_balancing = true;
   std::uint32_t oom_unbatched_gang_size = 1024;
+  /// Demand-driven partition cache (src/oom/cache/) instead of the legacy
+  /// up-front residency plan: partitions stay resident across scheduling
+  /// rounds, the scheduler's next pick prefetches behind the computing
+  /// one, and chains cross residency boundaries without barriers. Samples
+  /// are byte-identical either way; transfers and seps() improve.
+  /// Requires the (default) kPipelined schedule. The sampler keeps its
+  /// cache across run_batches chunks, so later batches hit warm
+  /// partitions.
+  bool oom_demand_cache = false;
 
   // --- Auto-selection inputs.
   MemoryAssumption memory_assumption = MemoryAssumption::kMeasure;
@@ -191,6 +200,14 @@ class Sampler {
   /// ranges (checked when the out-of-memory engine consumes it).
   void set_partitions(std::shared_ptr<const PartitionedGraph> parts);
 
+  /// Shares a persistent partition cache for the demand-cache OOM path
+  /// (SamplerOptions::oom_demand_cache): the service tier keeps one cache
+  /// per paged graph so partitions stay warm across batches. Implies
+  /// set_partitions with the cache's partitioning. Single-device paging
+  /// only — multi-device groups build private caches (each simulated
+  /// device has its own memory).
+  void set_partition_cache(std::shared_ptr<PartitionCache> cache);
+
  private:
   /// Dispatches one run with an explicit global-id base offset (the
   /// batched path shifts it per chunk) or explicit per-instance tags
@@ -224,6 +241,10 @@ class Sampler {
   /// Built lazily on the first out-of-memory dispatch and shared by every
   /// subsequent engine (batched serving partitions once, not per batch).
   std::shared_ptr<const PartitionedGraph> parts_;
+  /// Demand-cache path only: the persistent residency cache shared by
+  /// every single-device OOM engine this sampler runs (set_partition_cache
+  /// or lazily created with resident_partitions slots).
+  std::shared_ptr<PartitionCache> cache_;
   /// The persistent host thread pool shared by every device of this
   /// sampler (and reused across runs/batches). Null while serial.
   std::shared_ptr<sim::ThreadPool> pool_;

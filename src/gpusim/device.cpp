@@ -273,6 +273,52 @@ const KernelRecord& Device::record_pipelined(std::string name, Stream& stream,
                        kernel.num_tasks, kernel.stats, {});
 }
 
+const KernelRecord& Device::record_pipelined_span(std::string name,
+                                                  Stream& stream,
+                                                  double resource_fraction,
+                                                  const PipelinedKernel& kernel,
+                                                  double start, double end) {
+  CSAW_CHECK_MSG(start >= stream.ready_time() && end >= start,
+                 "kernel window [" << start << ", " << end
+                                   << ") precedes stream ready time "
+                                   << stream.ready_time());
+  stream.push(start, end - start);
+  kernel_log_.push_back(KernelRecord{std::move(name), stream.id(), start, end,
+                                     resource_fraction, kernel.stats});
+  return kernel_log_.back();
+}
+
+double Device::transfer_kernel_overlap(std::size_t transfer_log_begin,
+                                       std::size_t kernel_log_begin) const {
+  // Union of kernel windows, merged over the run's log suffix.
+  std::vector<std::pair<double, double>> busy;
+  for (std::size_t k = kernel_log_begin; k < kernel_log_.size(); ++k) {
+    if (kernel_log_[k].end > kernel_log_[k].start) {
+      busy.emplace_back(kernel_log_[k].start, kernel_log_[k].end);
+    }
+  }
+  std::sort(busy.begin(), busy.end());
+  std::vector<std::pair<double, double>> merged;
+  for (const auto& [s, e] : busy) {
+    if (!merged.empty() && s <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, e);
+    } else {
+      merged.emplace_back(s, e);
+    }
+  }
+
+  const auto& transfers = transfer_.log();
+  double overlap = 0.0;
+  for (std::size_t t = transfer_log_begin; t < transfers.size(); ++t) {
+    for (const auto& [s, e] : merged) {
+      const double lo = std::max(transfers[t].start, s);
+      const double hi = std::min(transfers[t].end, e);
+      if (hi > lo) overlap += hi - lo;
+    }
+  }
+  return overlap;
+}
+
 const KernelRecord& Device::run_pipeline(std::string name,
                                          std::uint64_t num_chains,
                                          const ChainBody& body) {

@@ -229,6 +229,24 @@ class Device {
                                        double resource_fraction,
                                        const PipelinedKernel& kernel);
 
+  /// Records a pipelined kernel over an explicit [start, end) window
+  /// instead of the cost model's stream-ready placement — the cached OOM
+  /// path staggers per-chain start times across residency boundaries and
+  /// computes the window itself. `start` must be >= the stream's ready
+  /// time and `end` >= `start` (checked).
+  const KernelRecord& record_pipelined_span(std::string name, Stream& stream,
+                                            double resource_fraction,
+                                            const PipelinedKernel& kernel,
+                                            double start, double end);
+
+  /// Simulated seconds of host-to-device copy time overlapping kernel
+  /// execution, over the log suffixes starting at `transfer_log_begin` /
+  /// `kernel_log_begin` (pass the log sizes captured at run start). The
+  /// transfer/compute overlap a run achieved — 0 on a fully serialized
+  /// schedule.
+  double transfer_kernel_overlap(std::size_t transfer_log_begin,
+                                 std::size_t kernel_log_begin) const;
+
   /// Convenience: single-slot pipelined launch recorded on the default
   /// stream at full SM share.
   const KernelRecord& run_pipeline(std::string name, std::uint64_t num_chains,

@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/run_result.hpp"
+#include "gpusim/device.hpp"
+#include "oom/partitioned_graph.hpp"
+
+namespace csaw {
+
+/// Residency state of one graph partition in the demand-driven cache.
+/// Transitions (all driven by the single engine thread that owns a run):
+///
+///   kOnDisk ──acquire──▶ kInUse          (demand load, pinned)
+///   kOnDisk ──prefetch─▶ kLoading        (speculative load, unpinned)
+///   kLoading ─acquire──▶ kInUse          (pin while the copy is in flight;
+///                                         the kernel waits for ready_time)
+///   kLoading ─settle───▶ kResident       (copy landed, nobody asked yet)
+///   kResident ─acquire─▶ kInUse          (cache hit)
+///   kInUse ──release───▶ kEvictable      (last pin dropped)
+///   kEvictable ─acquire▶ kInUse          (cache hit)
+///   kEvictable ─evict──▶ kOnDisk         (victim of a later load)
+///   kResident ─evict───▶ kOnDisk         (prefetched but never used)
+///
+/// kInUse and kLoading partitions are never eviction victims.
+enum class PartitionState : std::uint8_t {
+  kOnDisk,     ///< adjacency payload lives only in host memory
+  kLoading,    ///< a transfer is in flight (prefetch, not yet pinned)
+  kResident,   ///< on device, never pinned since it landed
+  kInUse,      ///< on device and pinned by the engine (pins > 0)
+  kEvictable,  ///< on device, previously used, unpinned
+};
+
+/// Human-readable state name ("on_disk", "loading", ...).
+std::string to_string(PartitionState state);
+
+/// Monotonic counters of one cache's lifetime (a csaw::Service keeps one
+/// cache per paged graph across batches, so hits accumulate across runs).
+struct CacheMetrics {
+  std::uint64_t demand_loads = 0;    ///< acquire() found the partition on disk
+  std::uint64_t prefetch_loads = 0;  ///< speculative transfers issued
+  std::uint64_t hits = 0;            ///< acquire() found it on device / in flight
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes_loaded = 0;  ///< demand + prefetch transfer bytes
+};
+
+/// Demand-driven partition cache: the residency layer of the cached OOM
+/// path (ROADMAP item 1). Instead of the legacy up-front residency plan —
+/// which re-transfers every chosen partition every scheduling round — the
+/// cache keeps partitions on the simulated device across rounds, loads
+/// them on demand, prefetches the scheduler's next pick while the current
+/// one computes, and evicts only when capacity forces it.
+///
+/// Not thread-safe: a cache belongs to one engine run at a time. The
+/// service tier shares one cache per paged graph across batches, which is
+/// sound because same-graph batches never execute concurrently (the
+/// dispatcher's single-writer guarantee).
+///
+/// Determinism: the cache decides *when* bytes move, never *which* bytes
+/// are sampled — samples are byte-identical across capacities, schedules
+/// and thread counts; only transfer counts, kernel timing and therefore
+/// seps() vary.
+class PartitionCache {
+ public:
+  /// `capacity` is the number of partition slots the device budget holds
+  /// (>= 1). Slot i's transfers land on device stream (i % num_streams),
+  /// so a prefetch normally rides a different stream than the computing
+  /// partition's kernel and overlaps it (the link serializes transfers
+  /// with each other only).
+  PartitionCache(std::shared_ptr<const PartitionedGraph> parts,
+                 std::uint32_t capacity, std::uint32_t num_streams);
+
+  const PartitionedGraph& parts() const noexcept { return *parts_; }
+  std::shared_ptr<const PartitionedGraph> parts_ptr() const noexcept {
+    return parts_;
+  }
+  std::uint32_t capacity() const noexcept { return capacity_; }
+  std::uint32_t num_streams() const noexcept { return num_streams_; }
+  const CacheMetrics& metrics() const noexcept { return metrics_; }
+
+  PartitionState state(std::uint32_t p) const { return entries_.at(p).state; }
+  bool on_device(std::uint32_t p) const {
+    return entries_.at(p).state != PartitionState::kOnDisk;
+  }
+  /// Partitions currently occupying a slot (any state but kOnDisk).
+  std::uint32_t resident_count() const noexcept { return resident_count_; }
+  /// Device stream index partition p's transfers and kernels use. Only
+  /// valid while p occupies a slot.
+  std::uint32_t stream_index(std::uint32_t p) const;
+
+  /// Pins partition p for compute, demand-loading it if it is on disk
+  /// (evicting a victim when the cache is full). Returns the simulated
+  /// time at which p's bytes are on the device — the earliest moment a
+  /// kernel over p may start. `pending` (per-partition frontier entry
+  /// counts) steers victim selection away from partitions with queued
+  /// walkers; `oom` (optional) receives the transfer accounting the
+  /// legacy path records inline.
+  double acquire(std::uint32_t p, sim::Device& device,
+                 std::span<const std::size_t> pending,
+                 OomMetrics* oom = nullptr);
+
+  /// Drops one pin of p; the last release makes it kEvictable.
+  void release(std::uint32_t p);
+
+  /// Speculatively loads partition p (unpinned, state kLoading) so a later
+  /// acquire() finds it on device. Declines — returning false — when p is
+  /// already on device, another prefetch is still in flight, or making
+  /// room would require evicting a pinned or loading partition.
+  bool prefetch(std::uint32_t p, sim::Device& device,
+                std::span<const std::size_t> pending,
+                OomMetrics* oom = nullptr);
+
+  /// Marks in-flight loads whose transfer completed by simulated time
+  /// `now` as kResident. Call after each residency round with the round's
+  /// end time.
+  void settle(double now);
+
+  /// Rebases the cache onto a fresh device clock: every in-flight load is
+  /// treated as landed and all ready times rewind to 0. The Sampler
+  /// builds one sim::Device per run, so a cache surviving across runs
+  /// (the service tier) must begin_run() before reuse. Requires no pins.
+  void begin_run();
+
+  /// Grows or shrinks the slot count, evicting down to `new_capacity`
+  /// (>= 1) if needed. Shrinking below the number of pinned or loading
+  /// partitions is a caller error (checked). The service tier calls this
+  /// as paged graphs register and the per-graph device budget changes.
+  void set_capacity(std::uint32_t new_capacity);
+
+ private:
+  struct Entry {
+    PartitionState state = PartitionState::kOnDisk;
+    std::uint32_t pins = 0;
+    std::uint32_t slot = 0;     ///< valid while not kOnDisk
+    double ready_time = 0.0;    ///< transfer completion (simulated seconds)
+  };
+
+  /// Issues the host-to-device copy of partition p on its slot's stream.
+  double issue_transfer(std::uint32_t p, sim::Device& device,
+                        OomMetrics* oom);
+  /// Picks the eviction victim: kEvictable before kResident, then fewest
+  /// pending walkers, then lowest id. Returns ~0u when nothing on device
+  /// may be evicted.
+  std::uint32_t pick_victim(std::span<const std::size_t> pending) const;
+  void evict(std::uint32_t victim);
+  /// Takes the lowest free slot (evicting if the cache is full); returns
+  /// false when no slot can be made free.
+  bool take_slot(std::span<const std::size_t> pending, std::uint32_t& slot);
+
+  std::shared_ptr<const PartitionedGraph> parts_;
+  std::uint32_t capacity_;
+  std::uint32_t num_streams_;
+  std::vector<Entry> entries_;      // indexed by partition id
+  std::vector<bool> slot_used_;     // indexed by slot in [0, capacity)
+  std::uint32_t resident_count_ = 0;
+  bool load_in_flight_ = false;  ///< at most one speculative load at a time
+  CacheMetrics metrics_;
+};
+
+}  // namespace csaw

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "oom/cache/partition_scheduler.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -62,6 +63,13 @@ OomEngine::OomEngine(const CsrGraph& graph, Policy policy, SamplingSpec spec,
   CSAW_CHECK(config.num_streams >= 1);
 }
 
+void OomEngine::set_cache(std::shared_ptr<PartitionCache> cache) {
+  CSAW_CHECK(cache != nullptr);
+  CSAW_CHECK_MSG(cache->parts_ptr().get() == parts_.get(),
+                 "shared PartitionCache built over a different partitioning");
+  cache_ = std::move(cache);
+}
+
 void OomEngine::ensure_workers(std::uint32_t width) {
   workers_.reserve(width);
   while (workers_.size() < width) {
@@ -91,7 +99,21 @@ OomRun OomEngine::run(sim::Device& device,
   device.set_num_threads(config_.engine.num_threads);
   ensure_workers(device.max_workers());
 
+  CacheMetrics cache_before;
+  if (config_.demand_cache) {
+    CSAW_CHECK_MSG(config_.engine.schedule == Schedule::kPipelined,
+                   "the demand cache needs chain-granular execution; "
+                   "set Schedule::kPipelined");
+    if (cache_ == nullptr) {
+      cache_ = std::make_shared<PartitionCache>(
+          parts_, config_.resident_partitions, config_.num_streams);
+    }
+    cache_->begin_run();  // fresh device, fresh simulated clock
+    cache_before = cache_->metrics();
+  }
+
   const std::size_t log_begin = device.kernel_log().size();
+  const std::size_t transfer_begin = device.transfer().log().size();
   const double t0 = device.synchronize();
   std::uint32_t round_robin_cursor = 0;
   RunningStat imbalance;
@@ -112,16 +134,29 @@ OomRun OomEngine::run(sim::Device& device,
         const VertexId seed = seeds[i][s];
         CSAW_CHECK(seed < graph_->num_vertices());
         queues_[parts_->part_of(seed)].push(FrontierEntry{
-            seed, config_.engine.global_instance_id(i), /*depth=*/0,
-            static_cast<std::uint32_t>(s), kInvalidVertex});
+            seed, config_.engine.global_instance_id(i), /*local=*/i,
+            /*depth=*/0, static_cast<std::uint32_t>(s), kInvalidVertex});
       }
     }
 
-    schedule_until_drained(device, result, round_robin_cursor, imbalance);
+    if (config_.demand_cache) {
+      run_cached_pipelined(device, result, imbalance);
+    } else {
+      schedule_until_drained(device, result, round_robin_cursor, imbalance);
+    }
   }
 
   result.sim_seconds = device.synchronize() - t0;
   result.metrics.kernel_imbalance = imbalance.mean();
+  if (config_.demand_cache) {
+    const CacheMetrics& cm = cache_->metrics();
+    result.metrics.cache_hits = cm.hits - cache_before.hits;
+    result.metrics.cache_evictions = cm.evictions - cache_before.evictions;
+    result.metrics.prefetch_transfers =
+        cm.prefetch_loads - cache_before.prefetch_loads;
+    result.metrics.transfer_overlap_seconds =
+        device.transfer_kernel_overlap(transfer_begin, log_begin);
+  }
   for (std::size_t i = log_begin; i < device.kernel_log().size(); ++i) {
     result.stats.merge(device.kernel_log()[i].stats);
   }
@@ -263,7 +298,7 @@ void OomEngine::run_residency_pipelined(sim::Device& device,
   std::vector<std::vector<std::vector<FrontierEntry>>> pending;
   for (std::size_t i = 0; i < chosen; ++i) {
     for (const FrontierEntry& e : queues_[plan.partitions[i]].drain()) {
-      const std::uint32_t local = config_.engine.local_instance_id(e.instance);
+      const std::uint32_t local = e.local;
       if (chain_of_[local] == kNoChain) {
         chain_of_[local] = static_cast<std::uint32_t>(chain_instances.size());
         chain_instances.push_back(local);
@@ -369,6 +404,217 @@ void OomEngine::run_residency_pipelined(sim::Device& device,
   }
 }
 
+void OomEngine::run_cached_pipelined(sim::Device& device, OomRun& result,
+                                     RunningStat& imbalance) {
+  PartitionCache& cache = *cache_;
+  std::vector<std::size_t> pending(config_.num_partitions, 0);
+  constexpr std::uint32_t kNoChain = ~0u;
+  constexpr std::uint32_t kNotResident = ~0u;
+  std::vector<std::uint32_t> slot_of(config_.num_partitions, kNotResident);
+
+  for (;;) {
+    for (std::uint32_t p = 0; p < config_.num_partitions; ++p) {
+      pending[p] = queues_[p].size();
+    }
+    const auto order = PartitionScheduler::rank(pending, cache);
+    if (order.empty()) break;
+
+    // Residency set: as many active partitions as the cache holds. While
+    // more partitions are active than fit, one slot stays free so the
+    // next-ranked cold partition can stream in behind the computing set —
+    // that reserved slot IS the prefetch pipeline; once everything active
+    // fits, all slots compute. Warm partitions join the set first (their
+    // bytes are already on the device — a transfer saved beats any
+    // queue-length ordering), cold top-ranked ones fill what remains;
+    // within each class the scheduler's pending-walker rank decides.
+    // With contention (more runnable partitions than slots) and enough
+    // slots, one slot stays free as the prefetch pipeline; at three or
+    // fewer slots a reserved slot costs more compute width than
+    // prefetching saves.
+    const std::size_t max_compute =
+        order.size() <= cache.capacity() || cache.capacity() < 4
+            ? std::min<std::size_t>(order.size(), cache.capacity())
+            : cache.capacity() - 1;
+    std::vector<std::uint32_t> chosen;
+    chosen.reserve(max_compute);
+    for (const std::uint32_t p : order) {
+      if (chosen.size() == max_compute) break;
+      if (cache.on_device(p)) chosen.push_back(p);
+    }
+    for (const std::uint32_t p : order) {
+      if (chosen.size() == max_compute) break;
+      if (!cache.on_device(p)) chosen.push_back(p);
+    }
+    const std::size_t chosen_count = chosen.size();
+
+    // Pin the set (warm partitions cost nothing; cold ones demand-load),
+    // then start the best not-yet-resident partition moving.
+    std::vector<double> ready(chosen_count, 0.0);
+    for (std::size_t i = 0; i < chosen_count; ++i) {
+      ready[i] = cache.acquire(chosen[i], device, pending, &result.metrics);
+      slot_of[chosen[i]] = static_cast<std::uint32_t>(i);
+    }
+    for (const std::uint32_t p : order) {
+      if (cache.on_device(p)) continue;  // also skips every chosen one
+      cache.prefetch(p, device, pending, &result.metrics);
+      break;
+    }
+
+    // SM shares mirror the legacy plan: proportional to queued work under
+    // block balancing, even otherwise.
+    std::vector<double> fractions(chosen_count,
+                                  1.0 / static_cast<double>(chosen_count));
+    if (config_.block_balancing && chosen_count > 1) {
+      double total = 0.0;
+      for (std::uint32_t p : chosen) {
+        total += static_cast<double>(pending[p]);
+      }
+      for (std::size_t i = 0; i < chosen_count; ++i) {
+        fractions[i] = std::max(
+            0.05, static_cast<double>(pending[chosen[i]]) / total);
+      }
+      const double sum =
+          std::accumulate(fractions.begin(), fractions.end(), 0.0);
+      for (double& f : fractions) f /= sum;
+    }
+
+    // Split the chosen queues by instance into chains, exactly like
+    // run_residency_pipelined: each chain consumes its own entries in
+    // (depth, slot) order — a per-instance order no residency schedule
+    // changes — and entries routed between co-resident partitions are
+    // consumed within the same round.
+    std::vector<std::uint32_t> chain_instances;
+    std::vector<std::vector<std::vector<FrontierEntry>>> chain_pending;
+    for (std::size_t i = 0; i < chosen_count; ++i) {
+      for (const FrontierEntry& e : queues_[chosen[i]].drain()) {
+        if (chain_of_[e.local] == kNoChain) {
+          chain_of_[e.local] =
+              static_cast<std::uint32_t>(chain_instances.size());
+          chain_instances.push_back(e.local);
+          chain_pending.emplace_back(chosen_count);
+        }
+        chain_pending[chain_of_[e.local]][i].push_back(e);
+      }
+    }
+    const std::size_t num_chains = chain_instances.size();
+    std::vector<std::vector<FrontierEntry>> routed_out(num_chains);
+
+    const auto kernels = device.execute_pipelined(
+        static_cast<std::uint32_t>(chosen_count), num_chains,
+        [&](std::uint64_t chain, sim::ChainContext& ctx,
+            std::uint32_t worker) {
+          auto& mine = chain_pending[chain];
+          auto& out = routed_out[chain];
+          WorkerScratch& ws = workers_[worker];
+          std::vector<FrontierEntry> batch;
+          std::vector<FrontierEntry> children;
+
+          const auto process_one = [&](std::uint32_t p,
+                                       const FrontierEntry& e,
+                                       sim::WarpContext& warp) {
+            children.clear();
+            process_entry(p, e, warp, ws, children);
+            for (const FrontierEntry& child : children) {
+              const std::uint32_t slot =
+                  slot_of[parts_->part_of(child.vertex)];
+              if (slot == kNotResident) {
+                out.push_back(child);
+              } else {
+                mine[slot].push_back(child);
+              }
+            }
+          };
+
+          bool progressed = true;
+          for (std::uint64_t pass = 0; progressed; ++pass) {
+            progressed = false;
+            for (std::size_t i = 0; i < chosen_count; ++i) {
+              if (mine[i].empty()) continue;
+              batch.clear();
+              batch.swap(mine[i]);
+              std::sort(batch.begin(), batch.end(),
+                        [](const FrontierEntry& a, const FrontierEntry& b) {
+                          if (a.depth != b.depth) return a.depth < b.depth;
+                          return a.slot < b.slot;
+                        });
+              const std::uint32_t p = chosen[i];
+              const auto slot = static_cast<std::uint32_t>(i);
+              if (config_.batched) {
+                for (const FrontierEntry& e : batch) {
+                  ctx.run_task(slot, pass, [&](sim::WarpContext& warp) {
+                    process_one(p, e, warp);
+                  });
+                }
+              } else {
+                ctx.run_task(slot, pass, [&](sim::WarpContext& warp) {
+                  for (const FrontierEntry& e : batch) {
+                    process_one(p, e, warp);
+                  }
+                });
+              }
+              progressed = config_.workload_aware;
+            }
+          }
+        });
+
+    // --- Cross-residency timing, under the same conventions as the
+    // legacy run_residency_pipelined: one fused kernel window per
+    // resident partition on its slot's stream, duration from the merged
+    // chain stats at the slot's SM fraction. The difference is the start:
+    // a window opens at max(bytes-ready, stream-ready), and a warm hit's
+    // bytes are ready immediately — so warm partitions compute while the
+    // round's cold transfers (and the prefetch behind them) are still on
+    // the link, where the legacy plan re-pays the link for every chosen
+    // partition before its window can open. No residency-boundary
+    // barrier appears anywhere: rounds chain per stream, not globally.
+    std::vector<double> durations(chosen_count, 0.0);
+    for (std::size_t i = 0; i < chosen_count; ++i) {
+      durations[i] = kernels[i].num_tasks == 0
+                         ? 0.0
+                         : device.cost_model().kernel_seconds(
+                               kernels[i].stats, fractions[i]);
+    }
+    RunningStat per_round;
+    double round_end = 0.0;
+    for (std::size_t i = 0; i < chosen_count; ++i) {
+      sim::Stream& stream = device.stream(cache.stream_index(chosen[i]));
+      const double window_start = std::max(ready[i], stream.ready_time());
+      const double window_end = window_start + durations[i];
+      device.record_pipelined_span(
+          "oom_cached_p" + std::to_string(chosen[i]), stream, fractions[i],
+          kernels[i], window_start, window_end);
+      per_round.add(durations[i]);
+      round_end = std::max(round_end, window_end);
+      ++result.metrics.kernel_launches;
+    }
+    ++result.metrics.scheduling_rounds;
+    if (chosen_count >= 2 && per_round.mean() > 0.0) {
+      imbalance.add(per_round.stddev() / per_round.mean());
+    }
+
+    // Merge leftovers and outbound entries back in chain order (byte-
+    // identical queue contents to the legacy schedules — every consumer
+    // sorts, so only the multiset matters).
+    for (std::size_t c = 0; c < num_chains; ++c) {
+      for (std::size_t i = 0; i < chosen_count; ++i) {
+        for (const FrontierEntry& e : chain_pending[c][i]) {
+          queues_[chosen[i]].push(e);
+        }
+      }
+      for (const FrontierEntry& e : routed_out[c]) {
+        queues_[parts_->part_of(e.vertex)].push(e);
+      }
+      chain_of_[chain_instances[c]] = kNoChain;
+    }
+
+    for (const std::uint32_t p : chosen) {
+      slot_of[p] = kNotResident;
+      cache.release(p);
+    }
+    cache.settle(round_end);
+  }
+}
+
 void OomEngine::run_wave(sim::Device& device, sim::Stream& stream,
                          std::uint32_t p, double fraction,
                          OomMetrics& metrics) {
@@ -433,7 +679,9 @@ void OomEngine::process_entry(std::uint32_t p, const FrontierEntry& entry,
                               sim::WarpContext& warp, WorkerScratch& scratch,
                               std::vector<FrontierEntry>& routed) {
   const PartitionView& view = parts_->view(p);
-  const std::uint32_t local = config_.engine.local_instance_id(entry.instance);
+  // The entry carries its local instance index, so tagged runs skip the
+  // O(log n) global→local search on every entry.
+  const std::uint32_t local = entry.local;
   InstanceState& inst = instances_[local];
   inst.prev_vertex = entry.prev;
 
@@ -446,8 +694,8 @@ void OomEngine::process_entry(std::uint32_t p, const FrontierEntry& entry,
 
   if (entry.depth + 1 >= spec_.depth) return;  // walk/tree complete
   for (const auto& [vertex, slot] : result.next) {
-    routed.push_back(FrontierEntry{vertex, entry.instance, entry.depth + 1,
-                                   slot, entry.vertex});
+    routed.push_back(FrontierEntry{vertex, entry.instance, entry.local,
+                                   entry.depth + 1, slot, entry.vertex});
   }
 }
 

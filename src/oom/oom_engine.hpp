@@ -7,6 +7,7 @@
 
 #include "core/engine.hpp"
 #include "core/frontier_queue.hpp"
+#include "oom/cache/partition_cache.hpp"
 #include "oom/partitioned_graph.hpp"
 #include "util/stats.hpp"
 
@@ -32,6 +33,14 @@ struct OomConfig {
   /// batched multi-instance sampling removes, §V-C). Gang size in
   /// instances.
   std::uint32_t unbatched_gang_size = 1024;
+  /// Demand-driven partition cache (src/oom/cache/) instead of the legacy
+  /// up-front residency plan: partitions stay on the device across
+  /// scheduling rounds, loads happen on demand, the scheduler's next pick
+  /// is prefetched behind the computing partition, and chains cross
+  /// residency boundaries without barriers. Samples are byte-identical to
+  /// the legacy path; transfers, timing and seps() improve. Requires
+  /// EngineConfig::schedule == kPipelined (checked at run()).
+  bool demand_cache = false;
   EngineConfig engine;
 };
 
@@ -79,6 +88,12 @@ class OomEngine {
   OomRun run_single_seed(sim::Device& device,
                          std::span<const VertexId> seeds);
 
+  /// Shares a partition cache built over the same PartitionedGraph
+  /// (checked): the service tier keeps one cache per paged graph so
+  /// residency survives across batches. Without this, a demand_cache run
+  /// builds a private cache with OomConfig::resident_partitions slots.
+  void set_cache(std::shared_ptr<PartitionCache> cache);
+
  private:
   struct RoundPlan {
     std::vector<std::uint32_t> partitions;  // chosen for residency
@@ -96,6 +111,23 @@ class OomEngine {
   /// instance-grained (warp per instance) otherwise.
   void run_wave(sim::Device& device, sim::Stream& stream, std::uint32_t p,
                 double fraction, OomMetrics& metrics);
+
+  /// Demand-cache scheduling loop (OomConfig::demand_cache): each round
+  /// pins the scheduler's top-ranked partitions through the cache — as
+  /// many as the cache holds, minus one slot kept free for the prefetch
+  /// pipeline while partitions contend — and runs them concurrently like
+  /// the legacy pipelined residency, except that warm partitions skip
+  /// their transfer entirely and the next-ranked cold partition streams
+  /// in behind the computing set. Kernel windows open at
+  /// max(bytes-ready, stream-ready) under the same cost conventions as
+  /// run_residency_pipelined, so a warm partition computes while the
+  /// round's cold transfers are still on the link — no barrier at a
+  /// residency boundary; rounds chain per stream, never globally.
+  /// Per-instance processing order equals the legacy schedules', so
+  /// samples are byte-identical; only transfers and the simulated
+  /// timeline change.
+  void run_cached_pipelined(sim::Device& device, OomRun& result,
+                            RunningStat& imbalance);
 
   /// Pipelined residency (EngineConfig::schedule == kPipelined): instead
   /// of barriered waves, every instance runs as one chain consuming its
@@ -131,6 +163,8 @@ class OomEngine {
   SelectConfig select_config_;
   std::vector<WorkerScratch> workers_;
   std::shared_ptr<const PartitionedGraph> parts_;
+  /// Engaged only on the demand-cache path (set_cache or lazily at run()).
+  std::shared_ptr<PartitionCache> cache_;
 
   // Per-run state.
   std::vector<FrontierQueue> queues_;

@@ -1,5 +1,7 @@
 #include "oom/partitioned_graph.hpp"
 
+#include <algorithm>
+
 namespace csaw {
 
 PartitionedGraph::PartitionedGraph(const CsrGraph& graph,
@@ -10,6 +12,30 @@ PartitionedGraph::PartitionedGraph(const CsrGraph& graph,
     views_.push_back(
         std::make_unique<PartitionView>(graph, partitioner_.part(p)));
   }
+}
+
+std::uint64_t PartitionedGraph::total_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint32_t p = 0; p < num_parts(); ++p) total += bytes(p);
+  return total;
+}
+
+std::uint64_t PartitionedGraph::max_partition_bytes() const noexcept {
+  std::uint64_t largest = 0;
+  for (std::uint32_t p = 0; p < num_parts(); ++p) {
+    largest = std::max(largest, bytes(p));
+  }
+  return largest;
+}
+
+std::uint32_t PartitionedGraph::partitions_fitting(
+    std::uint64_t budget_bytes) const noexcept {
+  const std::uint64_t slot = max_partition_bytes();
+  if (slot == 0) return num_parts();
+  const std::uint64_t fitting = budget_bytes / slot;
+  const std::uint64_t capped =
+      std::min<std::uint64_t>(fitting, num_parts());
+  return static_cast<std::uint32_t>(std::max<std::uint64_t>(capped, 1));
 }
 
 }  // namespace csaw

@@ -150,6 +150,16 @@ struct ServiceStats {
   /// first when present).
   std::vector<TenantStats> tenants;
 
+  // --- Paged traffic through the per-graph demand caches
+  // (ServiceConfig::paged_demand_cache; all zero when off or when no
+  // batch paged).
+  std::uint64_t paged_batches = 0;  ///< batches served by the OOM backend
+  /// Residency rounds served without a demand transfer — warm partitions,
+  /// including cross-batch reuse on the same graph.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_prefetch_transfers = 0;
+
   // --- Work served.
   std::uint64_t sampled_edges = 0;
   /// Sum of batch makespans (batches stream sequentially through the

@@ -106,7 +106,8 @@ std::vector<GraphResidency> Service::graphs() const {
   result.reserve(graphs_.size());
   for (const auto& [name, entry] : graphs_) {
     result.push_back(GraphResidency{name, entry.graph->bytes(), entry.paged,
-                                    entry.parts != nullptr});
+                                    entry.parts != nullptr,
+                                    entry.cache_capacity});
   }
   return result;
 }
@@ -544,7 +545,15 @@ void Service::run_batch(std::vector<Pending> batch) {
     const SampleRequest& head = batch.front().request;
     const AlgorithmSetup setup = make_algorithm(
         head.algorithm, head.depth_or_length, head.neighbor_size);
-    Sampler sampler(*graph, setup, config_.options);
+    // Demand-cache routing needs chain-granular execution and a single
+    // simulated device; otherwise the batch runs the legacy paged path.
+    const bool demand_cache = config_.paged_demand_cache &&
+                              config_.options.schedule ==
+                                  Schedule::kPipelined &&
+                              config_.options.num_devices == 1;
+    SamplerOptions batch_options = config_.options;
+    batch_options.oom_demand_cache = demand_cache;
+    Sampler sampler(*graph, setup, batch_options);
     if (pool_ != nullptr) sampler.set_executor(pool_);
     if (sampler.decision().out_of_memory) {
       if (parts == nullptr) {
@@ -558,6 +567,41 @@ void Service::run_batch(std::vector<Pending> batch) {
         graphs_.at(head.graph).parts = parts;
       }
       sampler.set_partitions(parts);
+      if (demand_cache) {
+        // Per-graph device-budget policy: every *registered* paged graph
+        // gets an equal slice of the budget, so concurrent paged traffic
+        // contends through bounded caches instead of each batch assuming
+        // the whole device. Registration count (not live traffic) keeps
+        // the capacity deterministic for a fixed registry.
+        std::shared_ptr<PartitionCache> cache;
+        std::uint32_t paged_graphs = 0;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          for (const auto& [name, entry] : graphs_) {
+            if (entry.paged) ++paged_graphs;
+          }
+          cache = graphs_.at(head.graph).cache;
+        }
+        const double budget =
+            config_.options.memory_budget_fraction *
+            static_cast<double>(config_.options.device_params.memory_bytes) /
+            static_cast<double>(std::max(paged_graphs, 1u));
+        const std::uint32_t capacity =
+            parts->partitions_fitting(static_cast<std::uint64_t>(budget));
+        if (cache == nullptr) {
+          cache = std::make_shared<PartitionCache>(
+              parts, capacity, config_.options.num_streams);
+        } else if (cache->capacity() != capacity) {
+          cache->set_capacity(capacity);  // a later registration shrank it
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          GraphEntry& entry = graphs_.at(head.graph);
+          entry.cache = cache;
+          entry.cache_capacity = capacity;
+        }
+        sampler.set_partition_cache(cache);
+      }
     }
 
     RunResult whole = sampler.run_tagged(seeds, tags);
@@ -601,6 +645,12 @@ void Service::run_batch(std::vector<Pending> batch) {
           std::max<std::uint64_t>(stats_.max_batch_requests, num_requests);
       stats_.sampled_edges += batch_edges;  // counted before the row moves
       stats_.sim_seconds += whole.sim_seconds;
+      if (whole.oom.has_value()) {
+        ++stats_.paged_batches;
+        stats_.cache_hits += whole.oom->cache_hits;
+        stats_.cache_evictions += whole.oom->cache_evictions;
+        stats_.cache_prefetch_transfers += whole.oom->prefetch_transfers;
+      }
       for (std::size_t r = 0; r < num_requests; ++r) {
         TenantState& tenant = tenants_.at(batch[r].request.tenant);
         ++tenant.completed;

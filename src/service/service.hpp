@@ -75,6 +75,18 @@ struct ServiceConfig {
   /// Start with the dispatcher paused (tests and benches queue a known
   /// request mix first, then resume() to get deterministic batching).
   bool start_paused = false;
+  /// Route paged batches through one persistent demand-driven partition
+  /// cache per graph (src/oom/cache/): partitions stay warm across a
+  /// graph's batches, and each paged graph's cache capacity is its slice
+  /// of the device budget — memory_budget_fraction of device memory
+  /// divided by the number of *registered* paged graphs (a registration-
+  /// time fact, so capacities are deterministic for a fixed registry, not
+  /// a function of traffic). Samples are byte-identical either way
+  /// (tests/service/service_determinism_test.cpp); transfers drop and
+  /// batch makespans shrink. Inert for single-device in-memory batches
+  /// and ignored when the schedule is not kPipelined or the batch runs
+  /// multi-device (private per-device caches there).
+  bool paged_demand_cache = true;
 };
 
 /// Result of Service::submit: a typed admission verdict plus, when
@@ -105,6 +117,10 @@ struct GraphResidency {
   /// True once the shared partitioning has been built (lazily, on the
   /// first paged batch).
   bool partitions_built = false;
+  /// Demand-cache slots this graph's batches run with (its slice of the
+  /// device budget, in partitions); 0 until the first paged batch builds
+  /// the cache, and always 0 with paged_demand_cache off.
+  std::uint32_t cache_capacity = 0;
 };
 
 /// The serving tier above csaw::Sampler: a long-lived, multi-tenant
@@ -189,6 +205,14 @@ class Service {
     bool paged = false;
     /// Built by the first paged batch on this graph, under mu_.
     std::shared_ptr<const PartitionedGraph> parts;
+    /// Demand-driven partition cache shared by this graph's paged batches
+    /// (paged_demand_cache). Published under mu_; *used* outside it by at
+    /// most one batch at a time — the per-graph batch serialization
+    /// (graphs_in_flight_) is what makes the unsynchronized cache sound.
+    std::shared_ptr<PartitionCache> cache;
+    /// Snapshot of cache->capacity() for graphs() (reading the cache
+    /// itself from graphs() would race with an executing batch).
+    std::uint32_t cache_capacity = 0;
   };
 
   /// One admitted request waiting for (or riding in) a batch.

@@ -1,0 +1,321 @@
+// Unit coverage of the demand-driven partition cache (src/oom/cache/):
+// every state transition in the header's diagram, the victim policy
+// (never a pinned or loading partition; evictable before resident, then
+// fewest pending walkers, then lowest id), the scheduler's ranking ties,
+// capacity accounting on PartitionedGraph, and the run-boundary rebase
+// the service tier relies on when it reuses one cache across batches.
+#include "oom/cache/partition_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "graph/generators.hpp"
+#include "oom/cache/partition_scheduler.hpp"
+#include "oom/partitioned_graph.hpp"
+#include "util/check.hpp"
+
+namespace csaw {
+namespace {
+
+constexpr std::uint32_t kParts = 4;
+
+const CsrGraph& test_graph() {
+  static const CsrGraph g = generate_rmat(512, 4096, 7);
+  return g;
+}
+
+std::shared_ptr<const PartitionedGraph> make_parts() {
+  return std::make_shared<const PartitionedGraph>(test_graph(), kParts);
+}
+
+std::vector<std::size_t> no_pending() {
+  return std::vector<std::size_t>(kParts, 0);
+}
+
+TEST(PartitionCache, StatesAreNamed) {
+  EXPECT_EQ(to_string(PartitionState::kOnDisk), "on_disk");
+  EXPECT_EQ(to_string(PartitionState::kLoading), "loading");
+  EXPECT_EQ(to_string(PartitionState::kResident), "resident");
+  EXPECT_EQ(to_string(PartitionState::kInUse), "in_use");
+  EXPECT_EQ(to_string(PartitionState::kEvictable), "evictable");
+}
+
+TEST(PartitionCache, DemandLoadPinsAndCounts) {
+  auto parts = make_parts();
+  PartitionCache cache(parts, 2, 2);
+  sim::Device device;
+  const std::vector<std::size_t> pending = no_pending();
+
+  ASSERT_EQ(cache.state(0), PartitionState::kOnDisk);
+  EXPECT_FALSE(cache.on_device(0));
+
+  OomMetrics oom;
+  const double ready = cache.acquire(0, device, pending, &oom);
+  EXPECT_EQ(cache.state(0), PartitionState::kInUse);
+  EXPECT_TRUE(cache.on_device(0));
+  EXPECT_EQ(cache.resident_count(), 1u);
+  EXPECT_GT(ready, 0.0);  // the simulated copy takes link time
+  EXPECT_EQ(cache.metrics().demand_loads, 1u);
+  EXPECT_EQ(cache.metrics().hits, 0u);
+  EXPECT_EQ(cache.metrics().bytes_loaded, parts->bytes(0));
+  EXPECT_EQ(oom.partition_transfers, 1u);
+  EXPECT_EQ(oom.bytes_transferred, parts->bytes(0));
+  EXPECT_EQ(device.transfer().log().size(), 1u);
+
+  // A nested acquire pins again without another transfer, and the first
+  // release keeps the partition in use.
+  EXPECT_EQ(cache.acquire(0, device, pending), ready);
+  EXPECT_EQ(cache.metrics().hits, 1u);
+  EXPECT_EQ(device.transfer().log().size(), 1u);
+  cache.release(0);
+  EXPECT_EQ(cache.state(0), PartitionState::kInUse);
+  cache.release(0);
+  EXPECT_EQ(cache.state(0), PartitionState::kEvictable);
+  EXPECT_THROW(cache.release(0), CheckError);  // not pinned anymore
+}
+
+TEST(PartitionCache, HitsSkipTheLink) {
+  auto parts = make_parts();
+  PartitionCache cache(parts, 2, 2);
+  sim::Device device;
+  const std::vector<std::size_t> pending = no_pending();
+
+  cache.acquire(0, device, pending);
+  cache.release(0);
+  const std::size_t transfers = device.transfer().log().size();
+
+  // kEvictable -> kInUse is a hit: no new transfer, same ready time.
+  cache.acquire(0, device, pending);
+  EXPECT_EQ(cache.state(0), PartitionState::kInUse);
+  EXPECT_EQ(cache.metrics().hits, 1u);
+  EXPECT_EQ(cache.metrics().demand_loads, 1u);
+  EXPECT_EQ(device.transfer().log().size(), transfers);
+}
+
+TEST(PartitionCache, PrefetchLandsThenSettles) {
+  auto parts = make_parts();
+  PartitionCache cache(parts, 2, 2);
+  sim::Device device;
+  const std::vector<std::size_t> pending = no_pending();
+
+  EXPECT_TRUE(cache.prefetch(1, device, pending));
+  EXPECT_EQ(cache.state(1), PartitionState::kLoading);
+  EXPECT_EQ(cache.metrics().prefetch_loads, 1u);
+  // One speculative copy at a time: a second prefetch declines even with
+  // a free slot, and prefetching an on-device partition declines too.
+  EXPECT_FALSE(cache.prefetch(2, device, pending));
+  EXPECT_EQ(cache.state(2), PartitionState::kOnDisk);
+  EXPECT_FALSE(cache.prefetch(1, device, pending));
+
+  cache.settle(0.0);  // before the copy lands: still loading
+  EXPECT_EQ(cache.state(1), PartitionState::kLoading);
+  cache.settle(std::numeric_limits<double>::max());
+  EXPECT_EQ(cache.state(1), PartitionState::kResident);
+
+  // Landed prefetch -> acquire is a hit; the in-flight budget is free
+  // again, so the next prefetch proceeds.
+  cache.acquire(1, device, pending);
+  EXPECT_EQ(cache.state(1), PartitionState::kInUse);
+  EXPECT_EQ(cache.metrics().hits, 1u);
+  EXPECT_TRUE(cache.prefetch(2, device, pending));
+}
+
+TEST(PartitionCache, AcquireWhileLoadingPinsInFlight) {
+  auto parts = make_parts();
+  PartitionCache cache(parts, 2, 2);
+  sim::Device device;
+  const std::vector<std::size_t> pending = no_pending();
+
+  ASSERT_TRUE(cache.prefetch(1, device, pending));
+  const std::size_t transfers = device.transfer().log().size();
+
+  // The engine wants the partition before the copy lands: it pins the
+  // in-flight load (no second transfer) and waits for its ready time.
+  const double ready = cache.acquire(1, device, pending);
+  EXPECT_EQ(cache.state(1), PartitionState::kInUse);
+  EXPECT_GT(ready, 0.0);
+  EXPECT_EQ(cache.metrics().hits, 1u);
+  EXPECT_EQ(device.transfer().log().size(), transfers);
+  // ...and the speculative-load budget is released for the next pick.
+  EXPECT_TRUE(cache.prefetch(2, device, pending));
+}
+
+TEST(PartitionCache, NeverEvictsPinnedOrLoading) {
+  auto parts = make_parts();
+  PartitionCache cache(parts, 1, 2);
+  sim::Device device;
+  const std::vector<std::size_t> pending = no_pending();
+
+  cache.acquire(0, device, pending);  // the only slot, pinned
+
+  // No victim exists: prefetch declines, a conflicting acquire is a
+  // caller error (the engine releases before its next pick).
+  EXPECT_FALSE(cache.prefetch(1, device, pending));
+  EXPECT_THROW(cache.acquire(1, device, pending), CheckError);
+  EXPECT_EQ(cache.metrics().evictions, 0u);
+
+  cache.release(0);
+  cache.acquire(1, device, pending);  // now 0 is fair game
+  EXPECT_EQ(cache.state(0), PartitionState::kOnDisk);
+  EXPECT_EQ(cache.state(1), PartitionState::kInUse);
+  EXPECT_EQ(cache.metrics().evictions, 1u);
+  EXPECT_EQ(cache.resident_count(), 1u);
+}
+
+TEST(PartitionCache, VictimPrefersFewestPendingThenLowestId) {
+  auto parts = make_parts();
+  PartitionCache cache(parts, 2, 2);
+  sim::Device device;
+
+  cache.acquire(0, device, no_pending());
+  cache.release(0);
+  cache.acquire(1, device, no_pending());
+  cache.release(1);
+
+  // Partition 0 still has queued walkers, 1 does not: evict 1.
+  const std::vector<std::size_t> pending = {5, 0, 0, 0};
+  cache.acquire(2, device, pending);
+  EXPECT_EQ(cache.state(0), PartitionState::kEvictable);
+  EXPECT_EQ(cache.state(1), PartitionState::kOnDisk);
+  cache.release(2);
+
+  // Equal pending (0 and 2 both evictable, both with one walker): the
+  // lowest id goes.
+  const std::vector<std::size_t> tie = {1, 0, 1, 0};
+  cache.acquire(3, device, tie);
+  EXPECT_EQ(cache.state(0), PartitionState::kOnDisk);
+  EXPECT_EQ(cache.state(2), PartitionState::kEvictable);
+}
+
+TEST(PartitionCache, EvictableBeatsResidentAsVictim) {
+  auto parts = make_parts();
+  PartitionCache cache(parts, 2, 2);
+  sim::Device device;
+  const std::vector<std::size_t> pending = no_pending();
+
+  cache.acquire(0, device, pending);
+  cache.release(0);  // kEvictable
+  ASSERT_TRUE(cache.prefetch(1, device, pending));
+  cache.settle(std::numeric_limits<double>::max());  // kResident
+
+  // Even though the resident prefetch was never consumed, the policy
+  // spends the already-used evictable slot first.
+  cache.acquire(2, device, pending);
+  EXPECT_EQ(cache.state(0), PartitionState::kOnDisk);
+  EXPECT_EQ(cache.state(1), PartitionState::kResident);
+}
+
+TEST(PartitionScheduler, RanksPendingThenResidencyThenId) {
+  auto parts = make_parts();
+  PartitionCache cache(parts, 2, 2);
+  sim::Device device;
+
+  // Put partition 1 on the device so the residency tie-break is visible.
+  cache.acquire(1, device, no_pending());
+  cache.release(1);
+
+  // 0 and 1 tie on pending -> the on-device one first; 2 is drained and
+  // never appears; 3 trails with fewer walkers.
+  const std::vector<std::size_t> pending = {3, 3, 0, 2};
+  const std::vector<std::uint32_t> order =
+      PartitionScheduler::rank(pending, cache);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{1, 0, 3}));
+
+  // Off-device ties fall back to lowest id, and a drained frontier ranks
+  // empty.
+  const std::vector<std::size_t> flat = {2, 0, 2, 2};
+  EXPECT_EQ(PartitionScheduler::rank(flat, cache),
+            (std::vector<std::uint32_t>{0, 2, 3}));
+  EXPECT_TRUE(PartitionScheduler::rank(no_pending(), cache).empty());
+}
+
+TEST(PartitionedGraph, CapacityAccounting) {
+  auto parts = make_parts();
+  std::uint64_t total = 0;
+  std::uint64_t largest = 0;
+  for (std::uint32_t p = 0; p < parts->num_parts(); ++p) {
+    total += parts->bytes(p);
+    largest = std::max(largest, parts->bytes(p));
+  }
+  EXPECT_EQ(parts->total_bytes(), total);
+  EXPECT_EQ(parts->max_partition_bytes(), largest);
+
+  // Sized by the largest partition, never 0, clamped to num_parts.
+  EXPECT_EQ(parts->partitions_fitting(0), 1u);
+  EXPECT_EQ(parts->partitions_fitting(largest - 1), 1u);
+  EXPECT_EQ(parts->partitions_fitting(2 * largest), 2u);
+  EXPECT_EQ(parts->partitions_fitting(100 * largest), kParts);
+}
+
+TEST(PartitionCache, SetCapacityEvictsDownAndRepacks) {
+  auto parts = make_parts();
+  PartitionCache cache(parts, 3, 2);
+  sim::Device device;
+  const std::vector<std::size_t> pending = no_pending();
+
+  cache.acquire(0, device, pending);
+  cache.release(0);
+  cache.acquire(1, device, pending);
+  cache.release(1);
+  cache.acquire(2, device, pending);  // pinned
+
+  // Shrinking to one slot must keep the pinned partition and evict the
+  // two evictable ones; shrinking below the pinned count is checked.
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.capacity(), 1u);
+  EXPECT_EQ(cache.resident_count(), 1u);
+  EXPECT_EQ(cache.state(0), PartitionState::kOnDisk);
+  EXPECT_EQ(cache.state(1), PartitionState::kOnDisk);
+  EXPECT_EQ(cache.state(2), PartitionState::kInUse);
+  EXPECT_EQ(cache.metrics().evictions, 2u);
+  // The survivor was repacked into the (only) dense slot.
+  EXPECT_EQ(cache.stream_index(2), 0u);
+  EXPECT_THROW(cache.set_capacity(0), CheckError);
+
+  // Growing back adds free slots without touching residents.
+  cache.set_capacity(3);
+  EXPECT_EQ(cache.capacity(), 3u);
+  EXPECT_EQ(cache.state(2), PartitionState::kInUse);
+  cache.acquire(3, device, pending);
+  EXPECT_EQ(cache.resident_count(), 2u);
+  EXPECT_EQ(cache.metrics().evictions, 2u);  // no eviction needed
+}
+
+TEST(PartitionCache, BeginRunRebasesOntoFreshDevice) {
+  auto parts = make_parts();
+  PartitionCache cache(parts, 3, 2);
+  const std::vector<std::size_t> pending = no_pending();
+
+  {
+    sim::Device run1;
+    cache.acquire(0, run1, pending);
+    cache.release(0);
+    ASSERT_TRUE(cache.prefetch(1, run1, pending));
+  }
+
+  // A pinned partition across runs is a caller error.
+  {
+    sim::Device bad;
+    cache.acquire(2, bad, pending);
+    EXPECT_THROW(cache.begin_run(), CheckError);
+    cache.release(2);
+  }
+
+  cache.begin_run();
+  // The in-flight load landed (the old device's timeline is gone) and
+  // every ready time rewound to the new clock's origin.
+  EXPECT_EQ(cache.state(1), PartitionState::kResident);
+  sim::Device run2;
+  EXPECT_EQ(cache.acquire(0, run2, pending), 0.0);
+  EXPECT_EQ(cache.acquire(1, run2, pending), 0.0);
+  EXPECT_EQ(run2.transfer().log().size(), 0u);  // warm across runs
+  EXPECT_EQ(cache.metrics().hits, 2u);
+}
+
+}  // namespace
+}  // namespace csaw

@@ -11,16 +11,18 @@ namespace {
 TEST(FrontierQueue, PushAtDrainRoundTrip) {
   FrontierQueue q;
   EXPECT_TRUE(q.empty());
-  q.push(FrontierEntry{5, 1, 2, 3, 4});
-  q.push(FrontierEntry{6, 2, 0, 1, kInvalidVertex});
+  q.push(FrontierEntry{5, 1, 0, 2, 3, 4});
+  q.push(FrontierEntry{6, 2, 1, 0, 1, kInvalidVertex});
   EXPECT_EQ(q.size(), 2u);
 
   const FrontierEntry first = q.at(0);
   EXPECT_EQ(first.vertex, 5u);
   EXPECT_EQ(first.instance, 1u);
+  EXPECT_EQ(first.local, 0u);
   EXPECT_EQ(first.depth, 2u);
   EXPECT_EQ(first.slot, 3u);
   EXPECT_EQ(first.prev, 4u);
+  EXPECT_EQ(q.at(1).local, 1u);
 
   const auto drained = q.drain();
   EXPECT_TRUE(q.empty());
@@ -33,7 +35,7 @@ TEST(FrontierQueue, BytesTrackSize) {
   FrontierQueue q;
   EXPECT_EQ(q.bytes(), 0u);
   q.push(FrontierEntry{});
-  EXPECT_EQ(q.bytes(), 2 * sizeof(VertexId) + 3 * sizeof(std::uint32_t));
+  EXPECT_EQ(q.bytes(), 2 * sizeof(VertexId) + 4 * sizeof(std::uint32_t));
 }
 
 TEST(InstanceState, InitSeedsPoolSlotsAndVisited) {

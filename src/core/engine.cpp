@@ -45,6 +45,11 @@ void validate_instance_tags(const EngineConfig& config,
                             std::size_t num_instances) {
   validate_instance_tags(std::span<const std::uint32_t>(config.instance_tags),
                          num_instances);
+  CSAW_CHECK_MSG(config.instance_cancel.empty() ||
+                     config.instance_cancel.size() == num_instances,
+                 "instance_cancel has " << config.instance_cancel.size()
+                                        << " tokens for " << num_instances
+                                        << " instances");
 }
 
 namespace rng_slots {
@@ -250,6 +255,17 @@ void SamplingEngine::run_barrier(sim::Device& device,
   const auto num_instances = static_cast<std::uint32_t>(instances.size());
   StepScratch scratch;
   for (std::uint32_t step = 0; step < spec_.depth; ++step) {
+    // Cancellation poll at the step barrier: a cancelled instance is
+    // deactivated before the step's kernels form their task lists, so
+    // none of its work launches. Other instances' draws are unaffected
+    // (counter-based RNG, per-instance state).
+    if (config_.may_cancel()) {
+      for (std::uint32_t i = 0; i < num_instances; ++i) {
+        if (instances[i].active && config_.instance_cancelled(i)) {
+          instances[i].active = false;
+        }
+      }
+    }
     scratch.reset(num_instances);
 
     if (spec_.layer_mode) {
@@ -296,6 +312,9 @@ void SamplingEngine::run_pipelined(sim::Device& device,
         std::vector<TaskResult> results;
         for (std::uint32_t step = 0; step < spec_.depth && inst.active;
              ++step) {
+          // Per-step cancellation poll: stop this chain at the boundary;
+          // other chains' samples are untouched.
+          if (config_.may_cancel() && config_.instance_cancelled(i)) break;
           positions.clear();
           results.clear();
           if (spec_.layer_mode) {
@@ -329,7 +348,8 @@ void SamplingEngine::run_pipelined(sim::Device& device,
           }
           advance_instance(inst, positions, results);
         }
-      });
+      },
+      config_.cancel);
 }
 
 void SamplingEngine::select_frontiers(sim::Device& device,

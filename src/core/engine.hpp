@@ -14,6 +14,7 @@
 #include "core/sample_store.hpp"
 #include "gpusim/device.hpp"
 #include "select/its.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace csaw {
@@ -127,6 +128,31 @@ struct EngineConfig {
   /// the csaw::Sampler facade defaults to kPipelined and plumbs its
   /// SamplerOptions::schedule through here.
   Schedule schedule = Schedule::kStepBarrier;
+  /// Run-level cooperative cancellation: when this token fires, chains
+  /// stop at their next step boundary and not-yet-started chains are
+  /// skipped entirely. Which chains had already started is
+  /// thread-schedule-dependent, so a run-level token is only sound when
+  /// the *whole run's* output will be discarded (e.g. a single-request
+  /// batch). For per-request cancellation inside a coalesced batch use
+  /// instance_cancel, whose effect is byte-deterministic.
+  CancelToken cancel;
+  /// Per-instance cancellation tokens: empty (no per-instance
+  /// cancellation) or exactly one token per local instance. A fired
+  /// token stops that instance at its next step boundary and drops its
+  /// queued frontier work; every other instance's samples are unchanged
+  /// (counter-based RNG, per-instance state).
+  std::vector<CancelToken> instance_cancel;
+
+  /// True when any cancellation token is armed — engines use this to
+  /// skip per-entry polling entirely on the common path.
+  bool may_cancel() const noexcept {
+    return cancel.valid() || !instance_cancel.empty();
+  }
+  /// Whether local instance `i` should stop (run-level or per-instance).
+  bool instance_cancelled(std::uint32_t i) const noexcept {
+    if (cancel.cancelled()) return true;
+    return !instance_cancel.empty() && instance_cancel[i].cancelled();
+  }
 };
 
 /// Checks the instance-tag invariants (size matches the instance count,

@@ -34,6 +34,8 @@ void OomMetrics::accumulate(const OomMetrics& other) noexcept {
   cache_evictions += other.cache_evictions;
   prefetch_transfers += other.prefetch_transfers;
   transfer_overlap_seconds += other.transfer_overlap_seconds;
+  transfer_faults += other.transfer_faults;
+  transfer_retries += other.transfer_retries;
 }
 
 double sampled_edges_per_second(std::uint64_t edges, double seconds) {

@@ -56,6 +56,12 @@ struct OomMetrics {
   /// Simulated seconds of host-to-device copy time that overlapped a
   /// kernel — the transfer/compute overlap the cache buys.
   double transfer_overlap_seconds = 0.0;
+  /// Injected partition-copy faults observed (TransferFaultInjector);
+  /// zero without an injector.
+  std::size_t transfer_faults = 0;
+  /// Partition copies re-issued after a fault (bounded by
+  /// OomConfig::transfer_retry_limit per load).
+  std::size_t transfer_retries = 0;
 
   /// Accumulates counters; kernel_imbalance is averaged weighted by
   /// scheduling_rounds (multi-device and batched runs).

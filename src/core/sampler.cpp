@@ -187,6 +187,9 @@ OomConfig SamplerOptions::oom_config() const {
   config.block_balancing = oom_block_balancing;
   config.unbatched_gang_size = oom_unbatched_gang_size;
   config.demand_cache = oom_demand_cache;
+  config.transfer_retry_limit = transfer_retry_limit;
+  config.transfer_backoff = transfer_backoff;
+  config.fault_injector = transfer_faults;
   config.engine = engine_config();
   return config;
 }
@@ -229,6 +232,22 @@ RunResult Sampler::run_tagged(std::span<const std::vector<VertexId>> seeds,
   return dispatch(seeds, options_.instance_id_offset, tags);
 }
 
+RunResult Sampler::run_tagged(std::span<const std::vector<VertexId>> seeds,
+                              std::span<const std::uint32_t> tags,
+                              const RunControl& control) {
+  CSAW_CHECK_MSG(tags.size() == seeds.size(),
+                 "run_tagged needs one tag per instance: " << tags.size()
+                     << " tags for " << seeds.size() << " seed lists");
+  validate_instance_tags(tags, seeds.size());
+  CSAW_CHECK_MSG(control.instance_cancel.empty() ||
+                     control.instance_cancel.size() == seeds.size(),
+                 "RunControl::instance_cancel has "
+                     << control.instance_cancel.size() << " tokens for "
+                     << seeds.size() << " seed lists");
+  return dispatch(seeds, options_.instance_id_offset, tags, control.cancel,
+                  control.instance_cancel);
+}
+
 void Sampler::set_executor(std::shared_ptr<sim::ThreadPool> pool) {
   pool_ = std::move(pool);
 }
@@ -244,18 +263,22 @@ void Sampler::set_partition_cache(std::shared_ptr<PartitionCache> cache) {
 
 RunResult Sampler::dispatch(std::span<const std::vector<VertexId>> seeds,
                             std::uint32_t instance_id_offset,
-                            std::span<const std::uint32_t> tags) {
+                            std::span<const std::uint32_t> tags,
+                            CancelToken cancel,
+                            std::span<const CancelToken> instance_cancel) {
   RunResult result;
   switch (decision_.resolved) {
     case ExecutionMode::kInMemory:
-      result = run_in_memory(seeds, instance_id_offset, tags, /*device_id=*/0);
+      result = run_in_memory(seeds, instance_id_offset, tags, /*device_id=*/0,
+                             cancel, instance_cancel);
       break;
     case ExecutionMode::kOutOfMemory:
-      result =
-          run_out_of_memory(seeds, instance_id_offset, tags, /*device_id=*/0);
+      result = run_out_of_memory(seeds, instance_id_offset, tags,
+                                 /*device_id=*/0, cancel, instance_cancel);
       break;
     case ExecutionMode::kMultiDevice:
-      result = run_multi_device(seeds, instance_id_offset, tags);
+      result = run_multi_device(seeds, instance_id_offset, tags, cancel,
+                                instance_cancel);
       break;
     case ExecutionMode::kAuto:
       CSAW_CHECK_MSG(false, "resolved mode can never be kAuto");
@@ -280,13 +303,17 @@ void Sampler::attach_executor(sim::Device& device) {
 RunResult Sampler::run_in_memory(std::span<const std::vector<VertexId>> seeds,
                                  std::uint32_t instance_id_offset,
                                  std::span<const std::uint32_t> tags,
-                                 std::uint32_t device_id) {
+                                 std::uint32_t device_id, CancelToken cancel,
+                                 std::span<const CancelToken> instance_cancel) {
   sim::Device device(device_id, options_.device_params);
   attach_executor(device);
   CsrGraphView view(*graph_);
   EngineConfig config = options_.engine_config();
   config.instance_id_offset = instance_id_offset;
   config.instance_tags.assign(tags.begin(), tags.end());
+  config.cancel = std::move(cancel);
+  config.instance_cancel.assign(instance_cancel.begin(),
+                                instance_cancel.end());
   SamplingEngine engine(view, policy_, spec_, config);
   SampleRun run = engine.run(device, seeds);
 
@@ -301,12 +328,16 @@ RunResult Sampler::run_in_memory(std::span<const std::vector<VertexId>> seeds,
 RunResult Sampler::run_out_of_memory(
     std::span<const std::vector<VertexId>> seeds,
     std::uint32_t instance_id_offset, std::span<const std::uint32_t> tags,
-    std::uint32_t device_id) {
+    std::uint32_t device_id, CancelToken cancel,
+    std::span<const CancelToken> instance_cancel) {
   sim::Device device(device_id, options_.device_params);
   attach_executor(device);
   OomConfig config = options_.oom_config();
   config.engine.instance_id_offset = instance_id_offset;
   config.engine.instance_tags.assign(tags.begin(), tags.end());
+  config.engine.cancel = std::move(cancel);
+  config.engine.instance_cancel.assign(instance_cancel.begin(),
+                                       instance_cancel.end());
   if (parts_ == nullptr) {
     // Single-device dispatch only; the multi-device path pre-builds the
     // partitioning before its groups run concurrently.
@@ -339,7 +370,8 @@ RunResult Sampler::run_out_of_memory(
 
 RunResult Sampler::run_multi_device(
     std::span<const std::vector<VertexId>> seeds,
-    std::uint32_t instance_id_offset, std::span<const std::uint32_t> tags) {
+    std::uint32_t instance_id_offset, std::span<const std::uint32_t> tags,
+    CancelToken cancel, std::span<const CancelToken> instance_cancel) {
   const auto num_instances = static_cast<std::uint32_t>(seeds.size());
 
   RunResult result;
@@ -372,13 +404,18 @@ RunResult Sampler::run_multi_device(
     const auto group = seeds.subspan(begin, end - begin);
     // Tagged runs split the tag span alongside the seed span: groups are
     // contiguous, so each device sees its requests' exact global ids.
+    // Cancellation tokens split the same way.
     const auto group_tags =
         tags.empty() ? tags : tags.subspan(begin, end - begin);
+    const auto group_cancel =
+        instance_cancel.empty() ? instance_cancel
+                                : instance_cancel.subspan(begin, end - begin);
     parts[d] =
         decision_.out_of_memory
             ? run_out_of_memory(group, instance_id_offset + begin, group_tags,
-                                d)
-            : run_in_memory(group, instance_id_offset + begin, group_tags, d);
+                                d, cancel, group_cancel)
+            : run_in_memory(group, instance_id_offset + begin, group_tags, d,
+                            cancel, group_cancel);
   };
   if (pool_ != nullptr && options_.num_devices > 1) {
     pool_->parallel_for(options_.num_devices,

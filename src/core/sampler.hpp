@@ -86,6 +86,17 @@ struct SamplerOptions {
   /// partitions.
   bool oom_demand_cache = false;
 
+  // --- Paged-I/O fault tolerance (demand-cache path only).
+  /// Total attempts per partition copy (1 = no retry). A copy failing
+  /// every attempt throws TransferError out of the run.
+  std::uint32_t transfer_retry_limit = 3;
+  /// Base backoff before the first retry (simulated seconds); doubles per
+  /// further retry.
+  double transfer_backoff = 1e-4;
+  /// Optional deterministic fault injector consulted per copy attempt.
+  /// nullptr (the default) means fault-free paged I/O.
+  std::shared_ptr<TransferFaultInjector> transfer_faults;
+
   // --- Auto-selection inputs.
   MemoryAssumption memory_assumption = MemoryAssumption::kMeasure;
   /// Fraction of DeviceParams::memory_bytes the CSR may occupy before
@@ -114,6 +125,23 @@ struct ModeDecision {
 /// flag that requires whole-graph frontier state; empty when the spec is
 /// out-of-memory capable.
 std::string in_memory_only_reason(const SamplingSpec& spec);
+
+/// Cooperative cancellation handles for one run (the run_tagged overload).
+/// Both fields are optional; default-constructed RunControl means "never
+/// cancelled" and costs nothing on the hot path.
+struct RunControl {
+  /// Run-level token: once cancelled, remaining work of the WHOLE run is
+  /// skipped wholesale (chains that have not started never start). Only
+  /// sound when the entire run's output will be discarded — partial
+  /// output after a run-level cancel is not deterministic.
+  CancelToken cancel;
+  /// Per-instance tokens, one per seeds entry (or empty). A cancelled
+  /// instance stops at its next step boundary and keeps the samples it
+  /// completed; every OTHER instance's bytes are untouched — this is the
+  /// deterministic form csaw::Service uses to cancel one request of a
+  /// coalesced batch.
+  std::vector<CancelToken> instance_cancel;
+};
 
 /// The C-SAW front door: one facade over the in-memory engine (paper
 /// §IV), the out-of-memory engine (§V) and multi-device execution (§V-D).
@@ -185,6 +213,17 @@ class Sampler {
   RunResult run_tagged(std::span<const std::vector<VertexId>> seeds,
                        std::span<const std::uint32_t> tags);
 
+  /// run_tagged with cooperative cancellation: `control.cancel` skips the
+  /// whole run once fired (only sound when the run's output is
+  /// discarded); `control.instance_cancel[i]` (when non-empty: one token
+  /// per seeds entry, checked) stops instance i at its next step
+  /// boundary while every other instance's samples stay byte-identical
+  /// to an uncancelled run. Tokens are polled, never blocked on — an
+  /// already-finished run is unaffected by a late cancel.
+  RunResult run_tagged(std::span<const std::vector<VertexId>> seeds,
+                       std::span<const std::uint32_t> tags,
+                       const RunControl& control);
+
   /// Attaches an externally owned host pool shared with other samplers
   /// (the service tier passes one pool through every batch). Replaces the
   /// lazily created per-sampler pool; the pool's width wins over
@@ -211,21 +250,29 @@ class Sampler {
  private:
   /// Dispatches one run with an explicit global-id base offset (the
   /// batched path shifts it per chunk) or explicit per-instance tags
-  /// (the service path; tags win when non-empty).
+  /// (the service path; tags win when non-empty). `cancel` /
+  /// `instance_cancel` carry the RunControl handles; the multi-device
+  /// path splits the instance_cancel span alongside the seed span.
   RunResult dispatch(std::span<const std::vector<VertexId>> seeds,
                      std::uint32_t instance_id_offset,
-                     std::span<const std::uint32_t> tags = {});
+                     std::span<const std::uint32_t> tags = {},
+                     CancelToken cancel = {},
+                     std::span<const CancelToken> instance_cancel = {});
   RunResult run_in_memory(std::span<const std::vector<VertexId>> seeds,
                           std::uint32_t instance_id_offset,
                           std::span<const std::uint32_t> tags,
-                          std::uint32_t device_id);
+                          std::uint32_t device_id, CancelToken cancel,
+                          std::span<const CancelToken> instance_cancel);
   RunResult run_out_of_memory(std::span<const std::vector<VertexId>> seeds,
                               std::uint32_t instance_id_offset,
                               std::span<const std::uint32_t> tags,
-                              std::uint32_t device_id);
+                              std::uint32_t device_id, CancelToken cancel,
+                              std::span<const CancelToken> instance_cancel);
   RunResult run_multi_device(std::span<const std::vector<VertexId>> seeds,
                              std::uint32_t instance_id_offset,
-                             std::span<const std::uint32_t> tags);
+                             std::span<const std::uint32_t> tags,
+                             CancelToken cancel,
+                             std::span<const CancelToken> instance_cancel);
 
   /// Creates the run-wide host pool on first use (width from
   /// num_threads / CSAW_THREADS); null when the resolved width is serial.

@@ -209,7 +209,7 @@ ChainContext::Slot& ChainContext::begin_task(std::uint32_t kernel,
 
 std::vector<Device::PipelinedKernel> Device::execute_pipelined(
     std::uint32_t num_kernels, std::uint64_t num_chains,
-    const ChainBody& body) {
+    const ChainBody& body, CancelToken cancel) {
   // Chain contexts come from the device-lifetime pool: residency-looped
   // and batch-streamed executions reuse the same slot vectors instead of
   // allocating num_chains contexts per launch.
@@ -219,13 +219,20 @@ std::vector<Device::PipelinedKernel> Device::execute_pipelined(
   }
   std::vector<ChainContext>& chains = chain_pool_;
   ThreadPool* pool = executor();
+  // Run-level cancellation: skip chains that have not started yet. An
+  // unarmed token short-circuits on a null pointer check, so the common
+  // path pays nothing.
+  const auto run_chain = [&](std::uint64_t c, std::uint32_t worker) {
+    if (cancel.valid() && cancel.cancelled()) return;
+    body(c, chains[c], worker);
+  };
   if (pool == nullptr || pool->num_threads() <= 1 || num_chains <= 1) {
     const std::uint32_t worker = pool == nullptr ? 0 : pool->current_worker();
-    for (std::uint64_t c = 0; c < num_chains; ++c) body(c, chains[c], worker);
+    for (std::uint64_t c = 0; c < num_chains; ++c) run_chain(c, worker);
   } else {
     pool->parallel_chains(
         num_chains, [&](std::size_t c, std::uint32_t worker) {
-          body(c, chains[c], worker);
+          run_chain(c, worker);
         });
   }
 
@@ -321,8 +328,10 @@ double Device::transfer_kernel_overlap(std::size_t transfer_log_begin,
 
 const KernelRecord& Device::run_pipeline(std::string name,
                                          std::uint64_t num_chains,
-                                         const ChainBody& body) {
-  const auto kernels = execute_pipelined(1, num_chains, body);
+                                         const ChainBody& body,
+                                         CancelToken cancel) {
+  const auto kernels =
+      execute_pipelined(1, num_chains, body, std::move(cancel));
   return record_pipelined(std::move(name), stream(0), 1.0, kernels[0]);
 }
 

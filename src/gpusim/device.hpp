@@ -12,6 +12,7 @@
 #include "gpusim/thread_pool.hpp"
 #include "gpusim/transfer.hpp"
 #include "gpusim/warp.hpp"
+#include "util/cancel.hpp"
 
 namespace csaw::sim {
 
@@ -220,9 +221,17 @@ class Device {
   /// attached) and returns one PipelinedKernel per kernel slot in
   /// [0, num_kernels). Does not touch streams or the kernel log — callers
   /// record each slot where (and at the SM fraction) it belongs.
+  ///
+  /// `cancel` is a run-level cooperative stop: once it fires, chains that
+  /// have not yet started are skipped (their slots contribute nothing).
+  /// Which chains had already begun depends on the host schedule, so
+  /// callers only pass an armed token when the whole execution's output
+  /// will be discarded; chains that must stop *deterministically* poll
+  /// their own per-instance token inside the body instead.
   std::vector<PipelinedKernel> execute_pipelined(std::uint32_t num_kernels,
                                                  std::uint64_t num_chains,
-                                                 const ChainBody& body);
+                                                 const ChainBody& body,
+                                                 CancelToken cancel = {});
 
   /// Records one fused kernel of a pipelined execution on `stream`.
   const KernelRecord& record_pipelined(std::string name, Stream& stream,
@@ -248,9 +257,11 @@ class Device {
                                  std::size_t kernel_log_begin) const;
 
   /// Convenience: single-slot pipelined launch recorded on the default
-  /// stream at full SM share.
+  /// stream at full SM share. `cancel` follows execute_pipelined's
+  /// run-level contract.
   const KernelRecord& run_pipeline(std::string name, std::uint64_t num_chains,
-                                   const ChainBody& body);
+                                   const ChainBody& body,
+                                   CancelToken cancel = {});
 
   /// Simulated time at which all streams drain.
   double synchronize() const noexcept;

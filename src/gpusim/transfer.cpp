@@ -5,9 +5,11 @@
 namespace csaw::sim {
 
 double TransferEngine::host_to_device(Stream& stream, std::uint64_t bytes,
-                                      std::string label) {
-  const double start = std::max(stream.ready_time(), link_free_);
-  const double duration = cost_->transfer_seconds(bytes);
+                                      std::string label, double not_before,
+                                      double duration_scale) {
+  const double start =
+      std::max({stream.ready_time(), link_free_, not_before});
+  const double duration = cost_->transfer_seconds(bytes) * duration_scale;
   const double end = start + duration;
   link_free_ = end;
   stream.wait_until(start);

@@ -27,8 +27,15 @@ class TransferEngine {
   explicit TransferEngine(const CostModel& cost) : cost_(&cost) {}
 
   /// Enqueues a host-to-device copy on `stream`; returns completion time.
+  ///
+  /// `not_before` delays the copy's earliest start (simulated seconds) —
+  /// the retry/backoff path places a re-issued partition copy after its
+  /// backoff delay without holding the link in the meantime.
+  /// `duration_scale` stretches the modeled copy time (>= 1; an injected
+  /// slow-transfer fault). Defaults model the plain fault-free copy.
   double host_to_device(Stream& stream, std::uint64_t bytes,
-                        std::string label = {});
+                        std::string label = {}, double not_before = 0.0,
+                        double duration_scale = 1.0);
 
   const std::vector<TransferRecord>& log() const noexcept { return log_; }
   std::uint64_t total_bytes() const noexcept { return total_bytes_; }

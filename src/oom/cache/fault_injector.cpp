@@ -1,0 +1,61 @@
+#include "oom/cache/fault_injector.hpp"
+
+#include "util/philox.hpp"
+
+namespace csaw {
+
+TransferFaultInjector::TransferFaultInjector() : config_(Config{}) {}
+
+TransferFaultInjector::TransferFaultInjector(Config config)
+    : config_(config) {}
+
+void TransferFaultInjector::fail_partition(std::uint32_t p,
+                                           std::uint32_t times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scripted_[p].push_back(times);
+}
+
+TransferFaultInjector::Outcome TransferFaultInjector::next_attempt(
+    std::uint32_t p, std::uint32_t attempt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++attempts_;
+
+  if (attempt == 0) {
+    // New site: previous site's leftovers (a terminal failure the cache
+    // gave up on) are discarded.
+    site_remaining_.erase(p);
+
+    if (auto it = scripted_.find(p); it != scripted_.end()) {
+      const std::uint32_t times = it->second.front();
+      it->second.pop_front();
+      if (it->second.empty()) scripted_.erase(it);
+      if (times > 0) site_remaining_[p] = times;
+    } else if (config_.fail_rate > 0.0 || config_.slow_rate > 0.0) {
+      const double r = Philox4x32::uniform(
+          config_.seed, p, static_cast<std::uint32_t>(site_seq_),
+          static_cast<std::uint32_t>(site_seq_ >> 32), 0xFA017u);
+      ++site_seq_;
+      if (r < config_.fail_rate) {
+        site_remaining_[p] = config_.fail_times;
+      } else if (r < config_.fail_rate + config_.slow_rate) {
+        return Outcome::kSlow;
+      }
+    }
+  }
+
+  if (auto it = site_remaining_.find(p); it != site_remaining_.end()) {
+    if (it->second > 0) {
+      --it->second;
+      return Outcome::kFail;
+    }
+    site_remaining_.erase(it);
+  }
+  return Outcome::kOk;
+}
+
+std::uint64_t TransferFaultInjector::attempts_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attempts_;
+}
+
+}  // namespace csaw

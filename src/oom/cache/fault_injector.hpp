@@ -1,0 +1,88 @@
+#pragma once
+
+// Deterministic fault injection for the paged I/O path.
+//
+// A TransferFaultInjector sits in front of PartitionCache's partition
+// copies and decides, per transfer *attempt*, whether the copy
+// succeeds, fails, or runs slow. Faults come from two sources:
+//
+//   - Scripted sites (`fail_partition(p, times)`): the next load of
+//     partition p fails its first `times` attempts, then succeeds.
+//     Fully deterministic — this is what the acceptance tests use
+//     ("fail-twice with retry limit 3 must be byte-identical to the
+//     no-fault run").
+//   - Seed-driven random sites (`Config::fail_rate` / `slow_rate`):
+//     each new load draws one stateless Philox value keyed by
+//     (seed, partition, site sequence). A faulty site fails
+//     `Config::fail_times` consecutive attempts.
+//
+// A *site* is one logical load (the first attempt plus its retries).
+// When a site concludes — success, or the cache giving up after its
+// retry limit — the site's remaining scripted/random failures are
+// discarded: the next load of the same partition starts a fresh site.
+// That is what makes "retry_limit=1 fails the batch, the next batch on
+// the same graph succeeds" hold for a fail-once script.
+//
+// Thread safety: all methods are internally locked. Two concurrent
+// batches (different graphs, one shared injector) interleave their
+// random-site draws nondeterministically, which is fine for the soak;
+// tests that need exact placement use scripted sites on one graph.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+
+namespace csaw {
+
+class TransferFaultInjector {
+ public:
+  enum class Outcome : std::uint8_t {
+    kOk,    ///< The copy completes normally.
+    kFail,  ///< The copy fails; the cache may retry.
+    kSlow,  ///< The copy completes at Config::slow_factor x the duration.
+  };
+
+  struct Config {
+    std::uint64_t seed = 0;
+    /// Probability that a new load site is faulty.
+    double fail_rate = 0.0;
+    /// Consecutive failed attempts of a random faulty site.
+    std::uint32_t fail_times = 1;
+    /// Probability that a new (non-faulty) load site runs slow.
+    double slow_rate = 0.0;
+    /// Duration multiplier of a slow copy.
+    double slow_factor = 4.0;
+  };
+
+  TransferFaultInjector();
+  explicit TransferFaultInjector(Config config);
+
+  /// Scripts a faulty site: the next load of partition `p` fails its
+  /// first `times` attempts. Repeated calls queue further sites.
+  void fail_partition(std::uint32_t p, std::uint32_t times);
+
+  /// The cache calls this once per transfer attempt of partition `p`;
+  /// `attempt` is 0 for the load's first try, then 1, 2, ... for
+  /// retries. attempt == 0 opens a new site (consuming a scripted entry
+  /// or drawing a random one) and discards any unconsumed failures of
+  /// the partition's previous site.
+  Outcome next_attempt(std::uint32_t p, std::uint32_t attempt);
+
+  double slow_factor() const noexcept { return config_.slow_factor; }
+
+  /// Total attempts consulted (tests assert the injector was exercised).
+  std::uint64_t attempts_seen() const;
+
+ private:
+  Config config_;
+  mutable std::mutex mu_;
+  /// Scripted sites not yet started, FIFO per partition.
+  std::map<std::uint32_t, std::deque<std::uint32_t>> scripted_;
+  /// Remaining failures of each partition's *current* site.
+  std::map<std::uint32_t, std::uint32_t> site_remaining_;
+  std::uint64_t site_seq_ = 0;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace csaw

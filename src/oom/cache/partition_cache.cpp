@@ -41,18 +41,47 @@ std::uint32_t PartitionCache::stream_index(std::uint32_t p) const {
   return e.slot % num_streams_;
 }
 
-double PartitionCache::issue_transfer(std::uint32_t p, sim::Device& device,
-                                      OomMetrics* oom) {
+std::optional<double> PartitionCache::issue_transfer(std::uint32_t p,
+                                                     sim::Device& device,
+                                                     OomMetrics* oom) {
   const std::uint64_t bytes = parts_->part(p).bytes();
   sim::Stream& stream = device.stream(entries_[p].slot % num_streams_);
-  const double ready = device.transfer().host_to_device(
-      stream, bytes, "partition " + std::to_string(p));
-  metrics_.bytes_loaded += bytes;
-  if (oom != nullptr) {
-    ++oom->partition_transfers;
-    oom->bytes_transferred += bytes;
+  const std::string label = "partition " + std::to_string(p);
+
+  double not_before = 0.0;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const auto outcome = injector_ == nullptr
+                             ? TransferFaultInjector::Outcome::kOk
+                             : injector_->next_attempt(p, attempt);
+    if (outcome == TransferFaultInjector::Outcome::kFail) {
+      ++metrics_.transfer_faults;
+      if (oom != nullptr) ++oom->transfer_faults;
+      // The failed copy occupies the link for its full modeled duration —
+      // the fault is detected at what would have been completion.
+      const double failed_at = device.transfer().host_to_device(
+          stream, bytes, label + " [fault]", not_before);
+      if (attempt + 1 >= policy_.attempts) return std::nullopt;
+      ++metrics_.transfer_retries;
+      if (oom != nullptr) ++oom->transfer_retries;
+      // Exponential backoff: the retry may not start before the delay
+      // elapses (the link is free for other streams' copies meanwhile).
+      not_before = failed_at + policy_.backoff * static_cast<double>(1u << attempt);
+      continue;
+    }
+
+    const double scale = outcome == TransferFaultInjector::Outcome::kSlow
+                             ? injector_->slow_factor()
+                             : 1.0;
+    const double ready =
+        device.transfer().host_to_device(stream, bytes, label, not_before,
+                                         scale);
+    metrics_.bytes_loaded += bytes;
+    if (oom != nullptr) {
+      ++oom->partition_transfers;
+      oom->bytes_transferred += bytes;
+    }
+    return ready;
   }
-  return ready;
 }
 
 std::uint32_t PartitionCache::pick_victim(
@@ -140,7 +169,20 @@ double PartitionCache::acquire(std::uint32_t p, sim::Device& device,
   e.slot = slot;
   ++resident_count_;
   ++metrics_.demand_loads;
-  e.ready_time = issue_transfer(p, device, oom);
+  const std::optional<double> ready = issue_transfer(p, device, oom);
+  if (!ready.has_value()) {
+    // Terminal copy failure: roll the slot back so the partition is
+    // simply on disk again — nothing pinned, nothing kLoading — before
+    // failing the batch that needed it.
+    slot_used_[e.slot] = false;
+    e = Entry{};
+    --resident_count_;
+    throw TransferError(
+        p, policy_.attempts,
+        "partition " + std::to_string(p) + " transfer failed after " +
+            std::to_string(policy_.attempts) + " attempt(s)");
+  }
+  e.ready_time = *ready;
   e.state = PartitionState::kInUse;
   e.pins = 1;
   return e.ready_time;
@@ -166,7 +208,16 @@ bool PartitionCache::prefetch(std::uint32_t p, sim::Device& device,
   e.slot = slot;
   ++resident_count_;
   ++metrics_.prefetch_loads;
-  e.ready_time = issue_transfer(p, device, oom);
+  const std::optional<double> ready = issue_transfer(p, device, oom);
+  if (!ready.has_value()) {
+    // A failed speculative load is benign: roll back and decline — a
+    // later acquire() will demand-load (and get a fresh fault site).
+    slot_used_[e.slot] = false;
+    e = Entry{};
+    --resident_count_;
+    return false;
+  }
+  e.ready_time = *ready;
   e.state = PartitionState::kLoading;
   load_in_flight_ = true;
   return true;
@@ -179,6 +230,27 @@ void PartitionCache::settle(double now) {
       load_in_flight_ = false;
     }
   }
+}
+
+void PartitionCache::set_fault_policy(
+    std::shared_ptr<TransferFaultInjector> injector,
+    TransferRetryPolicy policy) {
+  CSAW_CHECK_MSG(policy.attempts >= 1,
+                 "transfer retry policy needs at least one attempt");
+  injector_ = std::move(injector);
+  policy_ = policy;
+}
+
+void PartitionCache::abort_round() {
+  for (Entry& e : entries_) {
+    if (e.state == PartitionState::kInUse) {
+      e.pins = 0;
+      e.state = PartitionState::kEvictable;
+    } else if (e.state == PartitionState::kLoading) {
+      e.state = PartitionState::kResident;
+    }
+  }
+  load_in_flight_ = false;
 }
 
 void PartitionCache::begin_run() {

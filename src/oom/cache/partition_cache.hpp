@@ -2,15 +2,46 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/run_result.hpp"
 #include "gpusim/device.hpp"
+#include "oom/cache/fault_injector.hpp"
 #include "oom/partitioned_graph.hpp"
 
 namespace csaw {
+
+/// Terminal paged-I/O failure: every attempt of a partition copy
+/// (1 + retries, bounded by TransferRetryPolicy::attempts) failed. The
+/// cache rolls the partition back to kOnDisk before throwing, so the
+/// error fails only the batch that needed the partition — the cache
+/// stays consistent and the next run on the same graph proceeds.
+class TransferError : public std::runtime_error {
+ public:
+  TransferError(std::uint32_t partition, std::uint32_t attempts,
+                const std::string& what)
+      : std::runtime_error(what), partition_(partition), attempts_(attempts) {}
+
+  std::uint32_t partition() const noexcept { return partition_; }
+  std::uint32_t attempts() const noexcept { return attempts_; }
+
+ private:
+  std::uint32_t partition_;
+  std::uint32_t attempts_;
+};
+
+/// Bounded retry-with-exponential-backoff for partition copies. A load
+/// makes at most `attempts` tries total (attempts == 1 means no retry);
+/// retry k is issued no earlier than backoff * 2^(k-1) simulated seconds
+/// after the failed attempt's detection.
+struct TransferRetryPolicy {
+  std::uint32_t attempts = 3;
+  double backoff = 1e-4;
+};
 
 /// Residency state of one graph partition in the demand-driven cache.
 /// Transitions (all driven by the single engine thread that owns a run):
@@ -46,6 +77,8 @@ struct CacheMetrics {
   std::uint64_t hits = 0;            ///< acquire() found it on device / in flight
   std::uint64_t evictions = 0;
   std::uint64_t bytes_loaded = 0;  ///< demand + prefetch transfer bytes
+  std::uint64_t transfer_faults = 0;   ///< injected copy failures observed
+  std::uint64_t transfer_retries = 0;  ///< copies re-issued after a fault
 };
 
 /// Demand-driven partition cache: the residency layer of the cached OOM
@@ -131,6 +164,41 @@ class PartitionCache {
   /// as paged graphs register and the per-graph device budget changes.
   void set_capacity(std::uint32_t new_capacity);
 
+  /// Attaches (or detaches, with nullptr) a fault injector and the retry
+  /// policy governing faulted copies. The engine re-applies this at every
+  /// run, so a service-owned cache follows the current batch's options.
+  void set_fault_policy(std::shared_ptr<TransferFaultInjector> injector,
+                        TransferRetryPolicy policy);
+  const TransferRetryPolicy& retry_policy() const noexcept { return policy_; }
+
+  /// Exception-path recovery: drops every pin (pinned partitions become
+  /// kEvictable) and marks in-flight loads kResident (their simulated
+  /// copies complete regardless), so no partition is left kLoading and
+  /// the next begin_run() succeeds. Called by RoundGuard on unwind —
+  /// never on the normal path, where release()/settle() already did the
+  /// equivalent with real completion times.
+  void abort_round();
+
+  /// RAII guard for one engine residency round: on destruction without
+  /// commit() — i.e. an exception unwinding mid-round, after some
+  /// partitions were acquired but before release()/settle() ran — it
+  /// calls abort_round() so the cache never retains pins or a partition
+  /// stuck kLoading (which would fail every later begin_run()).
+  class RoundGuard {
+   public:
+    explicit RoundGuard(PartitionCache& cache) : cache_(&cache) {}
+    RoundGuard(const RoundGuard&) = delete;
+    RoundGuard& operator=(const RoundGuard&) = delete;
+    ~RoundGuard() {
+      if (cache_ != nullptr) cache_->abort_round();
+    }
+    /// The round completed normally; the guard stands down.
+    void commit() noexcept { cache_ = nullptr; }
+
+   private:
+    PartitionCache* cache_;
+  };
+
  private:
   struct Entry {
     PartitionState state = PartitionState::kOnDisk;
@@ -139,9 +207,13 @@ class PartitionCache {
     double ready_time = 0.0;    ///< transfer completion (simulated seconds)
   };
 
-  /// Issues the host-to-device copy of partition p on its slot's stream.
-  double issue_transfer(std::uint32_t p, sim::Device& device,
-                        OomMetrics* oom);
+  /// Issues the host-to-device copy of partition p on its slot's stream,
+  /// consulting the fault injector per attempt and retrying with
+  /// exponential backoff up to the policy's attempt bound. Returns the
+  /// completion time of the successful copy, or nullopt when every
+  /// attempt failed (callers roll the partition back to kOnDisk).
+  std::optional<double> issue_transfer(std::uint32_t p, sim::Device& device,
+                                       OomMetrics* oom);
   /// Picks the eviction victim: kEvictable before kResident, then fewest
   /// pending walkers, then lowest id. Returns ~0u when nothing on device
   /// may be evicted.
@@ -159,6 +231,8 @@ class PartitionCache {
   std::uint32_t resident_count_ = 0;
   bool load_in_flight_ = false;  ///< at most one speculative load at a time
   CacheMetrics metrics_;
+  std::shared_ptr<TransferFaultInjector> injector_;
+  TransferRetryPolicy policy_;
 };
 
 }  // namespace csaw

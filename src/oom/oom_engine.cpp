@@ -108,6 +108,12 @@ OomRun OomEngine::run(sim::Device& device,
       cache_ = std::make_shared<PartitionCache>(
           parts_, config_.resident_partitions, config_.num_streams);
     }
+    // Re-applied every run: a service-owned cache shared across batches
+    // follows the current batch's fault/retry options.
+    cache_->set_fault_policy(
+        config_.fault_injector,
+        TransferRetryPolicy{config_.transfer_retry_limit,
+                            config_.transfer_backoff});
     cache_->begin_run();  // fresh device, fresh simulated clock
     cache_before = cache_->metrics();
   }
@@ -130,6 +136,11 @@ OomRun OomEngine::run(sim::Device& device,
     const std::uint32_t gang_end =
         std::min(num_instances, gang_begin + gang);
     for (std::uint32_t i = gang_begin; i < gang_end; ++i) {
+      // Instances cancelled before the gang starts are never seeded —
+      // the cheapest (and fully deterministic) form of the cancel poll.
+      if (config_.engine.may_cancel() && config_.engine.instance_cancelled(i)) {
+        continue;
+      }
       for (std::size_t s = 0; s < seeds[i].size(); ++s) {
         const VertexId seed = seeds[i][s];
         CSAW_CHECK(seed < graph_->num_vertices());
@@ -294,10 +305,14 @@ void OomEngine::run_residency_pipelined(sim::Device& device,
   // rounds); chain_of_ is sized once per run and reset via the chain
   // list below, keeping each round's work proportional to its entries.
   constexpr std::uint32_t kNoChain = ~0u;
+  const bool may_cancel = config_.engine.may_cancel();
   std::vector<std::uint32_t> chain_instances;
   std::vector<std::vector<std::vector<FrontierEntry>>> pending;
   for (std::size_t i = 0; i < chosen; ++i) {
     for (const FrontierEntry& e : queues_[plan.partitions[i]].drain()) {
+      // Queued work of a cancelled instance is dropped at the drain —
+      // its chain never forms; no other instance's entries move.
+      if (may_cancel && config_.engine.instance_cancelled(e.local)) continue;
       const std::uint32_t local = e.local;
       if (chain_of_[local] == kNoChain) {
         chain_of_[local] = static_cast<std::uint32_t>(chain_instances.size());
@@ -340,6 +355,15 @@ void OomEngine::run_residency_pipelined(sim::Device& device,
 
         bool progressed = true;
         for (std::uint64_t pass = 0; progressed; ++pass) {
+          // Cancellation poll at the pass boundary: this chain belongs to
+          // exactly one instance, so dropping its remaining work touches
+          // no other chain's state or draws.
+          if (may_cancel &&
+              config_.engine.instance_cancelled(chain_instances[chain])) {
+            for (auto& m : mine) m.clear();
+            out.clear();
+            break;
+          }
           progressed = false;
           for (std::size_t i = 0; i < chosen; ++i) {
             if (mine[i].empty()) continue;
@@ -369,7 +393,8 @@ void OomEngine::run_residency_pipelined(sim::Device& device,
             progressed = config_.workload_aware;
           }
         }
-      });
+      },
+      config_.engine.cancel);
 
   // Record one fused kernel per resident partition on the stream (and at
   // the SM fraction) its waves would have used.
@@ -411,6 +436,7 @@ void OomEngine::run_cached_pipelined(sim::Device& device, OomRun& result,
   constexpr std::uint32_t kNoChain = ~0u;
   constexpr std::uint32_t kNotResident = ~0u;
   std::vector<std::uint32_t> slot_of(config_.num_partitions, kNotResident);
+  const bool may_cancel = config_.engine.may_cancel();
 
   for (;;) {
     for (std::uint32_t p = 0; p < config_.num_partitions; ++p) {
@@ -418,6 +444,12 @@ void OomEngine::run_cached_pipelined(sim::Device& device, OomRun& result,
     }
     const auto order = PartitionScheduler::rank(pending, cache);
     if (order.empty()) break;
+
+    // If anything below throws — a TransferError from an exhausted
+    // acquire, a CheckError — the guard releases this round's pins and
+    // settles in-flight loads, so the cache is reusable by the next
+    // batch (no pin survives, no partition stays kLoading).
+    PartitionCache::RoundGuard round_guard(cache);
 
     // Residency set: as many active partitions as the cache holds. While
     // more partitions are active than fit, one slot stays free so the
@@ -487,6 +519,9 @@ void OomEngine::run_cached_pipelined(sim::Device& device, OomRun& result,
     std::vector<std::vector<std::vector<FrontierEntry>>> chain_pending;
     for (std::size_t i = 0; i < chosen_count; ++i) {
       for (const FrontierEntry& e : queues_[chosen[i]].drain()) {
+        // Cancelled instances' pending entries are dropped at the round
+        // boundary; surviving instances' processing order is untouched.
+        if (may_cancel && config_.engine.instance_cancelled(e.local)) continue;
         if (chain_of_[e.local] == kNoChain) {
           chain_of_[e.local] =
               static_cast<std::uint32_t>(chain_instances.size());
@@ -527,6 +562,15 @@ void OomEngine::run_cached_pipelined(sim::Device& device, OomRun& result,
 
           bool progressed = true;
           for (std::uint64_t pass = 0; progressed; ++pass) {
+            // Cooperative cancellation poll at the pass boundary: the
+            // chain abandons its remaining entries (and anything already
+            // routed out) without touching other chains' work.
+            if (may_cancel &&
+                config_.engine.instance_cancelled(chain_instances[chain])) {
+              for (auto& m : mine) m.clear();
+              out.clear();
+              break;
+            }
             progressed = false;
             for (std::size_t i = 0; i < chosen_count; ++i) {
               if (mine[i].empty()) continue;
@@ -555,7 +599,8 @@ void OomEngine::run_cached_pipelined(sim::Device& device, OomRun& result,
               progressed = config_.workload_aware;
             }
           }
-        });
+        },
+        config_.engine.cancel);
 
     // --- Cross-residency timing, under the same conventions as the
     // legacy run_residency_pipelined: one fused kernel window per
@@ -612,6 +657,7 @@ void OomEngine::run_cached_pipelined(sim::Device& device, OomRun& result,
       cache.release(p);
     }
     cache.settle(round_end);
+    round_guard.commit();
   }
 }
 
@@ -619,6 +665,14 @@ void OomEngine::run_wave(sim::Device& device, sim::Stream& stream,
                          std::uint32_t p, double fraction,
                          OomMetrics& metrics) {
   std::vector<FrontierEntry> batch = queues_[p].drain();
+  if (config_.engine.may_cancel()) {
+    // Wave boundary is the barrier path's cancellation point: a cancelled
+    // instance's entries are dropped before the kernel forms, so the
+    // surviving entries' task order (and bytes) match an uncancelled run.
+    std::erase_if(batch, [&](const FrontierEntry& e) {
+      return config_.engine.instance_cancelled(e.local);
+    });
+  }
   if (batch.empty()) return;
   sort_batch(batch);
 

@@ -41,6 +41,16 @@ struct OomConfig {
   /// the legacy path; transfers, timing and seps() improve. Requires
   /// EngineConfig::schedule == kPipelined (checked at run()).
   bool demand_cache = false;
+  /// Total attempts per partition copy on the cached path: 1 + retries
+  /// (1 = no retry). A load that fails every attempt throws
+  /// TransferError, failing the batch; the cache settles back consistent.
+  std::uint32_t transfer_retry_limit = 3;
+  /// Base backoff before the first retry (simulated seconds); doubles per
+  /// further retry.
+  double transfer_backoff = 1e-4;
+  /// Optional fault injector consulted per copy attempt (cached path
+  /// only). nullptr = fault-free I/O, the default.
+  std::shared_ptr<TransferFaultInjector> fault_injector;
   EngineConfig engine;
 };
 

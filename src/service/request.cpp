@@ -33,6 +33,24 @@ std::string to_string(RejectReason reason) {
       return "queue_full";
     case RejectReason::kShutdown:
       return "shutdown";
+    case RejectReason::kDeadlineExpired:
+      return "deadline_expired";
+  }
+  return "unknown";
+}
+
+std::string to_string(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      return "ok";
+    case RequestOutcome::kCancelled:
+      return "cancelled";
+    case RequestOutcome::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case RequestOutcome::kTransferFailed:
+      return "transfer_failed";
+    case RequestOutcome::kInternal:
+      return "internal";
   }
   return "unknown";
 }

@@ -1,12 +1,16 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "algorithms/registry.hpp"
 #include "graph/csr.hpp"
+#include "util/cancel.hpp"
 
 namespace csaw {
 
@@ -52,6 +56,22 @@ struct SampleRequest {
   /// the service already handed out is the one collision left to the
   /// client).
   std::uint32_t rng_base = kAutoRngBase;
+  /// Cooperative cancellation handle: hold a CancelSource, pass its
+  /// token() here, and fire the source to stop the request. Queued
+  /// requests are failed at the dispatcher's next pass; in-flight
+  /// requests stop at their next per-instance step boundary, keeping
+  /// every *other* request of the same batch byte-identical to a run
+  /// without the cancellation. The future then fails with a
+  /// RequestError whose outcome() is RequestOutcome::kCancelled. A
+  /// default (invalid) token means "never cancelled" and adds no
+  /// per-step polling cost.
+  CancelToken cancel;
+  /// Absolute completion deadline. Expired at submit() → rejected with
+  /// RejectReason::kDeadlineExpired; expired while queued → failed fast
+  /// without dispatching; expired in flight → cancelled at the next
+  /// step boundary. Late failures carry RequestOutcome::
+  /// kDeadlineExceeded. nullopt (the default) means no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
 
   std::uint32_t num_instances() const noexcept {
     return static_cast<std::uint32_t>(seeds.size());
@@ -82,10 +102,43 @@ enum class RejectReason {
   kQueueFull,
   /// The service is shutting down.
   kShutdown,
+  /// SampleRequest::deadline had already expired at submission.
+  kDeadlineExpired,
 };
 
 /// Human-readable reason ("queue_full", ...); "accepted" for kNone.
 std::string to_string(RejectReason reason);
+
+/// How an *admitted* request ended (admission rejections are
+/// RejectReason instead). Everything but kOk reaches the client as a
+/// RequestError through the request's future, and each failure kind has
+/// its own counter in TenantStats / ServiceStats, so operators can tell
+/// client cancellations from deadline misses from I/O faults at a
+/// glance.
+enum class RequestOutcome {
+  kOk,                ///< future holds the RunResult
+  kCancelled,         ///< client fired SampleRequest::cancel
+  kDeadlineExceeded,  ///< SampleRequest::deadline expired first
+  kTransferFailed,    ///< paged I/O exhausted its retry budget
+  kInternal,          ///< any other batch failure
+};
+
+/// Human-readable outcome ("ok", "cancelled", ...).
+std::string to_string(RequestOutcome outcome);
+
+/// The typed exception an admitted request's future fails with. The
+/// outcome says *why*; what() carries the detail (for kTransferFailed,
+/// the underlying TransferError message).
+class RequestError : public std::runtime_error {
+ public:
+  RequestError(RequestOutcome outcome, const std::string& what)
+      : std::runtime_error(what), outcome_(outcome) {}
+
+  RequestOutcome outcome() const noexcept { return outcome_; }
+
+ private:
+  RequestOutcome outcome_;
+};
 
 /// Per-tenant slice of ServiceStats, keyed by SampleRequest::tenant.
 /// Tenants appear on their first accepted request and are reported in
@@ -95,6 +148,11 @@ struct TenantStats {
   std::uint64_t accepted = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
+  // --- Failure breakdown by RequestOutcome; sums to `failed`.
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t transfer_failed = 0;
+  std::uint64_t internal_errors = 0;
   /// Edges this tenant's own requests sampled (per-request slices, not
   /// whole-batch totals — coalesced neighbors are not charged here).
   std::uint64_t sampled_edges = 0;
@@ -111,6 +169,12 @@ struct ServiceStats {
   std::uint64_t completed = 0;  ///< requests whose future holds a RunResult
   std::uint64_t failed = 0;     ///< requests whose future holds an exception
 
+  // --- Failure breakdown by RequestOutcome; sums to `failed`.
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t transfer_failed = 0;
+  std::uint64_t internal_errors = 0;
+
   // --- Admission rejections by reason.
   std::uint64_t rejected_unknown_graph = 0;
   std::uint64_t rejected_empty = 0;
@@ -118,6 +182,7 @@ struct ServiceStats {
   std::uint64_t rejected_oversized = 0;
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_shutdown = 0;
+  std::uint64_t rejected_deadline_expired = 0;
 
   // --- Batching effectiveness.
   std::uint64_t batches = 0;  ///< engine runs the dispatcher executed
@@ -159,6 +224,11 @@ struct ServiceStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_prefetch_transfers = 0;
+  /// Injected partition-copy faults observed by completed paged batches
+  /// and the copies re-issued to absorb them (terminal failures lose
+  /// their batch metrics; assert on the injector for exact totals).
+  std::uint64_t transfer_faults = 0;
+  std::uint64_t transfer_retries = 0;
 
   // --- Work served.
   std::uint64_t sampled_edges = 0;
@@ -168,7 +238,8 @@ struct ServiceStats {
 
   std::uint64_t rejected_total() const noexcept {
     return rejected_unknown_graph + rejected_empty + rejected_invalid_seed +
-           rejected_oversized + rejected_queue_full + rejected_shutdown;
+           rejected_oversized + rejected_queue_full + rejected_shutdown +
+           rejected_deadline_expired;
   }
 };
 

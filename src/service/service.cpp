@@ -134,7 +134,87 @@ void Service::count_rejection_locked(RejectReason reason) {
     case RejectReason::kShutdown:
       ++stats_.rejected_shutdown;
       break;
+    case RejectReason::kDeadlineExpired:
+      ++stats_.rejected_deadline_expired;
+      break;
   }
+}
+
+void Service::book_outcome_locked(const std::string& tenant_name,
+                                  RequestOutcome outcome) {
+  TenantState& tenant = tenants_.at(tenant_name);
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      ++stats_.completed;
+      ++tenant.completed;
+      break;
+    case RequestOutcome::kCancelled:
+      ++stats_.failed;
+      ++stats_.cancelled;
+      ++tenant.failed;
+      ++tenant.cancelled;
+      break;
+    case RequestOutcome::kDeadlineExceeded:
+      ++stats_.failed;
+      ++stats_.deadline_exceeded;
+      ++tenant.failed;
+      ++tenant.deadline_exceeded;
+      break;
+    case RequestOutcome::kTransferFailed:
+      ++stats_.failed;
+      ++stats_.transfer_failed;
+      ++tenant.failed;
+      ++tenant.transfer_failed;
+      break;
+    case RequestOutcome::kInternal:
+      ++stats_.failed;
+      ++stats_.internal_errors;
+      ++tenant.failed;
+      ++tenant.internal_errors;
+      break;
+  }
+  recent_.push_back(outcome);
+  while (recent_.size() > config_.health_window) recent_.pop_front();
+}
+
+void Service::expire_deadlines_locked(
+    std::chrono::steady_clock::time_point now) {
+  for (const std::uint64_t ticket : wheel_.expire(now)) {
+    const auto it = timed_.find(ticket);
+    if (it == timed_.end()) continue;  // retired; raced its own deadline
+    it->second.cancel(CancelReason::kDeadline);
+  }
+}
+
+void Service::sweep_queue_locked() {
+  bool removed = false;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (!it->run_token.cancelled()) {
+      ++it;
+      continue;
+    }
+    // Condemned while queued: fail fast, never dispatch. The token's
+    // first-fired reason distinguishes a client cancel from an expired
+    // deadline.
+    const RequestOutcome outcome =
+        it->run_token.reason() == CancelReason::kDeadline
+            ? RequestOutcome::kDeadlineExceeded
+            : RequestOutcome::kCancelled;
+    retire_timers_locked(it->ticket);
+    book_outcome_locked(it->request.tenant, outcome);
+    it->promise.set_exception(std::make_exception_ptr(RequestError(
+        outcome, "request " + to_string(outcome) + " while queued")));
+    it = queue_.erase(it);
+    removed = true;
+  }
+  if (removed && queue_.empty() && batches_in_flight_ == 0) {
+    idle_cv_.notify_all();
+  }
+}
+
+void Service::retire_timers_locked(std::uint64_t ticket) {
+  wheel_.remove(ticket);
+  timed_.erase(ticket);
 }
 
 Submission Service::submit(SampleRequest request) {
@@ -165,7 +245,12 @@ Submission Service::submit(SampleRequest request) {
   // so the snapshot stays valid.
   const auto count = static_cast<std::uint32_t>(request.seeds.size());
   RejectReason verdict = RejectReason::kNone;
-  if (request.seeds.empty()) {
+  if (request.deadline.has_value() &&
+      *request.deadline <= std::chrono::steady_clock::now()) {
+    // A dead-on-arrival deadline is an admission fact, not a dispatch
+    // failure: reject typed instead of queueing doomed work.
+    verdict = RejectReason::kDeadlineExpired;
+  } else if (request.seeds.empty()) {
     verdict = RejectReason::kEmptyRequest;
   } else if (count > config_.max_request_instances) {
     verdict = RejectReason::kOversizedRequest;
@@ -242,6 +327,18 @@ Submission Service::submit(SampleRequest request) {
     pending.ticket = next_ticket_++;
     pending.rng_base = rng_base;
     pending.enqueued = std::chrono::steady_clock::now();
+    if (pending.request.deadline.has_value()) {
+      // Deadline-armed: the engines poll a service-owned source the
+      // dispatcher can fire at expiry; a client cancel chains through
+      // its parent link. Registered in the wheel until retirement.
+      CancelSource source = CancelSource::linked(pending.request.cancel);
+      pending.run_token = source.token();
+      wheel_.add(pending.ticket, *pending.request.deadline);
+      timed_.emplace(pending.ticket, std::move(source));
+    } else {
+      // Client token only (possibly invalid — then wholly inert).
+      pending.run_token = pending.request.cancel;
+    }
     submission.ticket = pending.ticket;
     submission.rng_base = rng_base;
     submission.result = pending.promise.get_future();
@@ -329,11 +426,31 @@ ServiceStats Service::stats() const {
     out.accepted = tenant.accepted;
     out.completed = tenant.completed;
     out.failed = tenant.failed;
+    out.cancelled = tenant.cancelled;
+    out.deadline_exceeded = tenant.deadline_exceeded;
+    out.transfer_failed = tenant.transfer_failed;
+    out.internal_errors = tenant.internal_errors;
     out.sampled_edges = tenant.sampled_edges;
     out.peak_inflight_instances = tenant.peak_inflight_instances;
     snapshot.tenants.push_back(std::move(out));
   }
   return snapshot;
+}
+
+ServiceHealth Service::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceHealth health;
+  health.accepting = !stopping_;
+  health.paused = paused_;
+  health.queue_depth = queue_.size();
+  health.inflight_batches = batches_in_flight_;
+  health.executing_batches = executing_batches_;
+  health.timed_requests = wheel_.size();
+  health.window = recent_.size();
+  for (const RequestOutcome outcome : recent_) {
+    if (outcome != RequestOutcome::kOk) ++health.recent_failures;
+  }
+  return health;
 }
 
 std::uint32_t Service::coalescible_instances_locked(
@@ -542,6 +659,25 @@ void Service::run_batch(std::vector<Pending> batch) {
       }
     }
 
+    // Per-instance cancellation: each request's token repeats across its
+    // instances, so cancelling one request stops exactly its rows while
+    // every neighbor's bytes stay identical to a run without it. A batch
+    // of plain requests (no token, no deadline) passes no tokens at all
+    // and the engines skip the polls entirely.
+    RunControl control;
+    bool cancellable = false;
+    for (const Pending& pending : batch) {
+      cancellable = cancellable || pending.run_token.valid();
+    }
+    if (cancellable) {
+      control.instance_cancel.reserve(seeds.size());
+      for (const Pending& pending : batch) {
+        control.instance_cancel.insert(control.instance_cancel.end(),
+                                       pending.request.seeds.size(),
+                                       pending.run_token);
+      }
+    }
+
     const SampleRequest& head = batch.front().request;
     const AlgorithmSetup setup = make_algorithm(
         head.algorithm, head.depth_or_length, head.neighbor_size);
@@ -604,14 +740,30 @@ void Service::run_batch(std::vector<Pending> batch) {
       }
     }
 
-    RunResult whole = sampler.run_tagged(seeds, tags);
+    RunResult whole = sampler.run_tagged(seeds, tags, control);
+
+    // Classify every request: a token that fired (client cancel or
+    // deadline) fails its request even though the batch completed —
+    // partial rows of a cancelled request are discarded, not returned.
+    std::vector<RequestOutcome> outcomes(num_requests, RequestOutcome::kOk);
+    for (std::size_t r = 0; r < num_requests; ++r) {
+      switch (batch[r].run_token.reason()) {
+        case CancelReason::kNone:
+          break;
+        case CancelReason::kRequested:
+          outcomes[r] = RequestOutcome::kCancelled;
+          break;
+        case CancelReason::kDeadline:
+          outcomes[r] = RequestOutcome::kDeadlineExceeded;
+          break;
+      }
+    }
 
     // Split the batch back into per-request results *before* booking or
     // fulfilling anything: a throw here (allocation) must take the whole
     // batch down the failure path exactly once. Samples are the request's
     // own bytes; the schedule-shaped fields (sim_seconds, device_seconds,
     // stats, oom) describe the batch the request rode on.
-    const std::uint64_t batch_edges = whole.sampled_edges();
     std::vector<RunResult> results;
     results.reserve(num_requests);
     std::uint32_t offset = 0;
@@ -635,30 +787,43 @@ void Service::run_batch(std::vector<Pending> batch) {
     }
 
     // Book the batch before fulfilling any promise: a client waking on
-    // its future must already see this batch in stats().
+    // its future must already see this batch in stats(). sampled_edges
+    // sums the *completed* requests' own slices — a cancelled request's
+    // partial rows are charged to nobody, so per-tenant edge accounting
+    // closes exactly under cancellation.
     {
       std::lock_guard<std::mutex> lock(mu_);
-      stats_.completed += num_requests;
       ++stats_.batches;
       if (num_requests > 1) stats_.coalesced_requests += num_requests;
       stats_.max_batch_requests =
           std::max<std::uint64_t>(stats_.max_batch_requests, num_requests);
-      stats_.sampled_edges += batch_edges;  // counted before the row moves
       stats_.sim_seconds += whole.sim_seconds;
       if (whole.oom.has_value()) {
         ++stats_.paged_batches;
         stats_.cache_hits += whole.oom->cache_hits;
         stats_.cache_evictions += whole.oom->cache_evictions;
         stats_.cache_prefetch_transfers += whole.oom->prefetch_transfers;
+        stats_.transfer_faults += whole.oom->transfer_faults;
+        stats_.transfer_retries += whole.oom->transfer_retries;
       }
       for (std::size_t r = 0; r < num_requests; ++r) {
-        TenantState& tenant = tenants_.at(batch[r].request.tenant);
-        ++tenant.completed;
-        tenant.sampled_edges += results[r].sampled_edges();
+        book_outcome_locked(batch[r].request.tenant, outcomes[r]);
+        if (outcomes[r] == RequestOutcome::kOk) {
+          const std::uint64_t edges = results[r].sampled_edges();
+          stats_.sampled_edges += edges;
+          tenants_.at(batch[r].request.tenant).sampled_edges += edges;
+        }
+        retire_timers_locked(batch[r].ticket);
       }
     }
 
     for (std::size_t r = 0; r < num_requests; ++r) {
+      if (outcomes[r] != RequestOutcome::kOk) {
+        batch[r].promise.set_exception(std::make_exception_ptr(RequestError(
+            outcomes[r],
+            "request " + to_string(outcomes[r]) + " mid-batch")));
+        continue;
+      }
       try {
         batch[r].promise.set_value(std::move(results[r]));
       } catch (...) {
@@ -671,9 +836,11 @@ void Service::run_batch(std::vector<Pending> batch) {
           std::lock_guard<std::mutex> lock(mu_);
           --stats_.completed;
           ++stats_.failed;
+          ++stats_.internal_errors;
           TenantState& tenant = tenants_.at(batch[r].request.tenant);
           --tenant.completed;
           ++tenant.failed;
+          ++tenant.internal_errors;
         }
         try {
           batch[r].promise.set_exception(error);
@@ -682,21 +849,52 @@ void Service::run_batch(std::vector<Pending> batch) {
       }
     }
   } catch (...) {
-    // A failed batch fails every request in it, with the same exception;
-    // the service itself stays up. Fulfillment has its own handler
-    // above, so this path only runs before anything was booked — every
-    // request is counted completed or failed, never both.
+    // A failed batch fails every request in it; the service itself stays
+    // up. Fulfillment has its own handler above, so this path only runs
+    // before anything was booked — every request is counted completed or
+    // failed, never both. The exception is classified into the outcome
+    // taxonomy: a TransferError (paged I/O that exhausted its retry
+    // budget) is an expected, isolated fault — the partition cache has
+    // already rolled itself consistent, so the next batch on the same
+    // graph proceeds normally.
     const std::exception_ptr error = std::current_exception();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stats_.failed += num_requests;
-      ++stats_.batches;
-      for (const Pending& pending : batch) {
-        ++tenants_.at(pending.request.tenant).failed;
+    RequestOutcome batch_outcome = RequestOutcome::kInternal;
+    std::string what = "batch failed";
+    try {
+      std::rethrow_exception(error);
+    } catch (const TransferError& e) {
+      batch_outcome = RequestOutcome::kTransferFailed;
+      what = e.what();
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+    }
+    // Requests whose own token fired before the batch died keep their
+    // truer cancellation outcome; the rest carry the batch's.
+    std::vector<RequestOutcome> outcomes(num_requests, batch_outcome);
+    for (std::size_t r = 0; r < num_requests; ++r) {
+      switch (batch[r].run_token.reason()) {
+        case CancelReason::kNone:
+          break;
+        case CancelReason::kRequested:
+          outcomes[r] = RequestOutcome::kCancelled;
+          break;
+        case CancelReason::kDeadline:
+          outcomes[r] = RequestOutcome::kDeadlineExceeded;
+          break;
       }
     }
-    for (Pending& pending : batch) {
-      pending.promise.set_exception(error);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.batches;
+      for (std::size_t r = 0; r < num_requests; ++r) {
+        book_outcome_locked(batch[r].request.tenant, outcomes[r]);
+        retire_timers_locked(batch[r].ticket);
+      }
+    }
+    for (std::size_t r = 0; r < num_requests; ++r) {
+      batch[r].promise.set_exception(std::make_exception_ptr(
+          RequestError(outcomes[r], to_string(outcomes[r]) + ": " + what)));
     }
   }
 }
@@ -704,42 +902,49 @@ void Service::run_batch(std::vector<Pending> batch) {
 void Service::dispatcher_main() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      return stopping_ || (!paused_ && !queue_.empty());
-    });
-    if (queue_.empty()) {
-      if (stopping_) return;  // drained; admission already rejects
-      continue;
-    }
-    if (batches_in_flight_ >= config_.max_concurrent_batches) {
-      // All runner capacity is formed or executing; a retiring batch
-      // notifies work_cv_. (Plain wait: we re-evaluate everything.)
-      work_cv_.wait(lock);
-      continue;
-    }
+    // Deadlines come first on every pass: fire the cancel source of
+    // every expired wheel entry (in-flight requests stop at their next
+    // step boundary), then fail still-queued condemned requests —
+    // expired or client-cancelled — without ever dispatching them.
+    expire_deadlines_locked(std::chrono::steady_clock::now());
+    sweep_queue_locked();
 
-    const auto now = std::chrono::steady_clock::now();
-    HeadChoice choice = select_head_locked(now);
-    if (!choice.found) {
-      if (choice.has_waiting) {
-        // Every eligible head is still inside its batching window: sleep
-        // until the earliest deadline (or a new arrival re-evaluates —
-        // the head may fill up and launch early).
-        work_cv_.wait_until(lock, choice.next_deadline);
-      } else {
-        // Everything queued is blocked on an in-flight graph or a tenant
-        // quota; a retiring batch frees both and notifies.
-        work_cv_.wait(lock);
+    // Exit only once nothing is queued AND nothing is in flight: the
+    // dispatcher keeps firing in-flight deadlines through the final
+    // drain, so a hung-looking batch still gets its cancellation.
+    if (stopping_ && queue_.empty() && batches_in_flight_ == 0) return;
+
+    HeadChoice choice;
+    if (!paused_ && !queue_.empty() &&
+        batches_in_flight_ < config_.max_concurrent_batches) {
+      choice = select_head_locked(std::chrono::steady_clock::now());
+      if (choice.found) {
+        FormedBatch batch = form_batch_locked(choice.queue_index);
+        if (choice.by_deadline) ++stats_.deadline_launches;
+        ready_.push_back(std::move(batch));
+        batch_cv_.notify_one();
+        // Loop immediately: with capacity left and another independent-
+        // graph head queued, the next batch forms before this finishes.
+        continue;
       }
-      continue;
     }
 
-    FormedBatch batch = form_batch_locked(choice.queue_index);
-    if (choice.by_deadline) ++stats_.deadline_launches;
-    ready_.push_back(std::move(batch));
-    batch_cv_.notify_one();
-    // Loop immediately: with capacity left and another independent-graph
-    // head queued, the next batch forms before this one finishes.
+    // Sleep until the next actionable instant, whichever comes first:
+    // a new arrival / retiring batch / policy change (work_cv_), the
+    // earliest batching window still being held open, or the earliest
+    // request deadline in the wheel. Every wait is bounded by the wheel
+    // — an in-flight deadline always fires without any timer thread.
+    std::optional<std::chrono::steady_clock::time_point> wake =
+        wheel_.next_wakeup();
+    if (choice.has_waiting &&
+        (!wake.has_value() || choice.next_deadline < *wake)) {
+      wake = choice.next_deadline;
+    }
+    if (wake.has_value()) {
+      work_cv_.wait_until(lock, *wake);
+    } else {
+      work_cv_.wait(lock);
+    }
   }
 }
 

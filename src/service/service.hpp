@@ -16,6 +16,7 @@
 
 #include "core/sampler.hpp"
 #include "service/request.hpp"
+#include "service/timer_wheel.hpp"
 
 namespace csaw {
 
@@ -87,6 +88,27 @@ struct ServiceConfig {
   /// and ignored when the schedule is not kPipelined or the batch runs
   /// multi-device (private per-device caches there).
   bool paged_demand_cache = true;
+  /// Health reporting: how many recently retired requests the
+  /// recent-outcome window of Service::health() covers.
+  std::uint32_t health_window = 256;
+};
+
+/// Point-in-time operational snapshot (Service::health()) — the liveness
+/// view an operator or load balancer polls, as opposed to the lifetime
+/// counters of Service::stats().
+struct ServiceHealth {
+  bool accepting = true;  ///< false once shutdown began
+  bool paused = false;
+  std::uint64_t queue_depth = 0;        ///< admitted, not yet in a batch
+  std::uint32_t inflight_batches = 0;   ///< formed (ready or executing)
+  std::uint32_t executing_batches = 0;  ///< inside an engine run
+  std::uint64_t timed_requests = 0;     ///< deadlines armed in the wheel
+  /// Recent-outcome window: of the last `window` retired requests
+  /// (bounded by ServiceConfig::health_window), how many failed. A
+  /// rising ratio flags a fault burst long before lifetime counters
+  /// move.
+  std::uint64_t window = 0;
+  std::uint64_t recent_failures = 0;
 };
 
 /// Result of Service::submit: a typed admission verdict plus, when
@@ -199,6 +221,11 @@ class Service {
   /// slice).
   ServiceStats stats() const;
 
+  /// Point-in-time operational snapshot: admission state, queue and
+  /// batch depths, armed deadlines, and the recent-outcome failure
+  /// window (see ServiceHealth).
+  ServiceHealth health() const;
+
  private:
   struct GraphEntry {
     std::shared_ptr<const CsrGraph> graph;
@@ -223,6 +250,11 @@ class Service {
     /// Admission time: anchors the batching_deadline of any batch this
     /// request heads.
     std::chrono::steady_clock::time_point enqueued;
+    /// The token the engines poll for this request's instances: the
+    /// service-owned linked source's token when a deadline is armed
+    /// (client cancel chains through), the client token alone otherwise,
+    /// or invalid — inert, no polling — for a plain request.
+    CancelToken run_token;
     std::promise<RunResult> promise;
   };
 
@@ -235,6 +267,10 @@ class Service {
     std::uint64_t accepted = 0;
     std::uint64_t completed = 0;
     std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t deadline_exceeded = 0;
+    std::uint64_t transfer_failed = 0;
+    std::uint64_t internal_errors = 0;
     std::uint64_t sampled_edges = 0;
     std::uint64_t peak_inflight_instances = 0;
   };
@@ -262,6 +298,18 @@ class Service {
 
   /// Bumps the per-reason rejection counter (under mu_).
   void count_rejection_locked(RejectReason reason);
+  /// Books one retired request's outcome into the lifetime counters, the
+  /// tenant slice and the recent-outcome health window (under mu_).
+  void book_outcome_locked(const std::string& tenant, RequestOutcome outcome);
+  /// Fires the cancel source (reason kDeadline) of every wheel deadline
+  /// <= now: queued requests are condemned for the next sweep, in-flight
+  /// ones stop at their next step boundary (under mu_).
+  void expire_deadlines_locked(std::chrono::steady_clock::time_point now);
+  /// Fails every still-queued request whose token has fired (client
+  /// cancel or expired deadline) without dispatching it (under mu_).
+  void sweep_queue_locked();
+  /// Drops a retired request's wheel entry and cancel source (under mu_).
+  void retire_timers_locked(std::uint64_t ticket);
   /// Instances the batch headed by `head` could coalesce right now:
   /// compatible queued requests, capped at max_batch_instances (used to
   /// decide whether a deadline-gated head is already full).
@@ -313,6 +361,16 @@ class Service {
   std::uint64_t next_ticket_ = 1;
   std::uint32_t next_rng_base_ = 0;
   ServiceStats stats_;
+  /// Dispatcher-owned deadline index: one entry per admitted request
+  /// with a deadline, from admission to retirement. No timer threads —
+  /// the dispatcher bounds its waits with wheel_.next_wakeup().
+  TimerWheel wheel_;
+  /// ticket -> the service-owned cancel source of each deadline-armed
+  /// request (what expire_deadlines_locked fires). Erased at retirement.
+  std::map<std::uint64_t, CancelSource> timed_;
+  /// Outcomes of the last ServiceConfig::health_window retired requests
+  /// (the Service::health() failure window).
+  std::deque<RequestOutcome> recent_;
 
   /// Started last: every other member is initialized before any thread
   /// can observe the service. Runners execute formed batches; the

@@ -1,0 +1,80 @@
+#include "service/timer_wheel.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace csaw {
+
+TimerWheel::TimerWheel(std::uint32_t num_slots, Clock::duration tick)
+    : slots_(num_slots), tick_(tick) {
+  CSAW_CHECK_MSG(num_slots >= 1, "a timer wheel needs at least one slot");
+  CSAW_CHECK_MSG(tick.count() > 0, "timer wheel tick must be positive");
+}
+
+std::uint32_t TimerWheel::slot_of(TimePoint deadline) const {
+  const auto ticks =
+      static_cast<std::uint64_t>(deadline.time_since_epoch() / tick_);
+  return static_cast<std::uint32_t>(ticks % slots_.size());
+}
+
+void TimerWheel::refresh_min(Slot& slot) {
+  TimePoint min = TimePoint::max();
+  for (const auto& [ticket, deadline] : slot.entries) {
+    min = std::min(min, deadline);
+  }
+  slot.min = min;
+}
+
+void TimerWheel::add(std::uint64_t ticket, TimePoint deadline) {
+  remove(ticket);  // re-registration replaces
+  const std::uint32_t s = slot_of(deadline);
+  Slot& slot = slots_[s];
+  if (slot.entries.empty() || deadline < slot.min) slot.min = deadline;
+  slot.entries.emplace(ticket, deadline);
+  tickets_.emplace(ticket, s);
+}
+
+void TimerWheel::remove(std::uint64_t ticket) {
+  const auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) return;
+  Slot& slot = slots_[it->second];
+  const auto entry = slot.entries.find(ticket);
+  const bool was_min = entry->second == slot.min;
+  slot.entries.erase(entry);
+  tickets_.erase(it);
+  if (was_min && !slot.entries.empty()) refresh_min(slot);
+}
+
+std::vector<std::uint64_t> TimerWheel::expire(TimePoint now) {
+  std::vector<std::pair<TimePoint, std::uint64_t>> due;
+  for (Slot& slot : slots_) {
+    if (slot.entries.empty() || slot.min > now) continue;
+    for (auto it = slot.entries.begin(); it != slot.entries.end();) {
+      if (it->second <= now) {
+        due.emplace_back(it->second, it->first);
+        tickets_.erase(it->first);
+        it = slot.entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!slot.entries.empty()) refresh_min(slot);
+  }
+  std::sort(due.begin(), due.end());
+  std::vector<std::uint64_t> result;
+  result.reserve(due.size());
+  for (const auto& [deadline, ticket] : due) result.push_back(ticket);
+  return result;
+}
+
+std::optional<TimerWheel::TimePoint> TimerWheel::next_wakeup() const {
+  std::optional<TimePoint> earliest;
+  for (const Slot& slot : slots_) {
+    if (slot.entries.empty()) continue;
+    if (!earliest.has_value() || slot.min < *earliest) earliest = slot.min;
+  }
+  return earliest;
+}
+
+}  // namespace csaw

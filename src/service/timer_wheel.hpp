@@ -1,0 +1,73 @@
+#pragma once
+
+// Slot-bucketed deadline index for the service dispatcher.
+//
+// The dispatcher owns every request deadline in the service — there is
+// deliberately no per-request timer thread. Deadlines are hashed into a
+// fixed ring of slots by tick; each slot keeps its entries plus a cached
+// minimum, so the three hot operations stay cheap at any population:
+//
+//   add/remove     O(1) expected (one map insert/erase + min maintenance)
+//   next_wakeup    O(slots) scan of cached minima — bounds every
+//                  dispatcher wait so an in-flight deadline always fires
+//   expire(now)    visits only slots whose cached minimum is due
+//
+// Not thread-safe: the wheel lives under the service mutex like the rest
+// of the dispatcher state.
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace csaw {
+
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  /// `num_slots` buckets of `tick` width; defaults suit a serving tier
+  /// with sub-second to multi-second deadlines.
+  explicit TimerWheel(std::uint32_t num_slots = 128,
+                      Clock::duration tick = std::chrono::milliseconds(1));
+
+  /// Registers (or re-registers, replacing) `ticket` to expire at
+  /// `deadline`. Past deadlines are fine — they fire on the next expire().
+  void add(std::uint64_t ticket, TimePoint deadline);
+
+  /// Drops `ticket` if present (idempotent — retired requests race their
+  /// own deadlines benignly).
+  void remove(std::uint64_t ticket);
+
+  /// Pops and returns every ticket whose deadline is <= now, in deadline
+  /// order (ties by ticket).
+  std::vector<std::uint64_t> expire(TimePoint now);
+
+  /// The earliest registered deadline, or nullopt when the wheel is
+  /// empty. The dispatcher bounds every wait with this.
+  std::optional<TimePoint> next_wakeup() const;
+
+  bool empty() const noexcept { return tickets_.empty(); }
+  std::size_t size() const noexcept { return tickets_.size(); }
+
+ private:
+  struct Slot {
+    /// ticket -> deadline of every entry hashed here.
+    std::unordered_map<std::uint64_t, TimePoint> entries;
+    /// Cached earliest deadline; only trustworthy while !entries.empty().
+    TimePoint min{};
+  };
+
+  std::uint32_t slot_of(TimePoint deadline) const;
+  /// Recomputes slot.min after an erase removed the minimum.
+  static void refresh_min(Slot& slot);
+
+  std::vector<Slot> slots_;
+  Clock::duration tick_;
+  /// ticket -> slot index, for O(1) remove.
+  std::unordered_map<std::uint64_t, std::uint32_t> tickets_;
+};
+
+}  // namespace csaw

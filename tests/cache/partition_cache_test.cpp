@@ -286,6 +286,159 @@ TEST(PartitionCache, SetCapacityEvictsDownAndRepacks) {
   EXPECT_EQ(cache.metrics().evictions, 2u);  // no eviction needed
 }
 
+TEST(TransferFaults, ScriptedFaultRetriesAndSucceeds) {
+  auto parts = make_parts();
+  PartitionCache cache(parts, 2, 2);
+  auto injector = std::make_shared<TransferFaultInjector>();
+  cache.set_fault_policy(injector, TransferRetryPolicy{3, 1e-4});
+  injector->fail_partition(0, 2);  // attempts 0 and 1 fail, attempt 2 lands
+  sim::Device device;
+  const std::vector<std::size_t> pending = no_pending();
+
+  // Reference ready time of a fault-free load on an identical timeline.
+  PartitionCache clean(parts, 2, 2);
+  sim::Device clean_device;
+  const double clean_ready = clean.acquire(0, clean_device, pending);
+
+  OomMetrics oom;
+  const double ready = cache.acquire(0, device, pending, &oom);
+  EXPECT_EQ(cache.state(0), PartitionState::kInUse);
+  // Two failed copies occupied the link, then the backoff, then the real
+  // copy: the bytes land strictly later than the clean run, but they land.
+  EXPECT_GT(ready, clean_ready);
+  EXPECT_EQ(device.transfer().log().size(), 3u);
+  EXPECT_EQ(cache.metrics().transfer_faults, 2u);
+  EXPECT_EQ(cache.metrics().transfer_retries, 2u);
+  EXPECT_EQ(cache.metrics().demand_loads, 1u);
+  // Only the successful copy counts as delivered bytes.
+  EXPECT_EQ(cache.metrics().bytes_loaded, parts->bytes(0));
+  EXPECT_EQ(oom.transfer_faults, 2u);
+  EXPECT_EQ(oom.transfer_retries, 2u);
+  EXPECT_EQ(oom.partition_transfers, 1u);
+  EXPECT_EQ(oom.bytes_transferred, parts->bytes(0));
+  EXPECT_EQ(injector->attempts_seen(), 3u);
+}
+
+TEST(TransferFaults, ExhaustedRetriesThrowAndRollBack) {
+  auto parts = make_parts();
+  PartitionCache cache(parts, 2, 2);
+  auto injector = std::make_shared<TransferFaultInjector>();
+  cache.set_fault_policy(injector, TransferRetryPolicy{2, 1e-4});
+  injector->fail_partition(0, 5);  // more failures than the retry budget
+  sim::Device device;
+  const std::vector<std::size_t> pending = no_pending();
+
+  try {
+    cache.acquire(0, device, pending);
+    FAIL() << "acquire should have thrown TransferError";
+  } catch (const TransferError& e) {
+    EXPECT_EQ(e.partition(), 0u);
+    EXPECT_EQ(e.attempts(), 2u);
+  }
+  // Terminal failure rolled the slot back: nothing resident, nothing
+  // pinned, nothing kLoading — the cache is as if the load never started.
+  EXPECT_EQ(cache.state(0), PartitionState::kOnDisk);
+  EXPECT_EQ(cache.resident_count(), 0u);
+  EXPECT_EQ(cache.metrics().transfer_faults, 2u);
+  EXPECT_EQ(cache.metrics().transfer_retries, 1u);
+  EXPECT_EQ(cache.metrics().bytes_loaded, 0u);
+
+  // The failed site is concluded: the next load of the same partition
+  // opens a fresh site and succeeds.
+  EXPECT_GT(cache.acquire(0, device, pending), 0.0);
+  EXPECT_EQ(cache.state(0), PartitionState::kInUse);
+  EXPECT_EQ(cache.metrics().demand_loads, 2u);
+}
+
+TEST(TransferFaults, FailedPrefetchDeclinesWithoutResidue) {
+  auto parts = make_parts();
+  PartitionCache cache(parts, 2, 2);
+  auto injector = std::make_shared<TransferFaultInjector>();
+  cache.set_fault_policy(injector, TransferRetryPolicy{1, 1e-4});
+  injector->fail_partition(1, 1);
+  sim::Device device;
+  const std::vector<std::size_t> pending = no_pending();
+
+  // A speculative load that fails terminally is benign: decline, roll
+  // back, and leave the one-in-flight budget free for the next pick.
+  EXPECT_FALSE(cache.prefetch(1, device, pending));
+  EXPECT_EQ(cache.state(1), PartitionState::kOnDisk);
+  EXPECT_EQ(cache.resident_count(), 0u);
+  EXPECT_EQ(cache.metrics().transfer_faults, 1u);
+  EXPECT_TRUE(cache.prefetch(2, device, pending));
+  // The demand path gets a fresh fault site and succeeds.
+  cache.acquire(1, device, pending);
+  EXPECT_EQ(cache.state(1), PartitionState::kInUse);
+}
+
+TEST(TransferFaults, RandomSlowSitesStretchTheCopy) {
+  auto parts = make_parts();
+  TransferFaultInjector::Config config;
+  config.slow_rate = 1.0;  // every site slow, none faulty
+  config.slow_factor = 4.0;
+  auto injector = std::make_shared<TransferFaultInjector>(config);
+
+  PartitionCache clean(parts, 2, 2);
+  sim::Device clean_device;
+  const double clean_ready = clean.acquire(0, clean_device, no_pending());
+
+  PartitionCache cache(parts, 2, 2);
+  cache.set_fault_policy(injector, TransferRetryPolicy{3, 1e-4});
+  sim::Device device;
+  const double slow_ready = cache.acquire(0, device, no_pending());
+  // Slow copies stretch the link occupancy by slow_factor but still
+  // succeed on the first attempt.
+  EXPECT_DOUBLE_EQ(slow_ready, 4.0 * clean_ready);
+  EXPECT_EQ(cache.metrics().transfer_faults, 0u);
+  EXPECT_EQ(cache.state(0), PartitionState::kInUse);
+}
+
+TEST(TransferFaults, RoundGuardRecoversAfterMidRoundThrow) {
+  // The stuck-kLoading regression: an exception unwinding mid-round used
+  // to leave pins behind and a prefetch stuck kLoading, failing every
+  // later begin_run(). The engine now holds a RoundGuard across the
+  // round; this reproduces the unwind directly against the cache.
+  auto parts = make_parts();
+  PartitionCache cache(parts, 3, 2);
+  auto injector = std::make_shared<TransferFaultInjector>();
+  cache.set_fault_policy(injector, TransferRetryPolicy{1, 1e-4});
+  injector->fail_partition(2, 1);
+  sim::Device device;
+  const std::vector<std::size_t> pending = no_pending();
+
+  bool threw = false;
+  try {
+    PartitionCache::RoundGuard guard(cache);
+    cache.acquire(0, device, pending);              // pinned
+    ASSERT_TRUE(cache.prefetch(1, device, pending));  // kLoading, in flight
+    cache.acquire(2, device, pending);  // throws mid-round
+    guard.commit();                     // never reached
+  } catch (const TransferError&) {
+    threw = true;
+  }
+  ASSERT_TRUE(threw);
+
+  // The guard settled the round on unwind: no pin survives, nothing is
+  // left kLoading, and the cache is reusable by the next batch.
+  EXPECT_EQ(cache.state(0), PartitionState::kEvictable);
+  EXPECT_EQ(cache.state(1), PartitionState::kResident);
+  EXPECT_EQ(cache.state(2), PartitionState::kOnDisk);
+  cache.begin_run();  // would CheckError on a leftover pin
+  sim::Device next_run;
+  cache.acquire(2, next_run, pending);  // fresh site: the load succeeds
+  EXPECT_EQ(cache.state(2), PartitionState::kInUse);
+  cache.release(2);
+
+  // A committed guard stands down: the normal path never aborts.
+  {
+    PartitionCache::RoundGuard guard(cache);
+    cache.acquire(0, next_run, pending);
+    guard.commit();
+  }
+  EXPECT_EQ(cache.state(0), PartitionState::kInUse);  // pin intact
+  cache.release(0);
+}
+
 TEST(PartitionCache, BeginRunRebasesOntoFreshDevice) {
   auto parts = make_parts();
   PartitionCache cache(parts, 3, 2);

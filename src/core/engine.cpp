@@ -224,6 +224,9 @@ SampleRun SamplingEngine::run(sim::Device& device,
 
   SampleRun run_result;
   run_result.samples.reset(num_instances);
+  if (config_.on_instance_complete) {
+    run_result.samples.set_completion_callback(config_.on_instance_complete);
+  }
 
   device.set_num_threads(config_.num_threads);
   ensure_workers(device.max_workers());
@@ -235,6 +238,21 @@ SampleRun SamplingEngine::run(sim::Device& device,
     run_pipelined(device, instances, run_result.samples);
   } else {
     run_barrier(device, instances, run_result.samples);
+  }
+
+  // Completion sweep: everything the pipelined chains didn't already
+  // fire (the whole run under kStepBarrier; chains skipped by a
+  // run-level cancel race under kPipelined). Cancelled instances never
+  // complete — their partial samples surface through the buffered
+  // result only.
+  if (run_result.samples.streaming()) {
+    const bool may_cancel = config_.may_cancel();
+    for (std::uint32_t i = 0; i < num_instances; ++i) {
+      if (run_result.samples.completed(i)) continue;
+      if (may_cancel && config_.instance_cancelled(i)) continue;
+      run_result.samples.complete(i);
+    }
+    run_result.samples.set_completion_callback({});
   }
 
   run_result.sim_seconds = device.synchronize() - t0;
@@ -347,6 +365,14 @@ void SamplingEngine::run_pipelined(sim::Device& device,
             }
           }
           advance_instance(inst, positions, results);
+        }
+        // This chain ran the instance's whole step loop, so its sample
+        // is final here — fire completion from the chain itself (the
+        // streaming flush point). A blocked subscriber parks this chain
+        // in host time; simulated time is already fully accounted.
+        if (samples.streaming() &&
+            !(config_.may_cancel() && config_.instance_cancelled(i))) {
+          samples.complete(i);
         }
       },
       config_.cancel);

@@ -142,6 +142,14 @@ struct EngineConfig {
   /// queued frontier work; every other instance's samples are unchanged
   /// (counter-based RNG, per-instance state).
   std::vector<CancelToken> instance_cancel;
+  /// Per-instance completion subscription (local instance index): fired
+  /// exactly once per non-cancelled instance, as soon as that instance's
+  /// sample is final — from the executing chain in pipelined schedules,
+  /// from an end-of-run sweep otherwise. May be invoked concurrently
+  /// from host worker threads and may block (backpressure); blocking
+  /// parks the producing chain in host time only, so samples and
+  /// sim_seconds are unchanged. Null = buffered run, zero overhead.
+  SampleStore::CompletionCallback on_instance_complete;
 
   /// True when any cancellation token is armed — engines use this to
   /// skip per-entry polling entirely on the common path.

@@ -245,7 +245,7 @@ RunResult Sampler::run_tagged(std::span<const std::vector<VertexId>> seeds,
                      << control.instance_cancel.size() << " tokens for "
                      << seeds.size() << " seed lists");
   return dispatch(seeds, options_.instance_id_offset, tags, control.cancel,
-                  control.instance_cancel);
+                  control.instance_cancel, control.on_instance_complete);
 }
 
 void Sampler::set_executor(std::shared_ptr<sim::ThreadPool> pool) {
@@ -265,20 +265,22 @@ RunResult Sampler::dispatch(std::span<const std::vector<VertexId>> seeds,
                             std::uint32_t instance_id_offset,
                             std::span<const std::uint32_t> tags,
                             CancelToken cancel,
-                            std::span<const CancelToken> instance_cancel) {
+                            std::span<const CancelToken> instance_cancel,
+                            const SampleStore::CompletionCallback& on_complete) {
   RunResult result;
   switch (decision_.resolved) {
     case ExecutionMode::kInMemory:
       result = run_in_memory(seeds, instance_id_offset, tags, /*device_id=*/0,
-                             cancel, instance_cancel);
+                             cancel, instance_cancel, on_complete);
       break;
     case ExecutionMode::kOutOfMemory:
       result = run_out_of_memory(seeds, instance_id_offset, tags,
-                                 /*device_id=*/0, cancel, instance_cancel);
+                                 /*device_id=*/0, cancel, instance_cancel,
+                                 on_complete);
       break;
     case ExecutionMode::kMultiDevice:
       result = run_multi_device(seeds, instance_id_offset, tags, cancel,
-                                instance_cancel);
+                                instance_cancel, on_complete);
       break;
     case ExecutionMode::kAuto:
       CSAW_CHECK_MSG(false, "resolved mode can never be kAuto");
@@ -300,11 +302,12 @@ void Sampler::attach_executor(sim::Device& device) {
   if (ensure_pool() != nullptr) device.set_executor(pool_);
 }
 
-RunResult Sampler::run_in_memory(std::span<const std::vector<VertexId>> seeds,
-                                 std::uint32_t instance_id_offset,
-                                 std::span<const std::uint32_t> tags,
-                                 std::uint32_t device_id, CancelToken cancel,
-                                 std::span<const CancelToken> instance_cancel) {
+RunResult Sampler::run_in_memory(
+    std::span<const std::vector<VertexId>> seeds,
+    std::uint32_t instance_id_offset, std::span<const std::uint32_t> tags,
+    std::uint32_t device_id, CancelToken cancel,
+    std::span<const CancelToken> instance_cancel,
+    const SampleStore::CompletionCallback& on_complete) {
   sim::Device device(device_id, options_.device_params);
   attach_executor(device);
   CsrGraphView view(*graph_);
@@ -314,6 +317,7 @@ RunResult Sampler::run_in_memory(std::span<const std::vector<VertexId>> seeds,
   config.cancel = std::move(cancel);
   config.instance_cancel.assign(instance_cancel.begin(),
                                 instance_cancel.end());
+  config.on_instance_complete = on_complete;
   SamplingEngine engine(view, policy_, spec_, config);
   SampleRun run = engine.run(device, seeds);
 
@@ -329,7 +333,8 @@ RunResult Sampler::run_out_of_memory(
     std::span<const std::vector<VertexId>> seeds,
     std::uint32_t instance_id_offset, std::span<const std::uint32_t> tags,
     std::uint32_t device_id, CancelToken cancel,
-    std::span<const CancelToken> instance_cancel) {
+    std::span<const CancelToken> instance_cancel,
+    const SampleStore::CompletionCallback& on_complete) {
   sim::Device device(device_id, options_.device_params);
   attach_executor(device);
   OomConfig config = options_.oom_config();
@@ -338,6 +343,7 @@ RunResult Sampler::run_out_of_memory(
   config.engine.cancel = std::move(cancel);
   config.engine.instance_cancel.assign(instance_cancel.begin(),
                                        instance_cancel.end());
+  config.engine.on_instance_complete = on_complete;
   if (parts_ == nullptr) {
     // Single-device dispatch only; the multi-device path pre-builds the
     // partitioning before its groups run concurrently.
@@ -371,7 +377,8 @@ RunResult Sampler::run_out_of_memory(
 RunResult Sampler::run_multi_device(
     std::span<const std::vector<VertexId>> seeds,
     std::uint32_t instance_id_offset, std::span<const std::uint32_t> tags,
-    CancelToken cancel, std::span<const CancelToken> instance_cancel) {
+    CancelToken cancel, std::span<const CancelToken> instance_cancel,
+    const SampleStore::CompletionCallback& on_complete) {
   const auto num_instances = static_cast<std::uint32_t>(seeds.size());
 
   RunResult result;
@@ -410,12 +417,24 @@ RunResult Sampler::run_multi_device(
     const auto group_cancel =
         instance_cancel.empty() ? instance_cancel
                                 : instance_cancel.subspan(begin, end - begin);
+    // Completion callbacks fire with engine-local indices; re-base them
+    // to run-local seed indices. Groups complete instances concurrently,
+    // so the subscriber must be thread-safe (the service's streaming
+    // bridge locks its chunk queue). Rows a subscriber moves out are
+    // empty at merge time, matching the single-device contract.
+    SampleStore::CompletionCallback group_complete;
+    if (on_complete) {
+      group_complete = [&on_complete, begin](std::uint32_t i,
+                                             std::vector<Edge>& row) {
+        on_complete(begin + i, row);
+      };
+    }
     parts[d] =
         decision_.out_of_memory
             ? run_out_of_memory(group, instance_id_offset + begin, group_tags,
-                                d, cancel, group_cancel)
+                                d, cancel, group_cancel, group_complete)
             : run_in_memory(group, instance_id_offset + begin, group_tags, d,
-                            cancel, group_cancel);
+                            cancel, group_cancel, group_complete);
   };
   if (pool_ != nullptr && options_.num_devices > 1) {
     pool_->parallel_for(options_.num_devices,

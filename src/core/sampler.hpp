@@ -141,6 +141,15 @@ struct RunControl {
   /// deterministic form csaw::Service uses to cancel one request of a
   /// coalesced batch.
   std::vector<CancelToken> instance_cancel;
+  /// Per-instance completion subscription (run-local instance index,
+  /// i.e. the seeds index — multi-device dispatch re-bases each group's
+  /// engine-local indices back to run-local before forwarding). Fired
+  /// exactly once per non-cancelled instance as soon as its sample is
+  /// final; the subscriber may move the row out of the store (streaming)
+  /// or leave it. May be invoked concurrently and may block
+  /// (backpressure) — blocking costs host time only, never simulated
+  /// time, so seps() is independent of consumer speed. Null = buffered.
+  SampleStore::CompletionCallback on_instance_complete;
 };
 
 /// The C-SAW front door: one facade over the in-memory engine (paper
@@ -257,22 +266,25 @@ class Sampler {
                      std::uint32_t instance_id_offset,
                      std::span<const std::uint32_t> tags = {},
                      CancelToken cancel = {},
-                     std::span<const CancelToken> instance_cancel = {});
+                     std::span<const CancelToken> instance_cancel = {},
+                     const SampleStore::CompletionCallback& on_complete = {});
   RunResult run_in_memory(std::span<const std::vector<VertexId>> seeds,
                           std::uint32_t instance_id_offset,
                           std::span<const std::uint32_t> tags,
                           std::uint32_t device_id, CancelToken cancel,
-                          std::span<const CancelToken> instance_cancel);
-  RunResult run_out_of_memory(std::span<const std::vector<VertexId>> seeds,
-                              std::uint32_t instance_id_offset,
-                              std::span<const std::uint32_t> tags,
-                              std::uint32_t device_id, CancelToken cancel,
-                              std::span<const CancelToken> instance_cancel);
-  RunResult run_multi_device(std::span<const std::vector<VertexId>> seeds,
-                             std::uint32_t instance_id_offset,
-                             std::span<const std::uint32_t> tags,
-                             CancelToken cancel,
-                             std::span<const CancelToken> instance_cancel);
+                          std::span<const CancelToken> instance_cancel,
+                          const SampleStore::CompletionCallback& on_complete);
+  RunResult run_out_of_memory(
+      std::span<const std::vector<VertexId>> seeds,
+      std::uint32_t instance_id_offset, std::span<const std::uint32_t> tags,
+      std::uint32_t device_id, CancelToken cancel,
+      std::span<const CancelToken> instance_cancel,
+      const SampleStore::CompletionCallback& on_complete);
+  RunResult run_multi_device(
+      std::span<const std::vector<VertexId>> seeds,
+      std::uint32_t instance_id_offset, std::span<const std::uint32_t> tags,
+      CancelToken cancel, std::span<const CancelToken> instance_cancel,
+      const SampleStore::CompletionCallback& on_complete);
 
   /// Creates the run-wide host pool on first use (width from
   /// num_threads / CSAW_THREADS); null when the resolved width is serial.

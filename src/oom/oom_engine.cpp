@@ -95,6 +95,11 @@ OomRun OomEngine::run(sim::Device& device,
 
   queues_.assign(config_.num_partitions, FrontierQueue{});
   chain_of_.assign(num_instances, ~0u);
+  streaming_ = static_cast<bool>(config_.engine.on_instance_complete);
+  if (streaming_) {
+    result.samples.set_completion_callback(config_.engine.on_instance_complete);
+    queued_.assign(num_instances, 0);
+  }
 
   device.set_num_threads(config_.engine.num_threads);
   ensure_workers(device.max_workers());
@@ -147,6 +152,7 @@ OomRun OomEngine::run(sim::Device& device,
         queues_[parts_->part_of(seed)].push(FrontierEntry{
             seed, config_.engine.global_instance_id(i), /*local=*/i,
             /*depth=*/0, static_cast<std::uint32_t>(s), kInvalidVertex});
+        if (streaming_) ++queued_[i];
       }
     }
 
@@ -155,6 +161,21 @@ OomRun OomEngine::run(sim::Device& device,
     } else {
       schedule_until_drained(device, result, round_robin_cursor, imbalance);
     }
+  }
+
+  // Completion sweep: the barrier (wave) schedule tracks no per-instance
+  // counts, and zero-seed instances never enter a queue — both complete
+  // here. Cancelled instances never complete. Pipelined rounds already
+  // fired their instances (completed(i) guards the double fire).
+  if (streaming_) {
+    const bool may_cancel = config_.engine.may_cancel();
+    for (std::uint32_t i = 0; i < num_instances; ++i) {
+      if (result.samples.completed(i)) continue;
+      if (may_cancel && config_.engine.instance_cancelled(i)) continue;
+      result.samples.complete(i);
+    }
+    result.samples.set_completion_callback({});
+    streaming_ = false;
   }
 
   result.sim_seconds = device.synchronize() - t0;
@@ -310,6 +331,9 @@ void OomEngine::run_residency_pipelined(sim::Device& device,
   std::vector<std::vector<std::vector<FrontierEntry>>> pending;
   for (std::size_t i = 0; i < chosen; ++i) {
     for (const FrontierEntry& e : queues_[plan.partitions[i]].drain()) {
+      // Streaming bookkeeping first: a drained entry leaves the queues
+      // whether the chain processes it or the cancel skip drops it.
+      if (streaming_) --queued_[e.local];
       // Queued work of a cancelled instance is dropped at the drain —
       // its chain never forms; no other instance's entries move.
       if (may_cancel && config_.engine.instance_cancelled(e.local)) continue;
@@ -417,15 +441,34 @@ void OomEngine::run_residency_pipelined(sim::Device& device,
   // schedule (every consumer sorts by (instance, depth, slot), so only
   // the multiset matters).
   for (std::size_t c = 0; c < chain_instances.size(); ++c) {
+    std::size_t returned = 0;
     for (std::size_t i = 0; i < chosen; ++i) {
       for (const FrontierEntry& e : pending[c][i]) {
         queues_[plan.partitions[i]].push(e);
       }
+      returned += pending[c][i].size();
     }
     for (const FrontierEntry& e : routed_out[c]) {
       queues_[parts_->part_of(e.vertex)].push(e);
     }
+    returned += routed_out[c].size();
+    if (streaming_) {
+      queued_[chain_instances[c]] += static_cast<std::uint32_t>(returned);
+    }
     chain_of_[chain_instances[c]] = kNoChain;
+  }
+
+  // Streaming flush point: an instance whose outstanding-entry count hit
+  // zero has no work left in any partition queue — its sample is final
+  // now, not merely when the whole run drains. (Chain-local emptiness
+  // alone would be wrong: entries can sit in queues of partitions not
+  // chosen this round.)
+  if (streaming_) {
+    for (const std::uint32_t local : chain_instances) {
+      if (queued_[local] != 0 || samples_->completed(local)) continue;
+      if (may_cancel && config_.engine.instance_cancelled(local)) continue;
+      samples_->complete(local);
+    }
   }
 }
 
@@ -519,6 +562,9 @@ void OomEngine::run_cached_pipelined(sim::Device& device, OomRun& result,
     std::vector<std::vector<std::vector<FrontierEntry>>> chain_pending;
     for (std::size_t i = 0; i < chosen_count; ++i) {
       for (const FrontierEntry& e : queues_[chosen[i]].drain()) {
+        // Streaming bookkeeping first: the entry leaves the queues either
+        // way (processed or dropped by the cancel skip).
+        if (streaming_) --queued_[e.local];
         // Cancelled instances' pending entries are dropped at the round
         // boundary; surviving instances' processing order is untouched.
         if (may_cancel && config_.engine.instance_cancelled(e.local)) continue;
@@ -641,13 +687,19 @@ void OomEngine::run_cached_pipelined(sim::Device& device, OomRun& result,
     // identical queue contents to the legacy schedules — every consumer
     // sorts, so only the multiset matters).
     for (std::size_t c = 0; c < num_chains; ++c) {
+      std::size_t returned = 0;
       for (std::size_t i = 0; i < chosen_count; ++i) {
         for (const FrontierEntry& e : chain_pending[c][i]) {
           queues_[chosen[i]].push(e);
         }
+        returned += chain_pending[c][i].size();
       }
       for (const FrontierEntry& e : routed_out[c]) {
         queues_[parts_->part_of(e.vertex)].push(e);
+      }
+      returned += routed_out[c].size();
+      if (streaming_) {
+        queued_[chain_instances[c]] += static_cast<std::uint32_t>(returned);
       }
       chain_of_[chain_instances[c]] = kNoChain;
     }
@@ -658,6 +710,19 @@ void OomEngine::run_cached_pipelined(sim::Device& device, OomRun& result,
     }
     cache.settle(round_end);
     round_guard.commit();
+
+    // Streaming flush point, after the round's pins are released: fire
+    // completion for every instance of this round whose outstanding-entry
+    // count reached zero — no entries left in any partition queue means
+    // its sample is final. A blocked subscriber parks the driver in host
+    // time only; the round's simulated timeline is already settled.
+    if (streaming_) {
+      for (const std::uint32_t local : chain_instances) {
+        if (queued_[local] != 0 || samples_->completed(local)) continue;
+        if (may_cancel && config_.engine.instance_cancelled(local)) continue;
+        samples_->complete(local);
+      }
+    }
   }
 }
 

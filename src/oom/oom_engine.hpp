@@ -185,6 +185,16 @@ class OomEngine {
   /// once per run; run_residency_pipelined resets only the slots it
   /// assigned.
   std::vector<std::uint32_t> chain_of_;
+  /// Streaming runs only: outstanding frontier entries per local
+  /// instance across ALL partition queues. A chain finishing its round
+  /// with entries left in non-resident queues is not done — the count
+  /// is, so the pipelined paths fire per-instance completion at the
+  /// first round boundary where an instance's count hits zero
+  /// (maintained on the driver thread: decremented at queue drain,
+  /// incremented at merge-back).
+  std::vector<std::uint32_t> queued_;
+  /// Whether this run has a completion subscriber (fixed at run entry).
+  bool streaming_ = false;
 };
 
 }  // namespace csaw

@@ -38,6 +38,7 @@ Service::Service(ServiceConfig config) : config_(std::move(config)) {
   CSAW_CHECK(config_.max_request_instances >= 1);
   CSAW_CHECK(config_.max_batch_instances >= config_.max_request_instances);
   CSAW_CHECK(config_.max_concurrent_batches >= 1);
+  CSAW_CHECK(config_.stream_chunk_budget >= 1);
   quantum_ = config_.fairness_quantum > 0
                  ? config_.fairness_quantum
                  : std::max(1u, config_.max_request_instances / 4);
@@ -202,8 +203,16 @@ void Service::sweep_queue_locked() {
             : RequestOutcome::kCancelled;
     retire_timers_locked(it->ticket);
     book_outcome_locked(it->request.tenant, outcome);
-    it->promise.set_exception(std::make_exception_ptr(RequestError(
-        outcome, "request " + to_string(outcome) + " while queued")));
+    const std::string what =
+        "request " + to_string(outcome) + " while queued";
+    if (it->stream != nullptr) {
+      // Streaming requests report through their stream, never the
+      // promise. StreamState::mu is a leaf lock under mu_.
+      detail::finish_stream(*it->stream, outcome, what);
+    } else {
+      it->promise.set_exception(
+          std::make_exception_ptr(RequestError(outcome, what)));
+    }
     it = queue_.erase(it);
     removed = true;
   }
@@ -218,6 +227,32 @@ void Service::retire_timers_locked(std::uint64_t ticket) {
 }
 
 Submission Service::submit(SampleRequest request) {
+  return submit_impl(std::move(request), nullptr);
+}
+
+StreamSubmission Service::submit_streaming(SampleRequest request) {
+  auto state = std::make_shared<detail::StreamState>();
+  state->budget = config_.stream_chunk_budget;
+  // The abandon source chains the client's token: either firing cancels
+  // the request's remaining instances, and the run-token reason walk
+  // reports whichever fired first.
+  state->abort = CancelSource::linked(request.cancel);
+  Submission base = submit_impl(std::move(request), state);
+
+  StreamSubmission submission;
+  submission.rejected = base.rejected;
+  submission.ticket = base.ticket;
+  submission.rng_base = base.rng_base;
+  if (base.accepted()) {
+    // Not make_shared: the constructor is private to keep streams
+    // service-made only (Service is a friend).
+    submission.stream.reset(new SampleStream(std::move(state)));
+  }
+  return submission;
+}
+
+Submission Service::submit_impl(SampleRequest request,
+                                std::shared_ptr<detail::StreamState> stream) {
   Submission submission;
 
   // Phase 1 (locked, O(1)): liveness and graph lookup.
@@ -327,17 +362,24 @@ Submission Service::submit(SampleRequest request) {
     pending.ticket = next_ticket_++;
     pending.rng_base = rng_base;
     pending.enqueued = std::chrono::steady_clock::now();
+    pending.stream = std::move(stream);
+    // Base of the run-token chain: the stream's abandon source (itself
+    // linked to the client token) for streaming requests, the client
+    // token alone otherwise (possibly invalid — then wholly inert).
+    const CancelToken base_token = pending.stream != nullptr
+                                       ? pending.stream->abort.token()
+                                       : pending.request.cancel;
     if (pending.request.deadline.has_value()) {
       // Deadline-armed: the engines poll a service-owned source the
-      // dispatcher can fire at expiry; a client cancel chains through
-      // its parent link. Registered in the wheel until retirement.
-      CancelSource source = CancelSource::linked(pending.request.cancel);
+      // dispatcher can fire at expiry; a client cancel (or stream
+      // abandon) chains through its parent link. Registered in the
+      // wheel until retirement.
+      CancelSource source = CancelSource::linked(base_token);
       pending.run_token = source.token();
       wheel_.add(pending.ticket, *pending.request.deadline);
       timed_.emplace(pending.ticket, std::move(source));
     } else {
-      // Client token only (possibly invalid — then wholly inert).
-      pending.run_token = pending.request.cancel;
+      pending.run_token = base_token;
     }
     submission.ticket = pending.ticket;
     submission.rng_base = rng_base;
@@ -678,6 +720,40 @@ void Service::run_batch(std::vector<Pending> batch) {
       }
     }
 
+    // Streaming bridge: route each batch instance's completion callback
+    // to its request's chunk queue with the request-local index. Fired
+    // concurrently from engine workers; stream_push locks per stream and
+    // parks at the chunk budget (backpressure — host time only, so the
+    // batch's bytes and simulated timing are consumer-independent).
+    // Buffered neighbors in a mixed batch route nowhere and keep their
+    // rows for the split below.
+    struct InstanceRoute {
+      detail::StreamState* stream = nullptr;
+      std::uint32_t local = 0;
+    };
+    std::vector<InstanceRoute> routes;
+    bool any_stream = false;
+    for (const Pending& pending : batch) {
+      any_stream = any_stream || pending.stream != nullptr;
+    }
+    if (any_stream) {
+      routes.reserve(seeds.size());
+      for (const Pending& pending : batch) {
+        const auto count =
+            static_cast<std::uint32_t>(pending.request.seeds.size());
+        for (std::uint32_t i = 0; i < count; ++i) {
+          routes.push_back(InstanceRoute{pending.stream.get(), i});
+        }
+      }
+      control.on_instance_complete = [&routes](std::uint32_t i,
+                                               std::vector<Edge>& row) {
+        const InstanceRoute& route = routes[i];
+        if (route.stream != nullptr) {
+          detail::stream_push(*route.stream, route.local, std::move(row));
+        }
+      };
+    }
+
     const SampleRequest& head = batch.front().request;
     const AlgorithmSetup setup = make_algorithm(
         head.algorithm, head.depth_or_length, head.neighbor_size);
@@ -809,7 +885,14 @@ void Service::run_batch(std::vector<Pending> batch) {
       for (std::size_t r = 0; r < num_requests; ++r) {
         book_outcome_locked(batch[r].request.tenant, outcomes[r]);
         if (outcomes[r] == RequestOutcome::kOk) {
-          const std::uint64_t edges = results[r].sampled_edges();
+          // A streamed request's rows were moved into its chunk queue at
+          // completion time, so the split store is empty — book from the
+          // stream's edge counter instead (its producer side is done;
+          // StreamState::mu is a leaf lock under mu_).
+          const std::uint64_t edges =
+              batch[r].stream != nullptr
+                  ? detail::stream_edges(*batch[r].stream)
+                  : results[r].sampled_edges();
           stats_.sampled_edges += edges;
           tenants_.at(batch[r].request.tenant).sampled_edges += edges;
         }
@@ -818,6 +901,16 @@ void Service::run_batch(std::vector<Pending> batch) {
     }
 
     for (std::size_t r = 0; r < num_requests; ++r) {
+      if (batch[r].stream != nullptr) {
+        // Terminal stream transition: chunks already queued drain first,
+        // then the consumer sees nullopt (kOk) or the typed outcome.
+        detail::finish_stream(
+            *batch[r].stream, outcomes[r],
+            outcomes[r] == RequestOutcome::kOk
+                ? std::string()
+                : "request " + to_string(outcomes[r]) + " mid-batch");
+        continue;
+      }
       if (outcomes[r] != RequestOutcome::kOk) {
         batch[r].promise.set_exception(std::make_exception_ptr(RequestError(
             outcomes[r],
@@ -893,8 +986,15 @@ void Service::run_batch(std::vector<Pending> batch) {
       }
     }
     for (std::size_t r = 0; r < num_requests; ++r) {
-      batch[r].promise.set_exception(std::make_exception_ptr(
-          RequestError(outcomes[r], to_string(outcomes[r]) + ": " + what)));
+      const std::string message = to_string(outcomes[r]) + ": " + what;
+      if (batch[r].stream != nullptr) {
+        // Chunks completed before the fault stay deliverable; the typed
+        // outcome surfaces once the consumer drains them.
+        detail::finish_stream(*batch[r].stream, outcomes[r], message);
+        continue;
+      }
+      batch[r].promise.set_exception(
+          std::make_exception_ptr(RequestError(outcomes[r], message)));
     }
   }
 }

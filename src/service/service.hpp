@@ -16,6 +16,7 @@
 
 #include "core/sampler.hpp"
 #include "service/request.hpp"
+#include "service/stream.hpp"
 #include "service/timer_wheel.hpp"
 
 namespace csaw {
@@ -91,6 +92,13 @@ struct ServiceConfig {
   /// Health reporting: how many recently retired requests the
   /// recent-outcome window of Service::health() covers.
   std::uint32_t health_window = 256;
+  /// Streaming delivery (Service::submit_streaming): in-flight chunks one
+  /// stream may queue before its producer parks — the backpressure bound.
+  /// A slow consumer therefore pins at most this many instances' edges
+  /// (plus one in-flight row per engine worker), never the whole run.
+  /// Parking costs host time only; samples and simulated timing are
+  /// consumer-speed-independent. At least 1.
+  std::uint32_t stream_chunk_budget = 8;
 };
 
 /// Point-in-time operational snapshot (Service::health()) — the liveness
@@ -197,6 +205,21 @@ class Service {
   /// Thread-safe; any number of client threads may submit concurrently.
   Submission submit(SampleRequest request);
 
+  /// Streaming entry point: same admission control, batching, fairness
+  /// and fault taxonomy as submit(), but the result arrives as a
+  /// SampleStream yielding each instance's complete sample the moment
+  /// its pipelined chain finishes, instead of one buffered RunResult.
+  /// The concatenation of a stream's chunks, ordered by their
+  /// request-local instance index, is byte-identical to the RunResult
+  /// submit() would have returned — at any thread count, execution mode
+  /// and consumer speed (tests/service/service_stream_test.cpp). A slow
+  /// consumer exerts backpressure bounded by
+  /// ServiceConfig::stream_chunk_budget; cancellation and deadlines
+  /// surface mid-stream as RequestError after the already-completed
+  /// chunks drain. Dropping the stream cancels the request's remaining
+  /// instances.
+  StreamSubmission submit_streaming(SampleRequest request);
+
   /// Blocking convenience wrapper: submit + wait. Throws ServiceError on
   /// rejection and rethrows the batch's exception on failure.
   RunResult sample(SampleRequest request);
@@ -256,6 +279,12 @@ class Service {
     /// or invalid — inert, no polling — for a plain request.
     CancelToken run_token;
     std::promise<RunResult> promise;
+    /// Non-null for streaming requests: the chunk queue run_batch's
+    /// completion bridge feeds and the client's SampleStream drains. A
+    /// streaming request's promise is never fulfilled — the stream's
+    /// terminal outcome replaces it. The stream's abandon source is the
+    /// base of run_token's chain.
+    std::shared_ptr<detail::StreamState> stream;
   };
 
   /// Scheduler-side per-tenant state (under mu_): the deficit-round-
@@ -296,6 +325,13 @@ class Service {
     std::chrono::steady_clock::time_point next_deadline{};
   };
 
+  /// Shared admission path of submit() and submit_streaming(): validates,
+  /// assigns the Philox range and enqueues. `stream` is null for buffered
+  /// requests; when non-null it becomes the Pending's chunk queue and its
+  /// abandon source replaces the client token at the base of the
+  /// run-token chain.
+  Submission submit_impl(SampleRequest request,
+                         std::shared_ptr<detail::StreamState> stream);
   /// Bumps the per-reason rejection counter (under mu_).
   void count_rejection_locked(RejectReason reason);
   /// Books one retired request's outcome into the lifetime counters, the

@@ -1,0 +1,141 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "service/request.hpp"
+#include "util/cancel.hpp"
+
+namespace csaw {
+
+class Service;
+
+/// One streamed delivery: the complete, final sample of one instance of
+/// the request. `instance` is the request-local index (0-based over the
+/// request's seed lists); chunks arrive in completion order, which
+/// threading makes nondeterministic across instances — sort by `instance`
+/// to reconstruct the buffered RunResult's row order. Exactly one chunk
+/// per instance of a successful request; a failed request delivers the
+/// chunks completed before the fault, then the typed outcome.
+struct StreamChunk {
+  std::uint32_t instance = 0;
+  std::vector<Edge> edges;
+};
+
+namespace detail {
+
+/// Shared producer/consumer state behind one SampleStream. The batch
+/// runner's completion bridge pushes chunks (stream_push), the client
+/// thread pops them (SampleStream::next); `mu` is a leaf lock — code
+/// holding the service mutex may take it, never the reverse.
+struct StreamState {
+  std::mutex mu;
+  std::condition_variable producer_cv;  ///< waits: queue under budget
+  std::condition_variable consumer_cv;  ///< waits: chunk ready / finished
+  std::deque<StreamChunk> chunks;
+  /// In-flight chunk budget (ServiceConfig::stream_chunk_budget): the
+  /// producer parks once `chunks` holds this many — backpressure, in
+  /// host time only.
+  std::uint32_t budget = 1;
+  bool finished = false;   ///< terminal outcome recorded; no more pushes
+  bool abandoned = false;  ///< consumer cancelled; drop instead of park
+  RequestOutcome outcome = RequestOutcome::kOk;
+  std::string error;
+  /// Edges moved into the queue so far (what the service books as
+  /// sampled_edges for a successful streamed request).
+  std::uint64_t streamed_edges = 0;
+  /// High-water mark of queued chunks — never exceeds `budget`.
+  std::size_t peak_queued = 0;
+  std::uint64_t delivered_chunks = 0;
+  std::uint64_t delivered_edges = 0;
+  /// Service-owned abandon source, linked to the client's request token;
+  /// its token is the base of the run-token chain, so dropping the
+  /// stream cancels the request's remaining instances.
+  CancelSource abort;
+};
+
+/// Producer side: moves `edges` into the queue as instance `instance`'s
+/// chunk, parking while the queue is at budget. On an abandoned stream
+/// the row is left in place and the push is dropped (the request is
+/// failing; nobody will read it). Called from engine worker threads and
+/// the batch runner — any thread, concurrently.
+void stream_push(StreamState& state, std::uint32_t instance,
+                 std::vector<Edge>&& edges);
+
+/// Terminal transition: records the outcome, wakes both sides. Chunks
+/// already queued stay deliverable — consumers drain them before seeing
+/// the outcome. Idempotent (the first outcome wins).
+void finish_stream(StreamState& state, RequestOutcome outcome,
+                   std::string error);
+
+/// Snapshot of streamed_edges (locked; for the service's edge booking —
+/// by then the producer is done, but the consumer may be mid-drain).
+std::uint64_t stream_edges(StreamState& state);
+
+}  // namespace detail
+
+/// Client handle of one streamed request (Service::submit_streaming):
+/// yields each instance's complete sample as soon as its pipelined chain
+/// finishes, instead of buffering the whole RunResult. Not thread-safe —
+/// one consumer thread at a time (any thread, just not concurrently).
+class SampleStream {
+ public:
+  /// The destructor abandons the stream: remaining chunks are dropped
+  /// and the request's outstanding instances are cancelled, so a parked
+  /// batch never waits on a dead consumer.
+  ~SampleStream();
+
+  SampleStream(const SampleStream&) = delete;
+  SampleStream& operator=(const SampleStream&) = delete;
+
+  /// Blocks for the next chunk. Returns nullopt once every chunk of a
+  /// successful request was delivered; throws RequestError (the PR 7
+  /// outcome taxonomy: kCancelled / kDeadlineExceeded / kTransferFailed
+  /// / kInternal) after a failed request's completed chunks have been
+  /// drained.
+  std::optional<StreamChunk> next();
+
+  /// Abandons the stream: drops undelivered chunks, stops blocking the
+  /// producer, and cancels the request's remaining instances (the
+  /// request retires as kCancelled unless it already finished).
+  void cancel();
+
+  /// Terminal outcome; meaningful once next() returned nullopt or threw
+  /// (kOk until the request retires).
+  RequestOutcome outcome() const;
+  /// High-water mark of queued-but-undelivered chunks; bounded by
+  /// ServiceConfig::stream_chunk_budget by construction.
+  std::uint64_t peak_queued() const;
+  std::uint64_t delivered_chunks() const;
+  std::uint64_t delivered_edges() const;
+
+ private:
+  friend class Service;
+  explicit SampleStream(std::shared_ptr<detail::StreamState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::StreamState> state_;
+};
+
+/// Result of Service::submit_streaming — the streaming counterpart of
+/// Submission: the same typed admission verdict, ticket and Philox base,
+/// with a chunk stream in place of the future.
+struct StreamSubmission {
+  RejectReason rejected = RejectReason::kNone;
+  std::uint64_t ticket = 0;
+  std::uint32_t rng_base = 0;
+  /// Valid only when accepted.
+  std::shared_ptr<SampleStream> stream;
+
+  bool accepted() const noexcept { return rejected == RejectReason::kNone; }
+};
+
+}  // namespace csaw

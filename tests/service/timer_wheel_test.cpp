@@ -1,0 +1,153 @@
+// Unit coverage for the dispatcher's slot-bucketed deadline index: slot
+// bucketing keeps distinct deadlines independent, expire() pops in
+// deadline order (ties by ticket), remove() before the deadline never
+// fires, and deadlines far enough apart to wrap the slot ring land in the
+// right expiry batch anyway (the wheel hashes ticks into slots but keeps
+// exact deadlines per entry).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "service/timer_wheel.hpp"
+
+namespace csaw {
+namespace {
+
+using Clock = TimerWheel::Clock;
+using std::chrono::milliseconds;
+
+TEST(TimerWheel, StartsEmpty) {
+  TimerWheel wheel;
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_EQ(wheel.size(), 0u);
+  EXPECT_FALSE(wheel.next_wakeup().has_value());
+  EXPECT_TRUE(wheel.expire(Clock::now()).empty());
+}
+
+TEST(TimerWheel, ExpiresOnlyDueTickets) {
+  TimerWheel wheel;
+  const auto t0 = Clock::now();
+  wheel.add(1, t0 + milliseconds(5));
+  wheel.add(2, t0 + milliseconds(50));
+  wheel.add(3, t0 + milliseconds(500));
+  EXPECT_EQ(wheel.size(), 3u);
+
+  // Nothing is due yet.
+  EXPECT_TRUE(wheel.expire(t0).empty());
+  EXPECT_EQ(wheel.size(), 3u);
+
+  // Only the 5ms ticket at t0+10ms.
+  EXPECT_EQ(wheel.expire(t0 + milliseconds(10)),
+            (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(wheel.size(), 2u);
+
+  // The rest, once due — each fires exactly once.
+  EXPECT_EQ(wheel.expire(t0 + milliseconds(600)),
+            (std::vector<std::uint64_t>{2, 3}));
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_TRUE(wheel.expire(t0 + milliseconds(700)).empty());
+}
+
+TEST(TimerWheel, ExpiryOrderIsDeadlineThenTicket) {
+  TimerWheel wheel;
+  const auto t0 = Clock::now();
+  // Inserted out of order; 40 and 41 share one deadline (tie on ticket).
+  wheel.add(9, t0 + milliseconds(30));
+  wheel.add(41, t0 + milliseconds(10));
+  wheel.add(40, t0 + milliseconds(10));
+  wheel.add(7, t0 + milliseconds(20));
+  EXPECT_EQ(wheel.expire(t0 + milliseconds(60)),
+            (std::vector<std::uint64_t>{40, 41, 7, 9}));
+}
+
+TEST(TimerWheel, PastDeadlineFiresImmediately) {
+  TimerWheel wheel;
+  const auto t0 = Clock::now();
+  wheel.add(5, t0 - milliseconds(20));
+  EXPECT_EQ(wheel.expire(t0), (std::vector<std::uint64_t>{5}));
+}
+
+TEST(TimerWheel, CancelBeforeFireNeverExpires) {
+  TimerWheel wheel;
+  const auto t0 = Clock::now();
+  wheel.add(1, t0 + milliseconds(5));
+  wheel.add(2, t0 + milliseconds(5));
+  wheel.remove(1);
+  EXPECT_EQ(wheel.size(), 1u);
+  // remove() is idempotent — retired requests race their own deadlines.
+  wheel.remove(1);
+  wheel.remove(99);
+  EXPECT_EQ(wheel.expire(t0 + milliseconds(10)),
+            (std::vector<std::uint64_t>{2}));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, ReAddReplacesDeadline) {
+  TimerWheel wheel;
+  const auto t0 = Clock::now();
+  wheel.add(1, t0 + milliseconds(5));
+  wheel.add(1, t0 + milliseconds(500));  // re-register: the later one wins
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_TRUE(wheel.expire(t0 + milliseconds(100)).empty());
+  EXPECT_EQ(wheel.expire(t0 + milliseconds(600)),
+            (std::vector<std::uint64_t>{1}));
+}
+
+TEST(TimerWheel, NextWakeupTracksEarliestDeadline) {
+  TimerWheel wheel;
+  const auto t0 = Clock::now();
+  wheel.add(1, t0 + milliseconds(300));
+  ASSERT_TRUE(wheel.next_wakeup().has_value());
+  EXPECT_EQ(*wheel.next_wakeup(), t0 + milliseconds(300));
+
+  wheel.add(2, t0 + milliseconds(100));
+  EXPECT_EQ(*wheel.next_wakeup(), t0 + milliseconds(100));
+
+  // Removing the earliest re-exposes the survivor.
+  wheel.remove(2);
+  EXPECT_EQ(*wheel.next_wakeup(), t0 + milliseconds(300));
+
+  wheel.remove(1);
+  EXPECT_FALSE(wheel.next_wakeup().has_value());
+}
+
+TEST(TimerWheel, WraparoundKeepsDistantDeadlinesApart) {
+  // A tiny ring (4 slots x 1ms) guarantees collisions: deadlines 4ms
+  // apart hash to the SAME slot, deadlines 250ms apart wrap the ring many
+  // times over. Neither may leak into an earlier expiry batch.
+  TimerWheel wheel(/*num_slots=*/4, milliseconds(1));
+  const auto t0 = Clock::now();
+  wheel.add(1, t0 + milliseconds(2));
+  wheel.add(2, t0 + milliseconds(6));    // same slot as ticket 1
+  wheel.add(3, t0 + milliseconds(250));  // wraps the ring ~62 times
+  wheel.add(4, t0 + milliseconds(251));
+
+  EXPECT_EQ(wheel.expire(t0 + milliseconds(3)),
+            (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(wheel.expire(t0 + milliseconds(7)),
+            (std::vector<std::uint64_t>{2}));
+  // Far future: still pending, next_wakeup still bounded by them.
+  EXPECT_EQ(wheel.size(), 2u);
+  EXPECT_EQ(*wheel.next_wakeup(), t0 + milliseconds(250));
+  EXPECT_EQ(wheel.expire(t0 + milliseconds(300)),
+            (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheel, ManyTicketsAcrossSlotsExpireInOneCall) {
+  TimerWheel wheel(/*num_slots=*/8, milliseconds(1));
+  const auto t0 = Clock::now();
+  std::vector<std::uint64_t> want;
+  for (std::uint64_t t = 0; t < 64; ++t) {
+    // Spread over 64 distinct deadlines: every slot holds 8 entries.
+    wheel.add(t, t0 + milliseconds(1 + static_cast<int>(t)));
+    want.push_back(t);
+  }
+  EXPECT_EQ(wheel.size(), 64u);
+  EXPECT_EQ(wheel.expire(t0 + milliseconds(100)), want);
+  EXPECT_TRUE(wheel.empty());
+}
+
+}  // namespace
+}  // namespace csaw

@@ -188,6 +188,25 @@ Json run_service_throughput(const BenchEnv& /*env*/, std::ostream& log) {
   record.set("batches", stats.batches);
   record.set("coalesced_requests", stats.coalesced_requests);
   record.set("max_batch_requests", stats.max_batch_requests);
+  // Telemetry histograms (schema v6): the queue-wait and host in-flight
+  // latency distributions, wall-clock like the rest of this block —
+  // informational, never gated.
+  Json histograms = Json::object();
+  for (const char* name :
+       {"csaw_request_queue_wait_seconds", "csaw_request_inflight_seconds"}) {
+    const telemetry::HistogramSnapshot snapshot = service.histogram(name);
+    Json h = Json::object();
+    Json bounds = Json::array();
+    for (double bound : snapshot.bounds) bounds.push_back(bound);
+    Json buckets = Json::array();
+    for (std::uint64_t bucket : snapshot.buckets) buckets.push_back(bucket);
+    h.set("bounds", std::move(bounds));
+    h.set("buckets", std::move(buckets));
+    h.set("count", snapshot.count);
+    h.set("sum", snapshot.sum);
+    histograms.set(name, std::move(h));
+  }
+  record.set("histograms", std::move(histograms));
   return record;
 }
 

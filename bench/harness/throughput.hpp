@@ -20,7 +20,10 @@ namespace csaw::bench {
 /// "paged_service" block: the demand-driven partition cache vs the legacy
 /// global residency plan (single_graph) and two paged graphs contending
 /// for one undersized device (contention) — all simulated SEPS, gated.
-constexpr int kTrajectorySchemaVersion = 5;
+/// v6 added the telemetry histograms to the "service" block: queue-wait
+/// and host in-flight latency distributions ("histograms", informational
+/// like the rest of the block) snapshotted from Service::histogram().
+constexpr int kTrajectorySchemaVersion = 6;
 
 /// Runs the throughput trajectory workloads (biased neighbor sampling +
 /// biased random walk on the CSAW_THROUGHPUT_GRAPH stand-in, default LJ)

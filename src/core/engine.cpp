@@ -326,6 +326,15 @@ void SamplingEngine::run_pipelined(sim::Device& device,
         const auto i = static_cast<std::uint32_t>(chain);
         InstanceState& inst = instances[i];
         WorkerScratch& ws = workers_[worker];
+        // Chain span: one per instance, covering its whole step loop.
+        // Host-time only — the simulated schedule never sees the recorder.
+        std::uint64_t chain_span = 0;
+        if (config_.should_trace()) {
+          chain_span = config_.trace->begin_span(
+              "chain",
+              {{"instance", std::to_string(config_.global_instance_id(i))},
+               {"batch", std::to_string(config_.trace_batch)}});
+        }
         std::vector<std::uint32_t> positions;
         std::vector<TaskResult> results;
         for (std::uint32_t step = 0; step < spec_.depth && inst.active;
@@ -373,6 +382,11 @@ void SamplingEngine::run_pipelined(sim::Device& device,
         if (samples.streaming() &&
             !(config_.may_cancel() && config_.instance_cancelled(i))) {
           samples.complete(i);
+        }
+        if (config_.should_trace()) {
+          config_.trace->end_span(
+              chain_span, "chain",
+              {{"edges", std::to_string(samples.edges(i).size())}});
         }
       },
       config_.cancel);

@@ -14,6 +14,7 @@
 #include "core/sample_store.hpp"
 #include "gpusim/device.hpp"
 #include "select/its.hpp"
+#include "telemetry/trace.hpp"
 #include "util/cancel.hpp"
 #include "util/rng.hpp"
 
@@ -150,6 +151,20 @@ struct EngineConfig {
   /// parks the producing chain in host time only, so samples and
   /// sim_seconds are unchanged. Null = buffered run, zero overhead.
   SampleStore::CompletionCallback on_instance_complete;
+  /// Per-request trace recorder (telemetry/trace.hpp), null by default.
+  /// When set, engines emit chain spans (and the partition cache emits
+  /// transfer spans) attributed to `trace_batch`. Recording only touches
+  /// host time — simulated time and samples are byte-identical with or
+  /// without a recorder. Gated like cancellation: a null pointer costs
+  /// exactly one branch per site (see should_trace()).
+  telemetry::TraceRecorder* trace = nullptr;
+  /// Batch id stamped on every span this run emits (the service uses its
+  /// dispatcher batch sequence number; standalone runs leave 0).
+  std::uint64_t trace_batch = 0;
+
+  /// True when a recorder is attached — the may_cancel() idiom: hot
+  /// sites test this single pointer before building any event.
+  bool should_trace() const noexcept { return trace != nullptr; }
 
   /// True when any cancellation token is armed — engines use this to
   /// skip per-entry polling entirely on the common path.

@@ -244,6 +244,17 @@ RunResult Sampler::run_tagged(std::span<const std::vector<VertexId>> seeds,
                  "RunControl::instance_cancel has "
                      << control.instance_cancel.size() << " tokens for "
                      << seeds.size() << " seed lists");
+  // Run-scoped trace attribution; the guard clears it even when the run
+  // throws (TransferError), so a later untraced run stays untraced.
+  trace_ = control.trace;
+  trace_batch_ = control.trace_batch;
+  struct TraceReset {
+    Sampler* self;
+    ~TraceReset() {
+      self->trace_ = nullptr;
+      self->trace_batch_ = 0;
+    }
+  } reset{this};
   return dispatch(seeds, options_.instance_id_offset, tags, control.cancel,
                   control.instance_cancel, control.on_instance_complete);
 }
@@ -318,6 +329,8 @@ RunResult Sampler::run_in_memory(
   config.instance_cancel.assign(instance_cancel.begin(),
                                 instance_cancel.end());
   config.on_instance_complete = on_complete;
+  config.trace = trace_;
+  config.trace_batch = trace_batch_;
   SamplingEngine engine(view, policy_, spec_, config);
   SampleRun run = engine.run(device, seeds);
 
@@ -344,6 +357,8 @@ RunResult Sampler::run_out_of_memory(
   config.engine.instance_cancel.assign(instance_cancel.begin(),
                                        instance_cancel.end());
   config.engine.on_instance_complete = on_complete;
+  config.engine.trace = trace_;
+  config.engine.trace_batch = trace_batch_;
   if (parts_ == nullptr) {
     // Single-device dispatch only; the multi-device path pre-builds the
     // partitioning before its groups run concurrently.

@@ -150,6 +150,14 @@ struct RunControl {
   /// (backpressure) — blocking costs host time only, never simulated
   /// time, so seps() is independent of consumer speed. Null = buffered.
   SampleStore::CompletionCallback on_instance_complete;
+  /// Per-request trace recorder (telemetry/trace.hpp): when non-null the
+  /// engines emit chain spans and the partition cache emits transfer
+  /// spans, all stamped with `trace_batch`. Host-time only; samples and
+  /// sim_seconds are byte-identical with or without it. Null = off, one
+  /// branch per hot-path site.
+  telemetry::TraceRecorder* trace = nullptr;
+  /// Batch attribution stamped on every span of this run.
+  std::uint64_t trace_batch = 0;
 };
 
 /// The C-SAW front door: one facade over the in-memory engine (paper
@@ -307,6 +315,12 @@ class Sampler {
   /// The persistent host thread pool shared by every device of this
   /// sampler (and reused across runs/batches). Null while serial.
   std::shared_ptr<sim::ThreadPool> pool_;
+  /// Run-scoped trace attribution, set from RunControl for the duration
+  /// of one run_tagged dispatch (a Sampler runs one call at a time, so a
+  /// member is sound; the multi-device path shares it across groups —
+  /// TraceRecorder is thread-safe). Null while tracing is off.
+  telemetry::TraceRecorder* trace_ = nullptr;
+  std::uint64_t trace_batch_ = 0;
 };
 
 }  // namespace csaw

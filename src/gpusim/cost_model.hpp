@@ -84,6 +84,24 @@ struct KernelStats {
   void merge(const KernelStats& other) noexcept;
 };
 
+/// Visits every KernelStats field as (name, value) — the single source of
+/// truth exporters iterate (the service's metrics_text() turns each field
+/// into a counter) so a new field added here shows up everywhere.
+template <typename Fn>
+void visit_kernel_stats(const KernelStats& stats, Fn&& fn) {
+  fn("lockstep_rounds", stats.lockstep_rounds);
+  fn("global_bytes", stats.global_bytes);
+  fn("atomic_ops", stats.atomic_ops);
+  fn("atomic_conflicts", stats.atomic_conflicts);
+  fn("warps", stats.warps);
+  fn("max_warp_rounds", stats.max_warp_rounds);
+  fn("occupied_slot_rounds", stats.occupied_slot_rounds);
+  fn("select_iterations", stats.select_iterations);
+  fn("collision_searches", stats.collision_searches);
+  fn("collisions", stats.collisions);
+  fn("sampled_vertices", stats.sampled_vertices);
+}
+
 /// Converts kernel stats into simulated seconds.
 class CostModel {
  public:

@@ -48,6 +48,16 @@ std::optional<double> PartitionCache::issue_transfer(std::uint32_t p,
   sim::Stream& stream = device.stream(entries_[p].slot % num_streams_);
   const std::string label = "partition " + std::to_string(p);
 
+  // Transfer span: one per partition copy including all its retries;
+  // fault/retry instants nest inside it by sequence order.
+  std::uint64_t span = 0;
+  if (trace_ != nullptr) {
+    span = trace_->begin_span(
+        "transfer", {{"partition", std::to_string(p)},
+                     {"bytes", std::to_string(bytes)},
+                     {"batch", std::to_string(trace_batch_)}});
+  }
+
   double not_before = 0.0;
   for (std::uint32_t attempt = 0;; ++attempt) {
     const auto outcome = injector_ == nullptr
@@ -56,13 +66,30 @@ std::optional<double> PartitionCache::issue_transfer(std::uint32_t p,
     if (outcome == TransferFaultInjector::Outcome::kFail) {
       ++metrics_.transfer_faults;
       if (oom != nullptr) ++oom->transfer_faults;
+      if (trace_ != nullptr) {
+        trace_->instant("transfer_fault",
+                        {{"partition", std::to_string(p)},
+                         {"attempt", std::to_string(attempt)}});
+      }
       // The failed copy occupies the link for its full modeled duration —
       // the fault is detected at what would have been completion.
       const double failed_at = device.transfer().host_to_device(
           stream, bytes, label + " [fault]", not_before);
-      if (attempt + 1 >= policy_.attempts) return std::nullopt;
+      if (attempt + 1 >= policy_.attempts) {
+        if (trace_ != nullptr) {
+          trace_->end_span(span, "transfer",
+                           {{"attempts", std::to_string(attempt + 1)},
+                            {"outcome", "failed"}});
+        }
+        return std::nullopt;
+      }
       ++metrics_.transfer_retries;
       if (oom != nullptr) ++oom->transfer_retries;
+      if (trace_ != nullptr) {
+        trace_->instant("transfer_retry",
+                        {{"partition", std::to_string(p)},
+                         {"attempt", std::to_string(attempt + 1)}});
+      }
       // Exponential backoff: the retry may not start before the delay
       // elapses (the link is free for other streams' copies meanwhile).
       not_before = failed_at + policy_.backoff * static_cast<double>(1u << attempt);
@@ -79,6 +106,11 @@ std::optional<double> PartitionCache::issue_transfer(std::uint32_t p,
     if (oom != nullptr) {
       ++oom->partition_transfers;
       oom->bytes_transferred += bytes;
+    }
+    if (trace_ != nullptr) {
+      trace_->end_span(span, "transfer",
+                       {{"attempts", std::to_string(attempt + 1)},
+                        {"ready_sim_s", std::to_string(ready)}});
     }
     return ready;
   }
@@ -239,6 +271,12 @@ void PartitionCache::set_fault_policy(
                  "transfer retry policy needs at least one attempt");
   injector_ = std::move(injector);
   policy_ = policy;
+}
+
+void PartitionCache::set_trace(telemetry::TraceRecorder* trace,
+                               std::uint64_t batch) {
+  trace_ = trace;
+  trace_batch_ = batch;
 }
 
 void PartitionCache::abort_round() {

@@ -10,6 +10,7 @@
 
 #include "core/run_result.hpp"
 #include "gpusim/device.hpp"
+#include "telemetry/trace.hpp"
 #include "oom/cache/fault_injector.hpp"
 #include "oom/partitioned_graph.hpp"
 
@@ -171,6 +172,14 @@ class PartitionCache {
                         TransferRetryPolicy policy);
   const TransferRetryPolicy& retry_policy() const noexcept { return policy_; }
 
+  /// Attaches (or detaches, with nullptr) a trace recorder: every
+  /// partition copy becomes a "transfer" span with fault/retry instants
+  /// inside it, stamped with `batch`. Like the fault policy, the engine
+  /// re-applies this at every run so a service-owned cache follows the
+  /// current batch's recorder. Host-time only; simulated transfer timing
+  /// is unchanged.
+  void set_trace(telemetry::TraceRecorder* trace, std::uint64_t batch);
+
   /// Exception-path recovery: drops every pin (pinned partitions become
   /// kEvictable) and marks in-flight loads kResident (their simulated
   /// copies complete regardless), so no partition is left kLoading and
@@ -233,6 +242,8 @@ class PartitionCache {
   CacheMetrics metrics_;
   std::shared_ptr<TransferFaultInjector> injector_;
   TransferRetryPolicy policy_;
+  telemetry::TraceRecorder* trace_ = nullptr;
+  std::uint64_t trace_batch_ = 0;
 };
 
 }  // namespace csaw

@@ -119,6 +119,7 @@ OomRun OomEngine::run(sim::Device& device,
         config_.fault_injector,
         TransferRetryPolicy{config_.transfer_retry_limit,
                             config_.transfer_backoff});
+    cache_->set_trace(config_.engine.trace, config_.engine.trace_batch);
     cache_->begin_run();  // fresh device, fresh simulated clock
     cache_before = cache_->metrics();
   }
@@ -587,6 +588,18 @@ void OomEngine::run_cached_pipelined(sim::Device& device, OomRun& result,
           auto& mine = chain_pending[chain];
           auto& out = routed_out[chain];
           WorkerScratch& ws = workers_[worker];
+          // One chain span per (round, instance) — OOM chains re-enter
+          // each residency round, unlike the in-memory engine's
+          // one-span-per-instance shape. Host-time only.
+          std::uint64_t chain_span = 0;
+          if (config_.engine.should_trace()) {
+            chain_span = config_.engine.trace->begin_span(
+                "chain",
+                {{"instance",
+                  std::to_string(config_.engine.global_instance_id(
+                      chain_instances[chain]))},
+                 {"batch", std::to_string(config_.engine.trace_batch)}});
+          }
           std::vector<FrontierEntry> batch;
           std::vector<FrontierEntry> children;
 
@@ -644,6 +657,11 @@ void OomEngine::run_cached_pipelined(sim::Device& device, OomRun& result,
               }
               progressed = config_.workload_aware;
             }
+          }
+          if (config_.engine.should_trace()) {
+            config_.engine.trace->end_span(
+                chain_span, "chain",
+                {{"routed_out", std::to_string(out.size())}});
           }
         },
         config_.engine.cancel);

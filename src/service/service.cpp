@@ -1,12 +1,20 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
+#include "algorithms/registry.hpp"
 #include "util/check.hpp"
 
 namespace csaw {
 namespace {
+
+/// Host-clock interval in seconds, for the latency histograms.
+double elapsed_seconds(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
 
 /// Two requests may share one engine run when they provably run the same
 /// kernels: same graph and same registry coordinates. (Execution options
@@ -39,9 +47,42 @@ Service::Service(ServiceConfig config) : config_(std::move(config)) {
   CSAW_CHECK(config_.max_batch_instances >= config_.max_request_instances);
   CSAW_CHECK(config_.max_concurrent_batches >= 1);
   CSAW_CHECK(config_.stream_chunk_budget >= 1);
-  quantum_ = config_.fairness_quantum > 0
-                 ? config_.fairness_quantum
-                 : std::max(1u, config_.max_request_instances / 4);
+  // Edge-denominated DRR credit: the auto value scales the old instance
+  // quantum by a nominal 32 edges per instance (see ServiceConfig).
+  quantum_ =
+      config_.fairness_quantum > 0
+          ? config_.fairness_quantum
+          : std::uint64_t{std::max(1u, config_.max_request_instances / 4)} *
+                32;
+  // Always-on latency/occupancy distributions (docs/OBSERVABILITY.md).
+  // Registered once here so the hot paths only touch pre-resolved
+  // atomics, never the registry mutex.
+  const auto latency = telemetry::latency_seconds_bounds();
+  const auto counts = telemetry::small_count_bounds();
+  h_queue_wait_ = &metrics_.histogram(
+      "csaw_request_queue_wait_seconds",
+      "Host seconds a request spent queued before batch formation",
+      latency);
+  h_batch_formation_ = &metrics_.histogram(
+      "csaw_batch_formation_seconds",
+      "Host seconds from a batch head's admission to its batch forming",
+      latency);
+  h_inflight_ = &metrics_.histogram(
+      "csaw_request_inflight_seconds",
+      "Host seconds from batch formation to the request's outcome",
+      latency);
+  h_inflight_sim_ = &metrics_.histogram(
+      "csaw_request_inflight_sim_seconds",
+      "Simulated makespan of the batch each request rode on", latency);
+  h_batch_sim_ = &metrics_.histogram(
+      "csaw_batch_sim_seconds", "Simulated makespan per executed batch",
+      latency);
+  h_transfer_retries_ = &metrics_.histogram(
+      "csaw_batch_transfer_retries",
+      "Partition-copy retries absorbed per completed paged batch", counts);
+  h_stream_occupancy_ = &metrics_.histogram(
+      "csaw_stream_chunk_occupancy",
+      "Queued chunks right after each streamed-instance push", counts);
   const std::uint32_t width =
       sim::resolve_num_threads(config_.options.num_threads);
   if (width > 1) {
@@ -139,6 +180,9 @@ void Service::count_rejection_locked(RejectReason reason) {
       ++stats_.rejected_deadline_expired;
       break;
   }
+  if (config_.trace != nullptr && reason != RejectReason::kNone) {
+    config_.trace->instant("reject", {{"reason", to_string(reason)}});
+  }
 }
 
 void Service::book_outcome_locked(const std::string& tenant_name,
@@ -203,6 +247,14 @@ void Service::sweep_queue_locked() {
             : RequestOutcome::kCancelled;
     retire_timers_locked(it->ticket);
     book_outcome_locked(it->request.tenant, outcome);
+    if (config_.trace != nullptr) {
+      // The request dies in the queue: both spans close here, with the
+      // typed outcome on the whole-lifetime span.
+      config_.trace->end_span(it->queue_span, "queue",
+                              {{"outcome", to_string(outcome)}});
+      config_.trace->end_span(it->request_span, "request",
+                              {{"outcome", to_string(outcome)}});
+    }
     const std::string what =
         "request " + to_string(outcome) + " while queued";
     if (it->stream != nullptr) {
@@ -381,6 +433,22 @@ Submission Service::submit_impl(SampleRequest request,
     } else {
       pending.run_token = base_token;
     }
+    if (config_.trace != nullptr) {
+      // Admission instant plus the two long-lived spans every request
+      // carries: "request" (admission → outcome) and "queue" (admission
+      // → batch formation or queue death). The recorder's mutex is a
+      // leaf under mu_, same rule as StreamState::mu.
+      telemetry::TraceRecorder& trace = *config_.trace;
+      const std::string ticket = std::to_string(pending.ticket);
+      const telemetry::TraceRecorder::Args args = {
+          {"ticket", ticket},
+          {"tenant", pending.request.tenant},
+          {"graph", pending.request.graph},
+          {"instances", std::to_string(count)}};
+      trace.instant("admit", args);
+      pending.request_span = trace.begin_span("request", args);
+      pending.queue_span = trace.begin_span("queue", {{"ticket", ticket}});
+    }
     submission.ticket = pending.ticket;
     submission.rng_base = rng_base;
     submission.result = pending.promise.get_future();
@@ -490,9 +558,220 @@ ServiceHealth Service::health() const {
   health.timed_requests = wheel_.size();
   health.window = recent_.size();
   for (const RequestOutcome outcome : recent_) {
-    if (outcome != RequestOutcome::kOk) ++health.recent_failures;
+    switch (outcome) {
+      case RequestOutcome::kOk:
+        ++health.recent_ok;
+        break;
+      case RequestOutcome::kCancelled:
+        ++health.recent_cancelled;
+        break;
+      case RequestOutcome::kDeadlineExceeded:
+        ++health.recent_deadline_exceeded;
+        break;
+      case RequestOutcome::kTransferFailed:
+        ++health.recent_transfer_failed;
+        break;
+      case RequestOutcome::kInternal:
+        ++health.recent_internal;
+        break;
+    }
+  }
+  health.recent_failures = health.window - health.recent_ok;
+  if (health.window > 0) {
+    const double window = static_cast<double>(health.window);
+    health.ok_rate = static_cast<double>(health.recent_ok) / window;
+    health.cancelled_rate =
+        static_cast<double>(health.recent_cancelled) / window;
+    health.deadline_rate =
+        static_cast<double>(health.recent_deadline_exceeded) / window;
+    health.transfer_failed_rate =
+        static_cast<double>(health.recent_transfer_failed) / window;
+    health.internal_rate =
+        static_cast<double>(health.recent_internal) / window;
   }
   return health;
+}
+
+std::uint64_t Service::estimated_edge_cost(const SampleRequest& request) {
+  // Scheduling weight, not a prediction: only the ratios between
+  // requests matter, so the per-instance estimate is capped — beyond a
+  // million edges per instance every request is "maximally expensive"
+  // and the saturated products can never overflow the deficit math.
+  constexpr std::uint64_t kPerInstanceCap = std::uint64_t{1} << 20;
+  const std::uint64_t instances = request.num_instances();
+  const std::uint64_t depth = std::max<std::uint32_t>(
+      request.depth_or_length, 1);
+  std::uint64_t per_instance = 0;
+  if (algorithm_info(request.algorithm).neighbors_per_step == "1") {
+    // A walk samples exactly one edge per step.
+    per_instance = depth;
+  } else {
+    // A sampling tree touches ~neighbor_size^d edges at depth d.
+    const std::uint64_t fanout = std::max<std::uint32_t>(
+        request.neighbor_size, 1);
+    std::uint64_t level = 1;
+    for (std::uint64_t d = 0; d < depth; ++d) {
+      if (level > kPerInstanceCap / fanout) {
+        per_instance = kPerInstanceCap;
+        break;
+      }
+      level *= fanout;
+      per_instance += level;
+    }
+  }
+  per_instance = std::clamp<std::uint64_t>(per_instance, 1, kPerInstanceCap);
+  return std::max<std::uint64_t>(instances, 1) * per_instance;
+}
+
+telemetry::HistogramSnapshot Service::histogram(
+    const std::string& name) const {
+  return metrics_.histogram_snapshot(name);
+}
+
+std::string Service::metrics_text() const {
+  // Exposition builds a throwaway registry: counters and gauges are
+  // *views* of the existing stats/health state (no second write path to
+  // drift from them), and the always-on histogram registry is folded in
+  // with the deterministic merge. Output order is therefore a pure
+  // function of the counter state — what the golden test pins.
+  const ServiceStats stats = this->stats();
+  const ServiceHealth health = this->health();
+  sim::KernelStats kernels;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    kernels = kernel_stats_;
+  }
+
+  telemetry::MetricsRegistry out;
+  const auto counter = [&out](const std::string& name,
+                              const std::string& help, std::uint64_t value,
+                              const std::string& labels = std::string()) {
+    out.counter(name, help, labels).add(value);
+  };
+  const auto gauge = [&out](const std::string& name, const std::string& help,
+                            double value,
+                            const std::string& labels = std::string()) {
+    out.gauge(name, help, labels).set(value);
+  };
+
+  counter("csaw_requests_submitted_total", "All submit() calls",
+          stats.submitted);
+  counter("csaw_requests_accepted_total", "Requests admitted to the queue",
+          stats.accepted);
+  const std::string outcome_help = "Retired requests by typed outcome";
+  counter("csaw_request_outcomes_total", outcome_help, stats.completed,
+          "outcome=\"ok\"");
+  counter("csaw_request_outcomes_total", outcome_help, stats.cancelled,
+          "outcome=\"cancelled\"");
+  counter("csaw_request_outcomes_total", outcome_help,
+          stats.deadline_exceeded, "outcome=\"deadline_exceeded\"");
+  counter("csaw_request_outcomes_total", outcome_help, stats.transfer_failed,
+          "outcome=\"transfer_failed\"");
+  counter("csaw_request_outcomes_total", outcome_help, stats.internal_errors,
+          "outcome=\"internal\"");
+  const std::string reject_help = "Rejected submissions by typed reason";
+  counter("csaw_requests_rejected_total", reject_help,
+          stats.rejected_unknown_graph, "reason=\"unknown_graph\"");
+  counter("csaw_requests_rejected_total", reject_help, stats.rejected_empty,
+          "reason=\"empty_request\"");
+  counter("csaw_requests_rejected_total", reject_help,
+          stats.rejected_invalid_seed, "reason=\"invalid_seed\"");
+  counter("csaw_requests_rejected_total", reject_help,
+          stats.rejected_oversized, "reason=\"oversized_request\"");
+  counter("csaw_requests_rejected_total", reject_help,
+          stats.rejected_queue_full, "reason=\"queue_full\"");
+  counter("csaw_requests_rejected_total", reject_help,
+          stats.rejected_shutdown, "reason=\"shutdown\"");
+  counter("csaw_requests_rejected_total", reject_help,
+          stats.rejected_deadline_expired, "reason=\"deadline_expired\"");
+
+  counter("csaw_batches_total", "Engine runs executed", stats.batches);
+  counter("csaw_batches_paged_total", "Batches served by the OOM backend",
+          stats.paged_batches);
+  counter("csaw_coalesced_requests_total",
+          "Requests that shared a batch with at least one other",
+          stats.coalesced_requests);
+  counter("csaw_deadline_launches_total",
+          "Batches launched partial by the batching deadline",
+          stats.deadline_launches);
+  counter("csaw_quota_deferrals_total",
+          "Scheduling passes that skipped a request over tenant quota",
+          stats.quota_deferrals);
+  counter("csaw_cache_hits_total", "Partition-cache hits", stats.cache_hits);
+  counter("csaw_cache_evictions_total", "Partition-cache evictions",
+          stats.cache_evictions);
+  counter("csaw_cache_prefetch_transfers_total",
+          "Partition transfers issued by the prefetcher",
+          stats.cache_prefetch_transfers);
+  counter("csaw_transfer_faults_total", "Injected partition-copy faults",
+          stats.transfer_faults);
+  counter("csaw_transfer_retries_total", "Partition-copy retries",
+          stats.transfer_retries);
+  counter("csaw_sampled_edges_total",
+          "Edges delivered to completed requests", stats.sampled_edges);
+  gauge("csaw_sim_seconds_total",
+        "Simulated seconds accumulated over executed batches",
+        stats.sim_seconds);
+
+  gauge("csaw_accepting", "1 while admission is open", health.accepting);
+  gauge("csaw_paused", "1 while the dispatcher is paused", health.paused);
+  gauge("csaw_queue_depth", "Admitted requests not yet in a batch",
+        static_cast<double>(health.queue_depth));
+  gauge("csaw_inflight_batches", "Formed batches (ready or executing)",
+        health.inflight_batches);
+  gauge("csaw_executing_batches", "Batches inside an engine run",
+        health.executing_batches);
+  gauge("csaw_timed_requests", "Deadlines armed in the timer wheel",
+        static_cast<double>(health.timed_requests));
+  gauge("csaw_health_window", "Retired requests the outcome window covers",
+        static_cast<double>(health.window));
+  const std::string rate_help =
+      "Outcome fraction over the recent-outcome window";
+  gauge("csaw_recent_outcome_rate", rate_help, health.ok_rate,
+        "outcome=\"ok\"");
+  gauge("csaw_recent_outcome_rate", rate_help, health.cancelled_rate,
+        "outcome=\"cancelled\"");
+  gauge("csaw_recent_outcome_rate", rate_help, health.deadline_rate,
+        "outcome=\"deadline_exceeded\"");
+  gauge("csaw_recent_outcome_rate", rate_help, health.transfer_failed_rate,
+        "outcome=\"transfer_failed\"");
+  gauge("csaw_recent_outcome_rate", rate_help, health.internal_rate,
+        "outcome=\"internal\"");
+
+  gauge("csaw_peak_queue_depth", "High-water mark of the admission queue",
+        static_cast<double>(stats.peak_queue_depth));
+  gauge("csaw_peak_inflight_batches",
+        "High-water mark of formed batches in flight",
+        static_cast<double>(stats.peak_inflight_batches));
+  gauge("csaw_peak_concurrent_batches",
+        "High-water mark of simultaneously executing batches",
+        static_cast<double>(stats.peak_concurrent_batches));
+  gauge("csaw_max_batch_requests", "Widest executed batch, in requests",
+        static_cast<double>(stats.max_batch_requests));
+
+  for (const TenantStats& tenant : stats.tenants) {
+    const std::string labels = "tenant=\"" + tenant.tenant + "\"";
+    counter("csaw_tenant_accepted_total", "Requests admitted per tenant",
+            tenant.accepted, labels);
+    counter("csaw_tenant_completed_total", "Requests completed per tenant",
+            tenant.completed, labels);
+    counter("csaw_tenant_failed_total", "Requests failed per tenant",
+            tenant.failed, labels);
+    counter("csaw_tenant_sampled_edges_total",
+            "Edges delivered per tenant", tenant.sampled_edges, labels);
+    gauge("csaw_tenant_peak_inflight_instances",
+          "High-water mark of a tenant's in-flight instances",
+          static_cast<double>(tenant.peak_inflight_instances), labels);
+  }
+
+  sim::visit_kernel_stats(kernels, [&](const char* field,
+                                       std::uint64_t value) {
+    counter(std::string("csaw_kernel_") + field + "_total",
+            "Accumulated simulated-kernel event counter", value);
+  });
+
+  out.merge(metrics_);
+  return out.render();
 }
 
 std::uint32_t Service::coalescible_instances_locked(
@@ -540,7 +819,7 @@ Service::HeadChoice Service::select_head_locked(
   // when to wake.
   struct Candidate {
     std::size_t index;
-    std::uint32_t cost;
+    std::uint64_t cost;  ///< estimated sampled edges, not instances
     bool by_deadline;
   };
   std::map<std::string, Candidate> candidates;
@@ -548,10 +827,11 @@ Service::HeadChoice Service::select_head_locked(
     const Pending& pending = queue_[i];
     const SampleRequest& request = pending.request;
     if (graphs_in_flight_.count(request.graph) != 0) continue;
-    const std::uint32_t cost = request.num_instances();
+    const std::uint64_t cost = estimated_edge_cost(request);
     const TenantState& tenant = tenants_.at(request.tenant);
     if (config_.tenant_quota > 0 &&
-        tenant.inflight_instances + cost > config_.tenant_quota) {
+        tenant.inflight_instances + request.num_instances() >
+            config_.tenant_quota) {
       ++stats_.quota_deferrals;
       continue;
     }
@@ -582,30 +862,60 @@ Service::HeadChoice Service::select_head_locked(
   if (candidates.empty()) return choice;
 
   // Pass 2: deficit round robin across the tenant ring. Each turn a
-  // tenant with a candidate earns `quantum_` instances of credit and
-  // launches once the credit covers its head's cost — large-request
-  // tenants therefore wait proportionally more turns. Tenants with no
+  // tenant with a candidate earns `quantum_` estimated edges of credit
+  // and launches once the credit covers its head's cost — tenants
+  // submitting expensive requests (many instances, long walks, wide
+  // trees) therefore wait proportionally more turns. Tenants with no
   // candidate forfeit their credit (no hoarding while idle or blocked).
-  for (;;) {
-    for (std::size_t step = 0; step < tenant_ring_.size(); ++step) {
-      const std::size_t pos = (ring_cursor_ + step) % tenant_ring_.size();
-      const std::string& name = tenant_ring_[pos];
-      TenantState& tenant = tenants_.at(name);
-      const auto it = candidates.find(name);
-      if (it == candidates.end()) {
-        tenant.deficit = 0;
-        continue;
-      }
-      tenant.deficit += quantum_;
-      if (tenant.deficit < it->second.cost) continue;
-      tenant.deficit -= it->second.cost;
-      ring_cursor_ = (pos + 1) % tenant_ring_.size();
-      choice.found = true;
-      choice.queue_index = it->second.index;
-      choice.by_deadline = it->second.by_deadline;
-      return choice;
+  //
+  // Edge costs are large numbers, so instead of literally iterating
+  // turns the pass computes each candidate's turns-to-launch in closed
+  // form and takes the winner: fewest turns, ties broken by ring order
+  // from the cursor — exactly the turn-by-turn result, in O(ring).
+  std::size_t winner_step = 0;
+  std::uint64_t winner_turns = 0;
+  const Candidate* winner = nullptr;
+  for (std::size_t step = 0; step < tenant_ring_.size(); ++step) {
+    const std::size_t pos = (ring_cursor_ + step) % tenant_ring_.size();
+    const auto it = candidates.find(tenant_ring_[pos]);
+    if (it == candidates.end()) {
+      tenants_.at(tenant_ring_[pos]).deficit = 0;  // forfeit while blocked
+      continue;
+    }
+    const std::uint64_t deficit = tenants_.at(tenant_ring_[pos]).deficit;
+    const std::uint64_t need =
+        it->second.cost > deficit ? it->second.cost - deficit : 0;
+    // A tenant earns its quantum before the launch check, so even a
+    // fully-funded head takes one turn.
+    const std::uint64_t turns =
+        std::max<std::uint64_t>((need + quantum_ - 1) / quantum_, 1);
+    if (winner == nullptr || turns < winner_turns) {
+      winner_step = step;
+      winner_turns = turns;
+      winner = &it->second;
     }
   }
+  CSAW_CHECK(winner != nullptr);  // candidates is nonempty
+
+  // Settle every candidate's credit as the iterative loop would have:
+  // candidates at or before the winner's ring position saw the final
+  // (partial) round, later ones did not.
+  for (std::size_t step = 0; step < tenant_ring_.size(); ++step) {
+    const std::size_t pos = (ring_cursor_ + step) % tenant_ring_.size();
+    const auto it = candidates.find(tenant_ring_[pos]);
+    if (it == candidates.end()) continue;
+    TenantState& tenant = tenants_.at(tenant_ring_[pos]);
+    const std::uint64_t rounds =
+        step <= winner_step ? winner_turns : winner_turns - 1;
+    tenant.deficit += rounds * quantum_;
+    if (step == winner_step) tenant.deficit -= it->second.cost;
+  }
+  ring_cursor_ =
+      (ring_cursor_ + winner_step + 1) % tenant_ring_.size();
+  choice.found = true;
+  choice.queue_index = winner->index;
+  choice.by_deadline = winner->by_deadline;
+  return choice;
 }
 
 Service::FormedBatch Service::form_batch_locked(std::size_t head_index) {
@@ -650,6 +960,22 @@ Service::FormedBatch Service::form_batch_locked(std::size_t head_index) {
     it = queue_.erase(it);
   }
 
+  // Formation is the queue-wait/in-flight boundary: stamp it, observe
+  // every member's queue wait, and close the queue spans. The head's
+  // wait (items.front() — not yet sorted) is also the batch-formation
+  // latency: how long the batching window held it open.
+  const auto formed = std::chrono::steady_clock::now();
+  h_batch_formation_->observe(
+      elapsed_seconds(batch.items.front().enqueued, formed));
+  for (Pending& pending : batch.items) {
+    pending.dispatched = formed;
+    h_queue_wait_->observe(elapsed_seconds(pending.enqueued, formed));
+    if (config_.trace != nullptr) {
+      config_.trace->end_span(pending.queue_span, "queue",
+                              {{"outcome", "dispatched"}});
+    }
+  }
+
   // The engines require strictly increasing tags; batch composition order
   // is irrelevant to the bytes (each instance's draws are addressed by
   // its own global id), so sort by stream base.
@@ -676,6 +1002,21 @@ Service::FormedBatch Service::form_batch_locked(std::size_t head_index) {
 
 void Service::run_batch(std::vector<Pending> batch) {
   const std::size_t num_requests = batch.size();
+  telemetry::TraceRecorder* const trace = config_.trace.get();
+  const std::uint64_t batch_id =
+      next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t batch_span = 0;
+  if (trace != nullptr) {
+    std::uint64_t instances = 0;
+    for (const Pending& pending : batch) {
+      instances += pending.request.num_instances();
+    }
+    batch_span = trace->begin_span(
+        "batch", {{"batch", std::to_string(batch_id)},
+                  {"graph", batch.front().request.graph},
+                  {"requests", std::to_string(num_requests)},
+                  {"instances", std::to_string(instances)}});
+  }
   try {
     std::shared_ptr<const CsrGraph> graph;
     std::shared_ptr<const PartitionedGraph> parts;
@@ -707,6 +1048,8 @@ void Service::run_batch(std::vector<Pending> batch) {
     // of plain requests (no token, no deadline) passes no tokens at all
     // and the engines skip the polls entirely.
     RunControl control;
+    control.trace = trace;
+    control.trace_batch = batch_id;
     bool cancellable = false;
     for (const Pending& pending : batch) {
       cancellable = cancellable || pending.run_token.valid();
@@ -745,11 +1088,23 @@ void Service::run_batch(std::vector<Pending> batch) {
           routes.push_back(InstanceRoute{pending.stream.get(), i});
         }
       }
-      control.on_instance_complete = [&routes](std::uint32_t i,
-                                               std::vector<Edge>& row) {
+      control.on_instance_complete = [this, &routes, trace, batch_id](
+                                         std::uint32_t i,
+                                         std::vector<Edge>& row) {
         const InstanceRoute& route = routes[i];
-        if (route.stream != nullptr) {
-          detail::stream_push(*route.stream, route.local, std::move(row));
+        if (route.stream == nullptr) return;
+        const std::size_t queued =
+            detail::stream_push(*route.stream, route.local, std::move(row));
+        // queued == 0 means the stream was abandoned and the push
+        // dropped — not an occupancy observation.
+        if (queued > 0) {
+          h_stream_occupancy_->observe(static_cast<double>(queued));
+        }
+        if (trace != nullptr) {
+          trace->instant("stream_chunk",
+                         {{"batch", std::to_string(batch_id)},
+                          {"instance", std::to_string(route.local)},
+                          {"queued", std::to_string(queued)}});
         }
       };
     }
@@ -867,6 +1222,21 @@ void Service::run_batch(std::vector<Pending> batch) {
     // sums the *completed* requests' own slices — a cancelled request's
     // partial rows are charged to nobody, so per-tenant edge accounting
     // closes exactly under cancellation.
+    // Latency + distribution bookkeeping (outside mu_ — the histograms
+    // are their own sync): host in-flight time per request, the batch's
+    // simulated makespan (once per batch, once per rider), and the
+    // paged retry count.
+    const auto retired = std::chrono::steady_clock::now();
+    h_batch_sim_->observe(whole.sim_seconds);
+    if (whole.oom.has_value()) {
+      h_transfer_retries_->observe(
+          static_cast<double>(whole.oom->transfer_retries));
+    }
+    for (std::size_t r = 0; r < num_requests; ++r) {
+      h_inflight_->observe(elapsed_seconds(batch[r].dispatched, retired));
+      h_inflight_sim_->observe(whole.sim_seconds);
+    }
+
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.batches;
@@ -874,6 +1244,7 @@ void Service::run_batch(std::vector<Pending> batch) {
       stats_.max_batch_requests =
           std::max<std::uint64_t>(stats_.max_batch_requests, num_requests);
       stats_.sim_seconds += whole.sim_seconds;
+      kernel_stats_.merge(whole.stats);
       if (whole.oom.has_value()) {
         ++stats_.paged_batches;
         stats_.cache_hits += whole.oom->cache_hits;
@@ -901,6 +1272,11 @@ void Service::run_batch(std::vector<Pending> batch) {
     }
 
     for (std::size_t r = 0; r < num_requests; ++r) {
+      if (trace != nullptr) {
+        trace->end_span(batch[r].request_span, "request",
+                        {{"outcome", to_string(outcomes[r])},
+                         {"batch", std::to_string(batch_id)}});
+      }
       if (batch[r].stream != nullptr) {
         // Terminal stream transition: chunks already queued drain first,
         // then the consumer sees nullopt (kOk) or the typed outcome.
@@ -940,6 +1316,12 @@ void Service::run_batch(std::vector<Pending> batch) {
         } catch (const std::future_error&) {
         }
       }
+    }
+    if (trace != nullptr) {
+      trace->end_span(
+          batch_span, "batch",
+          {{"outcome", "completed"},
+           {"sim_seconds", std::to_string(whole.sim_seconds)}});
     }
   } catch (...) {
     // A failed batch fails every request in it; the service itself stays
@@ -985,7 +1367,16 @@ void Service::run_batch(std::vector<Pending> batch) {
         retire_timers_locked(batch[r].ticket);
       }
     }
+    const auto retired = std::chrono::steady_clock::now();
     for (std::size_t r = 0; r < num_requests; ++r) {
+      // Failed requests still report their host in-flight latency (the
+      // simulated histograms only see completed batches).
+      h_inflight_->observe(elapsed_seconds(batch[r].dispatched, retired));
+      if (trace != nullptr) {
+        trace->end_span(batch[r].request_span, "request",
+                        {{"outcome", to_string(outcomes[r])},
+                         {"batch", std::to_string(batch_id)}});
+      }
       const std::string message = to_string(outcomes[r]) + ": " + what;
       if (batch[r].stream != nullptr) {
         // Chunks completed before the fault stay deliverable; the typed
@@ -995,6 +1386,10 @@ void Service::run_batch(std::vector<Pending> batch) {
       }
       batch[r].promise.set_exception(
           std::make_exception_ptr(RequestError(outcomes[r], message)));
+    }
+    if (trace != nullptr) {
+      trace->end_span(batch_span, "batch",
+                      {{"outcome", "failed"}, {"error", what}});
     }
   }
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -18,6 +19,8 @@
 #include "service/request.hpp"
 #include "service/stream.hpp"
 #include "service/timer_wheel.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace csaw {
 
@@ -69,11 +72,16 @@ struct ServiceConfig {
   /// stay queued (never rejected) until the tenant's earlier batches
   /// retire. 0 = unbounded.
   std::uint32_t tenant_quota = 0;
-  /// Deficit-round-robin credit (in instances) a tenant earns per
-  /// scheduling turn: tenants submitting large requests wait
-  /// proportionally more turns than small-request tenants. 0 = auto
-  /// (max_request_instances / 4, at least 1).
-  std::uint32_t fairness_quantum = 0;
+  /// Deficit-round-robin credit (in *estimated sampled edges*, see
+  /// Service::estimated_edge_cost) a tenant earns per scheduling turn:
+  /// tenants submitting expensive requests — many instances, long walks,
+  /// wide sampling trees — wait proportionally more turns than
+  /// cheap-request tenants. Edge denomination closes the under-charging
+  /// hole of the old instance-count quantum, where a tenant flooding
+  /// 8×length-512 walks paid the same per request as one submitting
+  /// 8×length-8 walks. 0 = auto (max(1, max_request_instances / 4) * 32
+  /// edges — the old instance quantum at a nominal 32 edges/instance).
+  std::uint64_t fairness_quantum = 0;
   /// Start with the dispatcher paused (tests and benches queue a known
   /// request mix first, then resume() to get deterministic batching).
   bool start_paused = false;
@@ -99,6 +107,13 @@ struct ServiceConfig {
   /// Parking costs host time only; samples and simulated timing are
   /// consumer-speed-independent. At least 1.
   std::uint32_t stream_chunk_budget = 8;
+  /// Per-request tracing (docs/OBSERVABILITY.md): when set, the service
+  /// emits admission/queue/batch spans and threads the recorder through
+  /// the engines (chain spans) and the partition cache (transfer spans);
+  /// export with TraceRecorder::json(). Null (the default) keeps every
+  /// hot-path site at a single pointer test — samples, sim_seconds and
+  /// the gated trajectory metrics are bit-identical either way.
+  std::shared_ptr<telemetry::TraceRecorder> trace;
 };
 
 /// Point-in-time operational snapshot (Service::health()) — the liveness
@@ -117,6 +132,20 @@ struct ServiceHealth {
   /// move.
   std::uint64_t window = 0;
   std::uint64_t recent_failures = 0;
+  // --- Outcome breakdown of the same window; counts sum to `window`.
+  std::uint64_t recent_ok = 0;
+  std::uint64_t recent_cancelled = 0;
+  std::uint64_t recent_deadline_exceeded = 0;
+  std::uint64_t recent_transfer_failed = 0;
+  std::uint64_t recent_internal = 0;
+  /// Derived fractions over the window (all 0 while the window is
+  /// empty). ok_rate + cancelled_rate + deadline_rate +
+  /// transfer_failed_rate + internal_rate == 1 otherwise.
+  double ok_rate = 0.0;
+  double cancelled_rate = 0.0;
+  double deadline_rate = 0.0;
+  double transfer_failed_rate = 0.0;
+  double internal_rate = 0.0;
 };
 
 /// Result of Service::submit: a typed admission verdict plus, when
@@ -246,8 +275,30 @@ class Service {
 
   /// Point-in-time operational snapshot: admission state, queue and
   /// batch depths, armed deadlines, and the recent-outcome failure
-  /// window (see ServiceHealth).
+  /// window with derived rates (see ServiceHealth).
   ServiceHealth health() const;
+
+  /// Prometheus-style text exposition of the whole service: lifetime
+  /// counters (ServiceStats and the per-tenant slice), the health
+  /// snapshot as gauges, accumulated kernel stats, and the always-on
+  /// latency/occupancy histograms. Families sorted by name, samples by
+  /// label — byte-stable for a fixed counter state (the golden test).
+  /// Thread-safe; metric catalog in docs/OBSERVABILITY.md.
+  std::string metrics_text() const;
+
+  /// Snapshot of one always-on histogram by metric name (e.g.
+  /// "csaw_request_queue_wait_seconds"); empty snapshot for unknown
+  /// names. The bench harness dumps these into the trajectory record.
+  telemetry::HistogramSnapshot histogram(const std::string& name) const;
+
+  /// The deficit-round-robin cost of one request, in estimated sampled
+  /// edges: instances × walk length for walk algorithms (one neighbor
+  /// per step), instances × the geometric tree size
+  /// sum_{d=1..depth}(neighbor_size^d), saturated, for sampling
+  /// algorithms. An *estimate* — actual sampled edges depend on the
+  /// graph — but a scheduling weight only needs the right ratios:
+  /// short-walk tenants stop underpaying long-walk and wide-tree ones.
+  static std::uint64_t estimated_edge_cost(const SampleRequest& request);
 
  private:
   struct GraphEntry {
@@ -273,6 +324,14 @@ class Service {
     /// Admission time: anchors the batching_deadline of any batch this
     /// request heads.
     std::chrono::steady_clock::time_point enqueued;
+    /// Batch-formation time (set in form_batch_locked) — the boundary
+    /// between the queue-wait and in-flight latency histograms.
+    std::chrono::steady_clock::time_point dispatched;
+    /// Trace span ids while a recorder is attached (0 otherwise): the
+    /// whole-lifetime request span (admission → outcome) and the queue
+    /// span (admission → batch formation or queue failure).
+    std::uint64_t request_span = 0;
+    std::uint64_t queue_span = 0;
     /// The token the engines poll for this request's instances: the
     /// service-owned linked source's token when a deadline is armed
     /// (client cancel chains through), the client token alone otherwise,
@@ -365,7 +424,7 @@ class Service {
   void runner_main();
 
   ServiceConfig config_;
-  std::uint32_t quantum_ = 1;  ///< resolved fairness_quantum
+  std::uint64_t quantum_ = 1;  ///< resolved fairness_quantum (edges/turn)
   /// The host pool shared by every batch's engines; its external-slot
   /// capacity admits max_concurrent_batches runner threads. Null when
   /// the resolved width is 1 (runners then drive serial engines).
@@ -397,6 +456,25 @@ class Service {
   std::uint64_t next_ticket_ = 1;
   std::uint32_t next_rng_base_ = 0;
   ServiceStats stats_;
+  /// Kernel stats accumulated over every completed batch (under mu_);
+  /// exposed through metrics_text().
+  sim::KernelStats kernel_stats_;
+  /// Always-on telemetry: the latency/occupancy histograms live here and
+  /// record regardless of tracing (observation is a few relaxed atomic
+  /// adds). metrics_text() merges a counter view of stats_ over it.
+  telemetry::MetricsRegistry metrics_;
+  /// Pre-resolved instruments (registration takes the registry mutex;
+  /// the hot paths must not).
+  telemetry::Histogram* h_queue_wait_ = nullptr;
+  telemetry::Histogram* h_batch_formation_ = nullptr;
+  telemetry::Histogram* h_inflight_ = nullptr;
+  telemetry::Histogram* h_inflight_sim_ = nullptr;
+  telemetry::Histogram* h_batch_sim_ = nullptr;
+  telemetry::Histogram* h_transfer_retries_ = nullptr;
+  telemetry::Histogram* h_stream_occupancy_ = nullptr;
+  /// Batch ids for trace attribution (monotonic; a runner takes one per
+  /// run_batch outside mu_).
+  std::atomic<std::uint64_t> next_batch_id_{1};
   /// Dispatcher-owned deadline index: one entry per admitted request
   /// with a deadline, from admission to retirement. No timer threads —
   /// the dispatcher bounds its waits with wheel_.next_wakeup().

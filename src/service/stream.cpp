@@ -6,8 +6,8 @@
 namespace csaw {
 namespace detail {
 
-void stream_push(StreamState& state, std::uint32_t instance,
-                 std::vector<Edge>&& edges) {
+std::size_t stream_push(StreamState& state, std::uint32_t instance,
+                        std::vector<Edge>&& edges) {
   std::unique_lock<std::mutex> lock(state.mu);
   // Backpressure: park until the consumer frees a budget slot. Parking
   // happens on the host side of a chain that already finished its
@@ -16,11 +16,12 @@ void stream_push(StreamState& state, std::uint32_t instance,
   state.producer_cv.wait(lock, [&] {
     return state.chunks.size() < state.budget || state.abandoned;
   });
-  if (state.abandoned) return;  // nobody will read it; leave the row
+  if (state.abandoned) return 0;  // nobody will read it; leave the row
   state.streamed_edges += edges.size();
   state.chunks.push_back(StreamChunk{instance, std::move(edges)});
   state.peak_queued = std::max(state.peak_queued, state.chunks.size());
   state.consumer_cv.notify_one();
+  return state.chunks.size();
 }
 
 void finish_stream(StreamState& state, RequestOutcome outcome,

@@ -66,9 +66,11 @@ struct StreamState {
 /// chunk, parking while the queue is at budget. On an abandoned stream
 /// the row is left in place and the push is dropped (the request is
 /// failing; nobody will read it). Called from engine worker threads and
-/// the batch runner — any thread, concurrently.
-void stream_push(StreamState& state, std::uint32_t instance,
-                 std::vector<Edge>&& edges);
+/// the batch runner — any thread, concurrently. Returns the queue depth
+/// right after the push (0 on an abandoned stream) — the telemetry
+/// layer's chunk-occupancy observation.
+std::size_t stream_push(StreamState& state, std::uint32_t instance,
+                        std::vector<Edge>&& edges);
 
 /// Terminal transition: records the outcome, wakes both sides. Chunks
 /// already queued stay deliverable — consumers drain them before seeing

@@ -1,0 +1,232 @@
+#include "telemetry/metrics.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace csaw::telemetry {
+
+namespace {
+
+// %.9g keeps bucket bounds like 0.001 readable and round-trippable
+// without trailing-zero noise.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    assert(bounds_[i - 1] < bounds_[i] && "histogram bounds must increase");
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  std::size_t lo = 0;
+  std::size_t hi = bounds_.size();  // the +Inf bucket
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (value <= bounds_[mid]) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  buckets_[lo].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+bool Histogram::merge(const HistogramSnapshot& other) noexcept {
+  if (other.bounds != bounds_ || other.buckets.size() != buckets_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].fetch_add(other.buckets[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum, std::memory_order_relaxed);
+  return true;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    snap.buckets.push_back(b.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::vector<double> latency_seconds_bounds() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0};
+}
+
+std::vector<double> small_count_bounds() {
+  return {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0};
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace({name, labels});
+  if (inserted) it->second.help = help;
+  return it->second.value;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gauges_.try_emplace({name, labels});
+  if (inserted) it->second.help = help;
+  return it->second.value;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> bounds,
+                                      const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find({name, labels});
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::piecewise_construct,
+                      std::forward_as_tuple(name, labels),
+                      std::forward_as_tuple(help, std::move(bounds)))
+             .first;
+  }
+  return it->second.value;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  // Snapshot `other` under its lock, then fold outside it; both maps are
+  // iterated in key order so the result is deterministic.
+  struct CounterSnap {
+    Key key;
+    std::string help;
+    std::uint64_t value;
+  };
+  struct GaugeSnap {
+    Key key;
+    std::string help;
+    double value;
+  };
+  struct HistSnap {
+    Key key;
+    std::string help;
+    HistogramSnapshot snap;
+  };
+  std::vector<CounterSnap> counters;
+  std::vector<GaugeSnap> gauges;
+  std::vector<HistSnap> hists;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    for (const auto& [key, entry] : other.counters_) {
+      counters.push_back({key, entry.help, entry.value.value()});
+    }
+    for (const auto& [key, entry] : other.gauges_) {
+      gauges.push_back({key, entry.help, entry.value.value()});
+    }
+    for (const auto& [key, entry] : other.histograms_) {
+      hists.push_back({key, entry.help, entry.value.snapshot()});
+    }
+  }
+  for (const auto& c : counters) {
+    this->counter(c.key.first, c.help, c.key.second).add(c.value);
+  }
+  for (const auto& g : gauges) {
+    this->gauge(g.key.first, g.help, g.key.second).set(g.value);
+  }
+  for (const auto& h : hists) {
+    auto& hist =
+        this->histogram(h.key.first, h.help, h.snap.bounds, h.key.second);
+    hist.merge(h.snap);
+  }
+}
+
+HistogramSnapshot MetricsRegistry::histogram_snapshot(
+    const std::string& name, const std::string& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(Key{name, labels});
+  if (it == histograms_.end()) return HistogramSnapshot{};
+  return it->second.value.snapshot();
+}
+
+std::string MetricsRegistry::render() const {
+  // Samples from all three instrument kinds, grouped per metric name so a
+  // family's HELP/TYPE header appears exactly once. std::map keeps both
+  // names and label sets sorted.
+  struct Family {
+    std::string type;
+    std::string help;
+    std::vector<std::string> lines;
+  };
+  std::map<std::string, Family> families;
+
+  auto sample = [](const std::string& name, const std::string& labels,
+                   const std::string& value) {
+    std::string line = name;
+    if (!labels.empty()) {
+      line += "{" + labels + "}";
+    }
+    line += " " + value;
+    return line;
+  };
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, entry] : counters_) {
+    auto& fam = families[key.first];
+    fam.type = "counter";
+    fam.help = entry.help;
+    fam.lines.push_back(
+        sample(key.first, key.second, std::to_string(entry.value.value())));
+  }
+  for (const auto& [key, entry] : gauges_) {
+    auto& fam = families[key.first];
+    fam.type = "gauge";
+    fam.help = entry.help;
+    fam.lines.push_back(
+        sample(key.first, key.second, format_double(entry.value.value())));
+  }
+  for (const auto& [key, entry] : histograms_) {
+    auto& fam = families[key.first];
+    fam.type = "histogram";
+    fam.help = entry.help;
+    const HistogramSnapshot snap = entry.value.snapshot();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      cumulative += snap.buckets[i];
+      const std::string le =
+          i < snap.bounds.size() ? format_double(snap.bounds[i]) : "+Inf";
+      std::string labels = key.second;
+      if (!labels.empty()) labels += ",";
+      labels += "le=\"" + le + "\"";
+      fam.lines.push_back(
+          sample(key.first + "_bucket", labels, std::to_string(cumulative)));
+    }
+    fam.lines.push_back(
+        sample(key.first + "_sum", key.second, format_double(snap.sum)));
+    fam.lines.push_back(
+        sample(key.first + "_count", key.second, std::to_string(snap.count)));
+  }
+
+  std::ostringstream out;
+  for (const auto& [name, fam] : families) {
+    out << "# HELP " << name << " " << fam.help << "\n";
+    out << "# TYPE " << name << " " << fam.type << "\n";
+    for (const auto& line : fam.lines) {
+      out << line << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace csaw::telemetry

@@ -1,0 +1,151 @@
+#include "telemetry/trace.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace csaw::telemetry {
+
+namespace {
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// JSON string escaping for the small set of characters that can appear in
+// event names and argument values (graph names, labels, error text).
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_us_(steady_now_us()) {}
+
+std::uint64_t TraceRecorder::thread_index() {
+  // One stable small index per recording thread, assigned on first use.
+  // The counter is process-wide (not per recorder): the thread_local
+  // cache outlives any one recorder, so a per-recorder counter could
+  // hand a fresh thread an index an older thread already holds.
+  static std::atomic<std::uint64_t> next_tid{1};
+  thread_local std::uint64_t index = 0;
+  if (index == 0) {
+    index = next_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return index;
+}
+
+void TraceRecorder::append(TraceEvent event) {
+  event.ts_us = steady_now_us() - epoch_us_;
+  event.tid = thread_index();
+  std::lock_guard<std::mutex> lock(mu_);
+  // seq inside the lock: snapshot order == seq order, no sorting needed.
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  events_.push_back(std::move(event));
+}
+
+std::uint64_t TraceRecorder::begin_span(const std::string& name, Args args) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent event;
+  event.name = name;
+  event.phase = TracePhase::kBegin;
+  event.id = id;
+  event.args = std::move(args);
+  append(std::move(event));
+  return id;
+}
+
+void TraceRecorder::end_span(std::uint64_t id, const std::string& name,
+                             Args args) {
+  TraceEvent event;
+  event.name = name;
+  event.phase = TracePhase::kEnd;
+  event.id = id;
+  event.args = std::move(args);
+  append(std::move(event));
+}
+
+void TraceRecorder::instant(const std::string& name, Args args) {
+  TraceEvent event;
+  event.name = name;
+  event.phase = TracePhase::kInstant;
+  event.args = std::move(args);
+  append(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceRecorder::json() const {
+  const std::vector<TraceEvent> events = snapshot();
+
+  std::string out;
+  out.reserve(events.size() * 160 + 256);
+  out += "{\"traceEvents\":[\n";
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"csaw\"}}";
+
+  for (const TraceEvent& e : events) {
+    out += ",\n{";
+    out += "\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"csaw\",\"ph\":\"";
+    out += static_cast<char>(e.phase);
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    out += std::to_string(e.ts_us);
+    if (e.phase == TracePhase::kInstant) {
+      out += ",\"s\":\"g\"";  // global-scope instant
+    } else {
+      out += ",\"id\":\"" + std::to_string(e.id) + "\"";
+    }
+    out += ",\"args\":{";
+    out += "\"seq\":" + std::to_string(e.seq);
+    for (const auto& [key, value] : e.args) {
+      out += ",\"";
+      append_escaped(out, key);
+      out += "\":\"";
+      append_escaped(out, value);
+      out += "\"";
+    }
+    out += "}}";
+  }
+
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace csaw::telemetry

@@ -233,6 +233,48 @@ TEST(ServiceScheduler, DeficitRoundRobinRotatesTenants) {
   EXPECT_EQ(service.stats().batches, 4u);
 }
 
+TEST(ServiceScheduler, EdgeWeightedFairnessLetsCheapTenantsOvertake) {
+  // The DRR cost is estimated sampled edges, not instance count (PR 9):
+  // with *equal* instance counts, a tenant flooding 8x2048-step walks
+  // (16384 edges, two quanta at the default 8192-edge quantum) must not
+  // dispatch 1:1 against a tenant of 8x2-step walks (16 edges, funded
+  // every turn). Under the old instance-denominated quantum both tenants
+  // cost the same and strictly alternate; edge weighting lets all three
+  // cheap requests dispatch before the flood's second request.
+  ServiceConfig config = serial_engine_config();
+  config.max_concurrent_batches = 1;
+  config.start_paused = true;
+  Service service(config);
+  service.add_graph("a", graph_a());
+
+  // Distinct lengths keep requests non-coalescible; "heavy" submits
+  // first, so it also leads the fairness ring.
+  Submission heavy1 = service.submit(walk_request("a", 8, 2048, "heavy"));
+  Submission heavy2 = service.submit(walk_request("a", 8, 2049, "heavy"));
+  Submission heavy3 = service.submit(walk_request("a", 8, 2050, "heavy"));
+  Submission light1 = service.submit(walk_request("a", 8, 2, "light"));
+  Submission light2 = service.submit(walk_request("a", 8, 3, "light"));
+  Submission light3 = service.submit(walk_request("a", 8, 4, "light"));
+  ASSERT_TRUE(heavy1.accepted() && heavy2.accepted() && heavy3.accepted());
+  ASSERT_TRUE(light1.accepted() && light2.accepted() && light3.accepted());
+  service.resume();
+
+  // Serialized batches: when the last cheap request resolves, the
+  // flood's second request cannot have run yet (its batch alone carries
+  // ~20ms of host work — two orders of magnitude of margin).
+  EXPECT_GT(light3.result.get().sampled_edges(), 0u);
+  EXPECT_EQ(heavy2.result.wait_for(0ms), std::future_status::timeout)
+      << "cheap tenant paid instance-denominated cost";
+
+  service.drain();
+  heavy1.result.get();
+  heavy2.result.get();
+  heavy3.result.get();
+  light1.result.get();
+  light2.result.get();
+  EXPECT_EQ(service.stats().batches, 6u);
+}
+
 TEST(ServiceScheduler, PerTenantStatsAccumulate) {
   ServiceConfig config = serial_engine_config();
   config.start_paused = true;

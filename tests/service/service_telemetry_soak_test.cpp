@@ -1,0 +1,147 @@
+// Telemetry concurrency soak (PR 9): 6 client threads fire mixed
+// buffered + streaming traffic at a service with a live TraceRecorder
+// while a poller thread renders metrics_text() and health() — CI runs
+// this under ThreadSanitizer with CSAW_THREADS=4 (the telemetry-soak
+// job), so races between the recorder's append path, the always-on
+// histograms and the exposition snapshots become hard failures. The
+// emitted trace must balance (every span begun ends exactly once), and
+// when CSAW_TRACE_OUT is set the trace JSON is written there for the
+// tools/trace_check.py CI step.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "service/service.hpp"
+#include "telemetry/trace.hpp"
+
+namespace csaw {
+namespace {
+
+constexpr std::uint32_t kClients = 6;
+constexpr std::uint32_t kRequestsPerClient = 20;
+
+TEST(ServiceTelemetrySoak, TracedMixedTrafficBalances) {
+  ServiceConfig config;
+  config.max_queue_depth = 64;
+  config.max_concurrent_batches = 3;
+  config.batching_deadline = std::chrono::microseconds(200);
+  config.trace = std::make_shared<telemetry::TraceRecorder>();
+  Service service(config);
+  const auto small =
+      std::make_shared<const CsrGraph>(generate_rmat(512, 4096, 95));
+  const auto large =
+      std::make_shared<const CsrGraph>(generate_rmat(2048, 16384, 96));
+  service.add_graph("small", small);
+  service.add_graph("large", large);
+
+  std::atomic<std::uint64_t> resolved{0};
+  std::atomic<std::uint64_t> streamed_chunks{0};
+
+  const auto client = [&](std::uint32_t c) {
+    for (std::uint32_t r = 0; r < kRequestsPerClient; ++r) {
+      SampleRequest request;
+      const bool use_large = r % 3 == 0;
+      request.graph = use_large ? "large" : "small";
+      request.algorithm = (r % 2 == 0) ? AlgorithmId::kBiasedRandomWalk
+                                       : AlgorithmId::kBiasedNeighborSampling;
+      request.depth_or_length = 4 + (r % 3);
+      request.tenant = "client-" + std::to_string(c);
+      const VertexId num_vertices =
+          (use_large ? large : small)->num_vertices();
+      const std::uint32_t instances = 2 + (r % 3);
+      for (std::uint32_t i = 0; i < instances; ++i) {
+        request.seeds.push_back(
+            {static_cast<VertexId>((c * 131 + r * 17 + i) % num_vertices)});
+      }
+      if (r % 4 == 0) {
+        StreamSubmission submission =
+            service.submit_streaming(std::move(request));
+        ASSERT_TRUE(submission.accepted());
+        while (submission.stream->next().has_value()) {
+          streamed_chunks.fetch_add(1, std::memory_order_relaxed);
+        }
+        resolved.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        Submission submission = service.submit(std::move(request));
+        ASSERT_TRUE(submission.accepted());
+        submission.result.get();
+        resolved.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string text = service.metrics_text();
+      EXPECT_NE(text.find("csaw_requests_submitted_total"),
+                std::string::npos);
+      (void)service.health();
+      (void)config.trace->event_count();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (std::uint32_t c = 0; c < kClients; ++c) {
+    clients.emplace_back(client, c);
+  }
+  for (auto& thread : clients) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+  service.drain();
+  service.shutdown();
+
+  EXPECT_EQ(resolved.load(), kClients * kRequestsPerClient);
+  EXPECT_GT(streamed_chunks.load(), 0u);
+
+  // Every span begun ended exactly once, and sequence numbers are dense
+  // — the invariant every nesting assertion (and trace_check.py) rests
+  // on, under full concurrency.
+  const std::vector<telemetry::TraceEvent> events = config.trace->snapshot();
+  std::map<std::uint64_t, int> open;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    if (events[i].phase == telemetry::TracePhase::kBegin) {
+      EXPECT_EQ(open[events[i].id], 0) << "span id reused while open";
+      open[events[i].id] += 1;
+    } else if (events[i].phase == telemetry::TracePhase::kEnd) {
+      EXPECT_EQ(open[events[i].id], 1) << "end without begin";
+      open[events[i].id] -= 1;
+    }
+  }
+  for (const auto& [id, count] : open) {
+    EXPECT_EQ(count, 0) << "span " << id << " never ended";
+  }
+
+  // One request span per accepted request; one batch span per batch.
+  const ServiceStats stats = service.stats();
+  std::uint64_t request_begins = 0;
+  std::uint64_t batch_begins = 0;
+  for (const auto& event : events) {
+    if (event.phase != telemetry::TracePhase::kBegin) continue;
+    if (event.name == "request") ++request_begins;
+    if (event.name == "batch") ++batch_begins;
+  }
+  EXPECT_EQ(request_begins, stats.accepted);
+  EXPECT_EQ(batch_begins, stats.batches);
+
+  // CI feeds the emitted trace to tools/trace_check.py.
+  if (const char* out = std::getenv("CSAW_TRACE_OUT")) {
+    std::ofstream file(out);
+    ASSERT_TRUE(file.good()) << "cannot write " << out;
+    file << config.trace->json();
+  }
+}
+
+}  // namespace
+}  // namespace csaw

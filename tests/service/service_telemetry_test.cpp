@@ -1,0 +1,407 @@
+// The unified telemetry layer on the serving tier (PR 9): the golden
+// metrics_text() exposition (pinned byte-for-byte on an idle service),
+// the always-on latency histograms, the health() outcome rates, and the
+// per-request trace: request/queue/batch/chain spans nest by global
+// sequence number, transfer spans on a paged batch wrap their retry
+// instants, and stream_chunk instants ride inside the batch span.
+// Zero-cost gating (byte-identical simulated metrics with tracing off)
+// is enforced by the bench trajectory, not here.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "oom/cache/fault_injector.hpp"
+#include "oom/partitioned_graph.hpp"
+#include "service/service.hpp"
+#include "telemetry/trace.hpp"
+
+namespace csaw {
+namespace {
+
+using telemetry::TraceEvent;
+using telemetry::TracePhase;
+
+const std::shared_ptr<const CsrGraph>& small_graph() {
+  static const auto g =
+      std::make_shared<const CsrGraph>(generate_rmat(1024, 8192, 97));
+  return g;
+}
+
+ServiceConfig serial_config() {
+  ServiceConfig config;
+  config.options.num_threads = 1;
+  return config;
+}
+
+SampleRequest walk_request(std::uint32_t instances, std::uint32_t length,
+                           const std::string& tenant = {}) {
+  std::vector<VertexId> seeds(instances);
+  for (std::uint32_t i = 0; i < instances; ++i) {
+    seeds[i] = static_cast<VertexId>((i * 131) % small_graph()->num_vertices());
+  }
+  SampleRequest request = SampleRequest::single_seeds(
+      "g", AlgorithmId::kBiasedRandomWalk, length, seeds);
+  request.tenant = tenant;
+  return request;
+}
+
+/// Arg lookup on a trace event; empty when absent.
+std::string arg(const TraceEvent& event, const std::string& key) {
+  for (const auto& [k, v] : event.args) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+/// The [begin.seq, end.seq] window of the unique span with `name` (and,
+/// when given, the matching arg); fails the test when absent.
+struct SpanWindow {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+std::optional<SpanWindow> span_window(const std::vector<TraceEvent>& events,
+                                      const std::string& name,
+                                      std::uint64_t id) {
+  SpanWindow window;
+  bool found_begin = false;
+  bool found_end = false;
+  for (const TraceEvent& event : events) {
+    if (event.name != name || event.id != id) continue;
+    if (event.phase == TracePhase::kBegin) {
+      window.begin = event.seq;
+      found_begin = true;
+    } else if (event.phase == TracePhase::kEnd) {
+      window.end = event.seq;
+      found_end = true;
+    }
+  }
+  if (!found_begin || !found_end) return std::nullopt;
+  return window;
+}
+
+TEST(ServiceTelemetry, IdleExpositionMatchesGoldenFile) {
+  // Pins the whole exposition format — family order, label order, bucket
+  // boundaries, HELP text — on a service that has done nothing (host-time
+  // observations would make any other state nondeterministic). Regenerate
+  // by writing metrics_text() of an idle serial service over the golden
+  // file when the catalog deliberately changes.
+  std::ifstream golden(std::string(CSAW_SOURCE_DIR) +
+                       "/tests/telemetry/golden_idle_metrics.txt");
+  ASSERT_TRUE(golden.good()) << "golden file missing";
+  std::stringstream contents;
+  contents << golden.rdbuf();
+
+  Service service(serial_config());
+  EXPECT_EQ(service.metrics_text(), contents.str());
+}
+
+TEST(ServiceTelemetry, HistogramsObserveServedTraffic) {
+  Service service(serial_config());
+  service.add_graph("g", small_graph());
+  for (int r = 0; r < 3; ++r) {
+    Submission submission = service.submit(walk_request(4, 8));
+    ASSERT_TRUE(submission.accepted());
+    submission.result.get();
+  }
+
+  const telemetry::HistogramSnapshot queue_wait =
+      service.histogram("csaw_request_queue_wait_seconds");
+  const telemetry::HistogramSnapshot inflight =
+      service.histogram("csaw_request_inflight_seconds");
+  const telemetry::HistogramSnapshot inflight_sim =
+      service.histogram("csaw_request_inflight_sim_seconds");
+  const telemetry::HistogramSnapshot batch_sim =
+      service.histogram("csaw_batch_sim_seconds");
+  EXPECT_EQ(queue_wait.count, 3u);
+  EXPECT_EQ(inflight.count, 3u);
+  EXPECT_EQ(inflight_sim.count, 3u);
+  EXPECT_GE(batch_sim.count, 1u);
+  EXPECT_GT(inflight.sum, 0.0);
+  EXPECT_GT(inflight_sim.sum, 0.0);  // simulated makespans are never 0
+  EXPECT_TRUE(service.histogram("no_such_metric").bounds.empty());
+
+  // The text exposition carries the same distributions.
+  const std::string text = service.metrics_text();
+  EXPECT_NE(text.find("csaw_request_queue_wait_seconds_count 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("csaw_requests_accepted_total 3"), std::string::npos);
+  EXPECT_NE(text.find("csaw_request_outcomes_total{outcome=\"ok\"} 3"),
+            std::string::npos);
+}
+
+TEST(ServiceTelemetry, HealthReportsOutcomeRates) {
+  Service service(serial_config());
+  service.add_graph("g", small_graph());
+  service.sample(walk_request(2, 8));
+
+  // One cancelled request: cancel before resume so it dies queued.
+  CancelSource cancel;
+  ServiceConfig config = serial_config();
+  config.start_paused = true;
+  Service paused(config);
+  paused.add_graph("g", small_graph());
+  SampleRequest request = walk_request(2, 8);
+  request.cancel = cancel.token();
+  Submission doomed = paused.submit(std::move(request));
+  ASSERT_TRUE(doomed.accepted());
+  cancel.cancel(CancelReason::kRequested);
+  paused.resume();
+  paused.drain();
+  EXPECT_THROW(doomed.result.get(), RequestError);
+
+  const ServiceHealth ok_health = service.health();
+  EXPECT_EQ(ok_health.window, 1u);
+  EXPECT_EQ(ok_health.recent_ok, 1u);
+  EXPECT_DOUBLE_EQ(ok_health.ok_rate, 1.0);
+  EXPECT_DOUBLE_EQ(ok_health.cancelled_rate, 0.0);
+
+  const ServiceHealth cancelled_health = paused.health();
+  EXPECT_EQ(cancelled_health.window, 1u);
+  EXPECT_EQ(cancelled_health.recent_cancelled, 1u);
+  EXPECT_EQ(cancelled_health.recent_failures, 1u);
+  EXPECT_DOUBLE_EQ(cancelled_health.cancelled_rate, 1.0);
+  EXPECT_DOUBLE_EQ(cancelled_health.ok_rate, 0.0);
+}
+
+TEST(ServiceTelemetry, EmptyHealthWindowHasZeroRates) {
+  Service service(serial_config());
+  const ServiceHealth health = service.health();
+  EXPECT_EQ(health.window, 0u);
+  EXPECT_DOUBLE_EQ(health.ok_rate, 0.0);
+  EXPECT_DOUBLE_EQ(health.cancelled_rate + health.deadline_rate +
+                       health.transfer_failed_rate + health.internal_rate,
+                   0.0);
+}
+
+TEST(ServiceTelemetry, TraceNestsChainSpansInsideBatchSpans) {
+  ServiceConfig config = serial_config();
+  config.trace = std::make_shared<telemetry::TraceRecorder>();
+  Service service(config);
+  service.add_graph("g", small_graph());
+  service.sample(walk_request(3, 8));
+  // The future resolves before the batch span closes; drain() waits for
+  // the runner to retire the batch (which happens after the end event).
+  service.drain();
+
+  const std::vector<TraceEvent> events = config.trace->snapshot();
+  ASSERT_FALSE(events.empty());
+
+  // Exactly one batch span; find its seq window by id.
+  std::uint64_t batch_id_arg = 0;
+  std::optional<SpanWindow> batch;
+  for (const TraceEvent& event : events) {
+    if (event.name == "batch" && event.phase == TracePhase::kBegin) {
+      batch = span_window(events, "batch", event.id);
+      batch_id_arg = std::stoull(arg(event, "batch"));
+    }
+  }
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_LT(batch->begin, batch->end);
+
+  // Every chain span (one per instance) nests inside the batch span and
+  // carries the batch attribution.
+  std::size_t chains = 0;
+  for (const TraceEvent& event : events) {
+    if (event.name != "chain") continue;
+    EXPECT_GT(event.seq, batch->begin);
+    EXPECT_LT(event.seq, batch->end);
+    if (event.phase == TracePhase::kBegin) {
+      ++chains;
+      EXPECT_EQ(arg(event, "batch"), std::to_string(batch_id_arg));
+    }
+  }
+  EXPECT_EQ(chains, 3u);
+
+  // The admission instant and both request-lifecycle spans exist, and
+  // the queue span closes before the batch ends.
+  std::optional<SpanWindow> request;
+  std::optional<SpanWindow> queue;
+  bool admitted = false;
+  for (const TraceEvent& event : events) {
+    if (event.name == "admit") admitted = true;
+    if (event.phase != TracePhase::kBegin) continue;
+    if (event.name == "request") {
+      request = span_window(events, "request", event.id);
+    }
+    if (event.name == "queue") queue = span_window(events, "queue", event.id);
+  }
+  EXPECT_TRUE(admitted);
+  ASSERT_TRUE(request.has_value());
+  ASSERT_TRUE(queue.has_value());
+  // request span: admission → outcome. It opens before the batch and
+  // closes inside it (the outcome is delivered, then the batch span
+  // closes last).
+  EXPECT_LT(request->begin, batch->begin);
+  EXPECT_GT(request->end, batch->begin);
+  EXPECT_LT(request->end, batch->end);
+  // queue span: admission → formation, so it closes before execution.
+  EXPECT_LT(queue->begin, batch->begin);
+  EXPECT_LT(queue->end, batch->end);
+}
+
+TEST(ServiceTelemetry, TraceWrapsTransferRetriesInTransferSpans) {
+  // Paged service with a scripted fail-twice fault: the transfer span of
+  // partition 0 must contain its two fault+retry instants by sequence.
+  ServiceConfig config = serial_config();
+  config.options.memory_assumption = MemoryAssumption::kExceeds;
+  config.trace = std::make_shared<telemetry::TraceRecorder>();
+  auto injector = std::make_shared<TransferFaultInjector>();
+  injector->fail_partition(0, 2);
+  config.options.transfer_faults = injector;
+  config.options.transfer_retry_limit = 3;
+  Service service(config);
+  service.add_graph("g", small_graph());
+
+  // Seeds confined to partition 0 so the scripted fault is guaranteed to
+  // hit a demand load.
+  const PartitionedGraph parts(*small_graph(),
+                               config.options.num_partitions);
+  std::vector<VertexId> seeds;
+  for (VertexId v = 0;
+       v < small_graph()->num_vertices() && seeds.size() < 4; ++v) {
+    if (parts.part_of(v) == 0) seeds.push_back(v);
+  }
+  ASSERT_EQ(seeds.size(), 4u);
+  SampleRequest request = SampleRequest::single_seeds(
+      "g", AlgorithmId::kBiasedRandomWalk, 8, seeds);
+  const RunResult result = service.sample(std::move(request));
+  ASSERT_TRUE(result.oom.has_value());
+  EXPECT_EQ(result.oom->transfer_retries, 2u);
+
+  const std::vector<TraceEvent> events = config.trace->snapshot();
+  // Collect transfer span windows by id.
+  std::map<std::uint64_t, SpanWindow> transfers;
+  for (const TraceEvent& event : events) {
+    if (event.name != "transfer" || event.phase != TracePhase::kBegin) {
+      continue;
+    }
+    const std::optional<SpanWindow> window =
+        span_window(events, "transfer", event.id);
+    ASSERT_TRUE(window.has_value()) << "unbalanced transfer span";
+    transfers.emplace(event.id, *window);
+  }
+  ASSERT_FALSE(transfers.empty());
+
+  // Both retry instants (and both fault instants) fall inside some
+  // transfer span's sequence window.
+  std::size_t retries = 0;
+  std::size_t faults = 0;
+  for (const TraceEvent& event : events) {
+    if (event.name != "transfer_retry" && event.name != "transfer_fault") {
+      continue;
+    }
+    (event.name == "transfer_retry" ? retries : faults) += 1;
+    bool inside = false;
+    for (const auto& [id, window] : transfers) {
+      if (event.seq > window.begin && event.seq < window.end) {
+        inside = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(inside) << event.name << " outside every transfer span";
+  }
+  EXPECT_EQ(retries, 2u);
+  EXPECT_EQ(faults, 2u);
+
+  // The successful transfer span reports its attempt count.
+  bool saw_retried_transfer = false;
+  for (const TraceEvent& event : events) {
+    if (event.name == "transfer" && event.phase == TracePhase::kEnd &&
+        arg(event, "attempts") == "3") {
+      saw_retried_transfer = true;
+    }
+  }
+  EXPECT_TRUE(saw_retried_transfer);
+}
+
+TEST(ServiceTelemetry, StreamChunksTraceInsideTheBatchSpan) {
+  ServiceConfig config = serial_config();
+  config.trace = std::make_shared<telemetry::TraceRecorder>();
+  Service service(config);
+  service.add_graph("g", small_graph());
+
+  StreamSubmission submission = service.submit_streaming(walk_request(3, 8));
+  ASSERT_TRUE(submission.accepted());
+  std::size_t chunks = 0;
+  while (submission.stream->next().has_value()) ++chunks;
+  EXPECT_EQ(chunks, 3u);
+  service.drain();  // the batch span closes after the stream finishes
+
+  const std::vector<TraceEvent> events = config.trace->snapshot();
+  std::optional<SpanWindow> batch;
+  for (const TraceEvent& event : events) {
+    if (event.name == "batch" && event.phase == TracePhase::kBegin) {
+      batch = span_window(events, "batch", event.id);
+    }
+  }
+  ASSERT_TRUE(batch.has_value());
+  std::size_t chunk_instants = 0;
+  for (const TraceEvent& event : events) {
+    if (event.name != "stream_chunk") continue;
+    ++chunk_instants;
+    EXPECT_EQ(event.phase, TracePhase::kInstant);
+    EXPECT_GT(event.seq, batch->begin);
+    EXPECT_LT(event.seq, batch->end);
+    EXPECT_NE(arg(event, "queued"), "");
+  }
+  EXPECT_EQ(chunk_instants, 3u);
+
+  // Occupancy was observed once per delivered chunk.
+  EXPECT_EQ(service.histogram("csaw_stream_chunk_occupancy").count, 3u);
+}
+
+TEST(ServiceTelemetry, RejectionsEmitTypedInstants) {
+  ServiceConfig config = serial_config();
+  config.trace = std::make_shared<telemetry::TraceRecorder>();
+  Service service(config);
+  service.add_graph("g", small_graph());
+
+  Submission unknown = service.submit(walk_request(2, 8));
+  // walk_request targets "g" which exists; craft an unknown-graph one.
+  SampleRequest bad = walk_request(2, 8);
+  bad.graph = "missing";
+  Submission rejected = service.submit(std::move(bad));
+  EXPECT_TRUE(unknown.accepted());
+  EXPECT_EQ(rejected.rejected, RejectReason::kUnknownGraph);
+  unknown.result.get();
+
+  bool saw_reject = false;
+  for (const TraceEvent& event : config.trace->snapshot()) {
+    if (event.name == "reject") {
+      saw_reject = true;
+      EXPECT_NE(arg(event, "reason"), "");
+    }
+  }
+  EXPECT_TRUE(saw_reject);
+}
+
+TEST(ServiceTelemetry, EstimatedEdgeCostWeighsWalksAndTrees) {
+  // Walks: instances × length.
+  EXPECT_EQ(Service::estimated_edge_cost(walk_request(8, 512)), 8u * 512u);
+  EXPECT_EQ(Service::estimated_edge_cost(walk_request(1, 2)), 2u);
+
+  // Sampling trees: instances × sum of neighbor_size^d.
+  std::vector<VertexId> seeds = {0, 1};
+  SampleRequest tree = SampleRequest::single_seeds(
+      "g", AlgorithmId::kBiasedNeighborSampling, 2, seeds);
+  tree.neighbor_size = 3;
+  EXPECT_EQ(Service::estimated_edge_cost(tree), 2u * (3u + 9u));
+
+  // Deep wide trees saturate at the per-instance cap instead of
+  // overflowing.
+  SampleRequest deep = SampleRequest::single_seeds(
+      "g", AlgorithmId::kBiasedNeighborSampling, 40, seeds);
+  deep.neighbor_size = 16;
+  EXPECT_EQ(Service::estimated_edge_cost(deep),
+            2u * (std::uint64_t{1} << 20));
+}
+
+}  // namespace
+}  // namespace csaw

@@ -1,0 +1,129 @@
+// The metrics registry (PR 9): Prometheus `le` bucket-boundary
+// semantics of the fixed-bucket histogram, the deterministic merge
+// (exposition order is a pure function of the merged state, not of
+// registration or observation interleaving), and the text exposition
+// format the golden service test pins end to end.
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace csaw::telemetry {
+namespace {
+
+TEST(Histogram, BucketBoundariesAreLeInclusive) {
+  // Prometheus semantics: an observation equal to an upper bound lands
+  // in that bucket, epsilon above it lands in the next one.
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(1.0);   // == bound 0
+  h.observe(1.5);   // bucket 1
+  h.observe(2.0);   // == bound 1
+  h.observe(4.01);  // above the last bound: +Inf
+  h.observe(-3.0);  // below everything: first bucket
+  const HistogramSnapshot snap = h.snapshot();
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 2u);  // 1.0 and -3.0
+  EXPECT_EQ(snap.buckets[1], 2u);  // 1.5 and 2.0
+  EXPECT_EQ(snap.buckets[2], 0u);
+  EXPECT_EQ(snap.buckets[3], 1u);  // 4.01
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 1.0 + 1.5 + 2.0 + 4.01 - 3.0);
+}
+
+TEST(Histogram, MergeRequiresMatchingBounds) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 2.0});
+  Histogram c({1.0, 3.0});
+  a.observe(0.5);
+  b.observe(1.5);
+  c.observe(2.5);
+  EXPECT_TRUE(a.merge(b.snapshot()));
+  EXPECT_FALSE(a.merge(c.snapshot()));  // mismatch folds nothing
+  const HistogramSnapshot snap = a.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_DOUBLE_EQ(snap.sum, 2.0);
+}
+
+TEST(MetricsRegistry, MergeAndRenderAreDeterministic) {
+  // Two registries built in *different* registration orders with the
+  // same state must merge and render identically: exposition order is
+  // keyed by (name, labels), never by insertion history.
+  MetricsRegistry left;
+  left.counter("zz_total", "z help").add(3);
+  left.counter("aa_total", "a help", "tenant=\"b\"").add(1);
+  left.counter("aa_total", "a help", "tenant=\"a\"").add(2);
+  left.histogram("lat_seconds", "lat", {0.5, 1.0}).observe(0.25);
+
+  MetricsRegistry right;
+  right.histogram("lat_seconds", "lat", {0.5, 1.0}).observe(0.75);
+  right.counter("aa_total", "a help", "tenant=\"a\"").add(10);
+  right.counter("zz_total", "z help").add(1);
+
+  MetricsRegistry merged_a;
+  merged_a.merge(left);
+  merged_a.merge(right);
+
+  MetricsRegistry merged_b;
+  merged_b.merge(right);
+  merged_b.merge(left);
+
+  const std::string text = merged_a.render();
+  EXPECT_EQ(text, merged_b.render());
+
+  // Families sorted by name, samples by label string, cumulative
+  // buckets with the +Inf tail and _sum/_count.
+  const std::string expected =
+      "# HELP aa_total a help\n"
+      "# TYPE aa_total counter\n"
+      "aa_total{tenant=\"a\"} 12\n"
+      "aa_total{tenant=\"b\"} 1\n"
+      "# HELP lat_seconds lat\n"
+      "# TYPE lat_seconds histogram\n"
+      "lat_seconds_bucket{le=\"0.5\"} 1\n"
+      "lat_seconds_bucket{le=\"1\"} 2\n"
+      "lat_seconds_bucket{le=\"+Inf\"} 2\n"
+      "lat_seconds_sum 1\n"
+      "lat_seconds_count 2\n"
+      "# HELP zz_total z help\n"
+      "# TYPE zz_total counter\n"
+      "zz_total 4\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(MetricsRegistry, SnapshotByNameAndUnknownNames) {
+  MetricsRegistry registry;
+  registry.histogram("h_seconds", "h", {1.0}).observe(0.5);
+  const HistogramSnapshot found = registry.histogram_snapshot("h_seconds");
+  EXPECT_EQ(found.count, 1u);
+  ASSERT_EQ(found.bounds.size(), 1u);
+  EXPECT_DOUBLE_EQ(found.bounds[0], 1.0);
+  const HistogramSnapshot missing = registry.histogram_snapshot("nope");
+  EXPECT_EQ(missing.count, 0u);
+  EXPECT_TRUE(missing.bounds.empty());
+  EXPECT_TRUE(missing.buckets.empty());
+}
+
+TEST(MetricsRegistry, GaugeRendersAsDouble) {
+  MetricsRegistry registry;
+  registry.gauge("frac", "a fraction").set(0.25);
+  const std::string text = registry.render();
+  EXPECT_NE(text.find("# TYPE frac gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("frac 0.25\n"), std::string::npos);
+}
+
+TEST(BucketPresets, AreStrictlyIncreasing) {
+  for (const auto& bounds :
+       {latency_seconds_bounds(), small_count_bounds()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csaw::telemetry

@@ -1,0 +1,111 @@
+// The trace recorder (PR 9): span ids, global sequence order (what all
+// nesting assertions rest on), thread attribution, and the Chrome
+// trace-event JSON shape Perfetto's legacy importer loads.
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace csaw::telemetry {
+namespace {
+
+TEST(TraceRecorder, SpansPairByIdAndOrderBySeq) {
+  TraceRecorder recorder;
+  const std::uint64_t outer = recorder.begin_span("outer");
+  const std::uint64_t inner = recorder.begin_span("inner");
+  recorder.instant("tick", {{"k", "v"}});
+  recorder.end_span(inner, "inner");
+  recorder.end_span(outer, "outer");
+
+  const std::vector<TraceEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_NE(outer, 0u);
+  EXPECT_NE(inner, 0u);
+  EXPECT_NE(outer, inner);
+  // Snapshot order == seq order, and seq is strictly increasing.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+  }
+  EXPECT_EQ(events[0].phase, TracePhase::kBegin);
+  EXPECT_EQ(events[0].id, outer);
+  EXPECT_EQ(events[1].id, inner);
+  EXPECT_EQ(events[2].phase, TracePhase::kInstant);
+  EXPECT_EQ(events[2].args.size(), 1u);
+  // The inner span's whole lifetime sits inside the outer span's.
+  EXPECT_GT(events[1].seq, events[0].seq);
+  EXPECT_LT(events[3].seq, events[4].seq);
+  EXPECT_EQ(events[3].id, inner);
+  EXPECT_EQ(events[4].id, outer);
+}
+
+TEST(TraceRecorder, ThreadsGetStableSmallIndices) {
+  TraceRecorder recorder;
+  recorder.instant("main");
+  recorder.instant("main_again");
+  std::thread other([&] {
+    recorder.instant("other");
+    recorder.instant("other_again");
+  });
+  other.join();
+  const std::vector<TraceEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_EQ(events[2].tid, events[3].tid);
+  EXPECT_NE(events[0].tid, events[2].tid);
+}
+
+TEST(TraceRecorder, JsonIsChromeTraceShaped) {
+  TraceRecorder recorder;
+  const std::uint64_t span =
+      recorder.begin_span("work", {{"tenant", "a\"b"}});
+  recorder.instant("mark");
+  recorder.end_span(span, "work");
+
+  const std::string json = recorder.json();
+  // Object envelope with the traceEvents array and display unit.
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Process metadata plus one record per event.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  // Async spans carry their id; instants their global scope.
+  EXPECT_NE(json.find("\"id\":"), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"g\""), std::string::npos);
+  // Arg values are escaped.
+  EXPECT_NE(json.find("a\\\"b"), std::string::npos);
+  // All records share the synthetic process and the csaw category.
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"csaw\""), std::string::npos);
+}
+
+TEST(TraceRecorder, ConcurrentAppendsKeepSeqDense) {
+  TraceRecorder recorder;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t id =
+            recorder.begin_span("s" + std::to_string(t));
+        recorder.end_span(id, "s" + std::to_string(t));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const std::vector<TraceEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads * kPerThread * 2));
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);  // dense, gap-free, in snapshot order
+  }
+}
+
+}  // namespace
+}  // namespace csaw::telemetry

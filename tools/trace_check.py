@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate a csaw Chrome trace-event JSON export (docs/OBSERVABILITY.md).
+
+Checks, on top of plain JSON well-formedness:
+  - envelope: an object with a "traceEvents" list;
+  - every event carries name/ph/pid, async events (b/e) an id, instants
+    an "s" scope, and every non-metadata event a numeric ts and an
+    integer args.seq;
+  - sequence numbers are unique (the recorder's global order);
+  - async spans balance: every begin has exactly one end with the same
+    id, no end without a begin, no id reused while open;
+  - nesting by sequence: every "chain" span and "stream_chunk" instant
+    lies inside a "batch" span's [begin.seq, end.seq] window, and every
+    "transfer_retry"/"transfer_fault" instant inside a "transfer" span's
+    window.
+
+Usage: tools/trace_check.py trace.json [more.json ...]
+Exit status 0 when every file passes, 1 otherwise. Stdlib only.
+"""
+
+import json
+import sys
+
+
+def fail(errors, message):
+    errors.append(message)
+
+
+def check_events(events):
+    errors = []
+    seqs = set()
+    open_spans = {}  # id -> (name, begin seq)
+    windows = {}  # name -> list of (begin seq, end seq)
+
+    for i, event in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(event, dict):
+            fail(errors, f"{where}: not an object")
+            continue
+        for field in ("name", "ph", "pid"):
+            if field not in event:
+                fail(errors, f"{where}: missing '{field}'")
+        ph = event.get("ph")
+        if ph == "M":
+            continue  # metadata records carry no ts/seq
+        if not isinstance(event.get("ts"), (int, float)):
+            fail(errors, f"{where}: missing numeric 'ts'")
+        args = event.get("args")
+        seq = args.get("seq") if isinstance(args, dict) else None
+        if not isinstance(seq, int):
+            fail(errors, f"{where}: missing integer args.seq")
+            continue
+        if seq in seqs:
+            fail(errors, f"{where}: duplicate seq {seq}")
+        seqs.add(seq)
+
+        name = event.get("name", "")
+        if ph == "b":
+            span_id = event.get("id")
+            if span_id is None:
+                fail(errors, f"{where}: span begin without id")
+                continue
+            if span_id in open_spans:
+                fail(errors, f"{where}: id {span_id} reused while open")
+            open_spans[span_id] = (name, seq)
+        elif ph == "e":
+            span_id = event.get("id")
+            if span_id is None:
+                fail(errors, f"{where}: span end without id")
+                continue
+            if span_id not in open_spans:
+                fail(errors, f"{where}: end of id {span_id} without begin")
+                continue
+            begin_name, begin_seq = open_spans.pop(span_id)
+            if begin_name != name:
+                fail(errors,
+                     f"{where}: span id {span_id} began as '{begin_name}' "
+                     f"but ended as '{name}'")
+            windows.setdefault(begin_name, []).append((begin_seq, seq))
+        elif ph == "i":
+            if event.get("s") not in ("g", "p", "t"):
+                fail(errors, f"{where}: instant without scope 's'")
+        else:
+            fail(errors, f"{where}: unknown phase {ph!r}")
+
+    for span_id, (name, seq) in open_spans.items():
+        fail(errors, f"span '{name}' id {span_id} (seq {seq}) never ended")
+
+    def inside(seq, name):
+        return any(b < seq < e for b, e in windows.get(name, []))
+
+    # Nesting contracts (sequence containment; see docs/OBSERVABILITY.md).
+    for event in events:
+        if not isinstance(event, dict) or event.get("ph") == "M":
+            continue
+        args = event.get("args")
+        seq = args.get("seq") if isinstance(args, dict) else None
+        if not isinstance(seq, int):
+            continue
+        name = event.get("name", "")
+        if name == "chain" and event.get("ph") in ("b", "e"):
+            if not inside(seq, "batch"):
+                fail(errors, f"chain event seq {seq} outside every batch span")
+        elif name == "stream_chunk":
+            if not inside(seq, "batch"):
+                fail(errors,
+                     f"stream_chunk seq {seq} outside every batch span")
+        elif name in ("transfer_retry", "transfer_fault"):
+            if not inside(seq, "transfer"):
+                fail(errors,
+                     f"{name} seq {seq} outside every transfer span")
+
+    return errors, windows
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"{path}: FAIL: {error}")
+        return False
+
+    if not isinstance(trace, dict) or not isinstance(
+            trace.get("traceEvents"), list):
+        print(f"{path}: FAIL: no traceEvents array")
+        return False
+
+    errors, windows = check_events(trace["traceEvents"])
+    if errors:
+        for message in errors[:20]:
+            print(f"{path}: FAIL: {message}")
+        if len(errors) > 20:
+            print(f"{path}: ... and {len(errors) - 20} more")
+        return False
+
+    spans = sum(len(v) for v in windows.values())
+    named = ", ".join(f"{name}={len(windows[name])}"
+                      for name in sorted(windows))
+    print(f"{path}: OK: {len(trace['traceEvents'])} events, "
+          f"{spans} balanced spans ({named or 'no spans'})")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    ok = all([check_file(path) for path in argv[1:]])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

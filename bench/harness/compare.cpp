@@ -68,6 +68,19 @@ std::vector<Metric> collect_metrics(const Json& record) {
           Metric{"paged/contention", contention->at("seps").as_double()});
     }
   }
+  // Sharded-service SEPS are simulated too (compute + envelope transfer
+  // on the analytic wire model), so each shard count gates; the
+  // forwarding counters (walkers, envelopes, bytes) are recorded but not
+  // compared.
+  if (const Json* sharded = record.find("sharded_service")) {
+    if (const Json* counts = sharded->find("counts")) {
+      for (const Json& entry : counts->items()) {
+        metrics.push_back(
+            Metric{"shard/" + std::to_string(entry.at("shards").as_int()),
+                   entry.at("seps").as_double()});
+      }
+    }
+  }
   return metrics;
 }
 

@@ -14,6 +14,7 @@
 #include "harness/paged_bench.hpp"
 #include "harness/registry.hpp"
 #include "harness/service_bench.hpp"
+#include "harness/shard_bench.hpp"
 #include "harness/throughput.hpp"
 #include "util/table.hpp"
 
@@ -80,6 +81,15 @@ int main(int argc, char** argv) {
     record.set("paged_service", bench::run_paged_service(env, std::cout));
   } catch (const std::exception& e) {
     std::cerr << "paged service scenario failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::cout << "-- sharded service: walk workload at shard counts 1/2/4 "
+               "(simulated, gated)\n";
+  try {
+    record.set("sharded_service", bench::run_sharded_service(env, std::cout));
+  } catch (const std::exception& e) {
+    std::cerr << "sharded service scenario failed: " << e.what() << "\n";
     return 1;
   }
 

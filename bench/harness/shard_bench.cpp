@@ -1,0 +1,116 @@
+#include "harness/shard_bench.hpp"
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "service/service.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace csaw::bench {
+namespace {
+
+// Fixed scenario shape (env-independent, like the paged and service
+// scenarios): committed records must stay comparable across machines
+// and knobs.
+constexpr std::uint32_t kShardInstances = 64;
+constexpr std::uint32_t kShardWalkLength = 16;
+constexpr std::uint32_t kShardRngBase = 64;
+constexpr std::uint32_t kShardCounts[] = {1, 2, 4};
+
+const std::shared_ptr<const CsrGraph>& shard_graph() {
+  static const auto g = std::make_shared<const CsrGraph>(
+      generate_rmat(2048, 16384, 88, {}, /*weighted=*/true));
+  return g;
+}
+
+RunResult run_at(std::uint32_t shards) {
+  ServiceConfig config;
+  config.options.num_threads = 2;
+  config.shards = shards;
+  Service service(config);
+  service.add_graph("g", shard_graph());
+
+  std::vector<VertexId> seeds(kShardInstances);
+  for (std::uint32_t i = 0; i < kShardInstances; ++i) {
+    seeds[i] =
+        static_cast<VertexId>((i * 131) % shard_graph()->num_vertices());
+  }
+  SampleRequest request = SampleRequest::single_seeds(
+      "g", AlgorithmId::kBiasedRandomWalk, kShardWalkLength, seeds);
+  request.rng_base = kShardRngBase;  // pinned: bytes independent of order
+  Submission submission = service.submit(std::move(request));
+  CSAW_CHECK_MSG(submission.accepted(),
+                 "sharded service rejected the bench request: "
+                     << to_string(submission.rejected));
+  return submission.result.get();
+}
+
+}  // namespace
+
+Json run_sharded_service(const BenchEnv& /*env*/, std::ostream& log) {
+  TablePrinter table({"shards", "SEPS (simulated)", "forwarded", "envelopes",
+                      "wire bytes", "rounds"});
+  Json counts = Json::array();
+  RunResult baseline;
+  for (const std::uint32_t shards : kShardCounts) {
+    RunResult result = run_at(shards);
+    if (shards == 1) {
+      // The contract ServiceConfig::shards documents: one shard IS the
+      // unsharded path, not a one-shard router.
+      CSAW_CHECK(!result.shard.has_value());
+      baseline = result;
+    } else {
+      CSAW_CHECK(result.shard.has_value());
+      CSAW_CHECK_MSG(result.shard->forwarded_walkers > 0,
+                     "sharded bench never crossed a shard boundary — the "
+                     "scenario is not exercising the transport");
+      CSAW_CHECK(result.samples.num_instances() ==
+                 baseline.samples.num_instances());
+      for (std::uint32_t i = 0; i < result.samples.num_instances(); ++i) {
+        CSAW_CHECK_MSG(
+            result.samples.edges(i) == baseline.samples.edges(i),
+            "sharded run diverged from unsharded at instance " << i);
+      }
+    }
+
+    const std::uint64_t forwarded =
+        result.shard ? result.shard->forwarded_walkers : 0;
+    const std::uint64_t envelopes = result.shard ? result.shard->envelopes : 0;
+    const std::uint64_t wire_bytes =
+        result.shard ? result.shard->bytes_forwarded : 0;
+    const std::uint64_t rounds = result.shard ? result.shard->rounds : 0;
+    auto row = table.row();
+    row.cell(static_cast<std::int64_t>(shards));
+    row.cell(result.seps(), 0);
+    row.cell(static_cast<std::int64_t>(forwarded));
+    row.cell(static_cast<std::int64_t>(envelopes));
+    row.cell(static_cast<std::int64_t>(wire_bytes));
+    row.cell(static_cast<std::int64_t>(rounds));
+
+    Json entry = Json::object();
+    entry.set("shards", static_cast<std::uint64_t>(shards));
+    entry.set("sampled_edges", result.sampled_edges());
+    entry.set("sim_seconds", result.sim_seconds);
+    entry.set("seps", result.seps());
+    entry.set("forwarded_walkers", forwarded);
+    entry.set("envelopes", envelopes);
+    entry.set("bytes_forwarded", wire_bytes);
+    entry.set("transfer_seconds",
+              result.shard ? result.shard->transfer_seconds : 0.0);
+    entry.set("rounds", rounds);
+    counts.push_back(std::move(entry));
+  }
+  table.print(log);
+
+  Json record = Json::object();
+  record.set("instances", static_cast<std::uint64_t>(kShardInstances));
+  record.set("walk_length", static_cast<std::uint64_t>(kShardWalkLength));
+  record.set("counts", std::move(counts));
+  return record;
+}
+
+}  // namespace csaw::bench

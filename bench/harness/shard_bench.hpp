@@ -1,0 +1,25 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "bench_common.hpp"
+#include "harness/json.hpp"
+
+namespace csaw::bench {
+
+/// Runs the sharded-service scenario and returns the "sharded_service"
+/// block of the trajectory record (docs/BENCHMARKS.md, schema v7). One
+/// pinned walk workload is served through csaw::Service at shard counts
+/// {1, 2, 4}; every run is fully simulated, so the per-count SEPS are
+/// GATED by bench_compare.
+///
+/// The block quantifies what sharding costs: each count records
+/// simulated SEPS plus the forwarding counters (walkers forwarded,
+/// envelopes, wire bytes, transfer seconds, rounds) that explain the
+/// SEPS delta against the unsharded run. Sampled bytes are CHECKed
+/// byte-identical across every shard count — the determinism contract
+/// the shard tier makes (docs/ARCHITECTURE.md) — and the shards=1 run
+/// is CHECKed to take today's unsharded path exactly.
+Json run_sharded_service(const BenchEnv& env, std::ostream& log);
+
+}  // namespace csaw::bench

@@ -23,7 +23,10 @@ namespace csaw::bench {
 /// v6 added the telemetry histograms to the "service" block: queue-wait
 /// and host in-flight latency distributions ("histograms", informational
 /// like the rest of the block) snapshotted from Service::histogram().
-constexpr int kTrajectorySchemaVersion = 6;
+/// v7 added the "sharded_service" block: one pinned walk workload served
+/// at shard counts {1, 2, 4}, simulated SEPS per count (gated) with
+/// forwarding-cost counters; bytes are CHECKed identical across counts.
+constexpr int kTrajectorySchemaVersion = 7;
 
 /// Runs the throughput trajectory workloads (biased neighbor sampling +
 /// biased random walk on the CSAW_THROUGHPUT_GRAPH stand-in, default LJ)

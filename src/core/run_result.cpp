@@ -1,5 +1,7 @@
 #include "core/run_result.hpp"
 
+#include <algorithm>
+
 namespace csaw {
 
 std::string to_string(ExecutionMode mode) {
@@ -36,6 +38,32 @@ void OomMetrics::accumulate(const OomMetrics& other) noexcept {
   transfer_overlap_seconds += other.transfer_overlap_seconds;
   transfer_faults += other.transfer_faults;
   transfer_retries += other.transfer_retries;
+}
+
+void ShardMetrics::accumulate(const ShardMetrics& other) {
+  shards = std::max(shards, other.shards);
+  rounds += other.rounds;
+  forwarded_walkers += other.forwarded_walkers;
+  envelopes += other.envelopes;
+  bytes_forwarded += other.bytes_forwarded;
+  transfer_seconds += other.transfer_seconds;
+  envelope_faults += other.envelope_faults;
+  envelope_retries += other.envelope_retries;
+  if (steps_per_shard.size() < other.steps_per_shard.size()) {
+    steps_per_shard.resize(other.steps_per_shard.size(), 0);
+  }
+  for (std::size_t s = 0; s < other.steps_per_shard.size(); ++s) {
+    steps_per_shard[s] += other.steps_per_shard[s];
+  }
+  if (forwarded_per_shard.size() < other.forwarded_per_shard.size()) {
+    forwarded_per_shard.resize(other.forwarded_per_shard.size(), 0);
+  }
+  for (std::size_t s = 0; s < other.forwarded_per_shard.size(); ++s) {
+    forwarded_per_shard[s] += other.forwarded_per_shard[s];
+  }
+  failed.insert(failed.end(), other.failed.begin(), other.failed.end());
+  std::sort(failed.begin(), failed.end());
+  failed.erase(std::unique(failed.begin(), failed.end()), failed.end());
 }
 
 double sampled_edges_per_second(std::uint64_t edges, double seconds) {

@@ -68,6 +68,39 @@ struct OomMetrics {
   void accumulate(const OomMetrics& other) noexcept;
 };
 
+/// Metrics of the sharded routing tier (src/shard/): walker forwarding
+/// over the simulated transport. Present on a RunResult only when a
+/// ShardRouter executed the run.
+struct ShardMetrics {
+  std::uint32_t shards = 0;
+  /// BSP forwarding rounds executed (compute + exchange supersteps).
+  std::size_t rounds = 0;
+  /// Walkers handed to another shard (each hop counts once).
+  std::uint64_t forwarded_walkers = 0;
+  /// Envelopes delivered over the simulated transport.
+  std::uint64_t envelopes = 0;
+  /// Wire bytes of delivered envelopes (headers + walker records).
+  std::uint64_t bytes_forwarded = 0;
+  /// Simulated seconds spent on envelope transfers (in sim_seconds).
+  double transfer_seconds = 0.0;
+  /// Injected delivery faults observed (ShardFaultInjector).
+  std::size_t envelope_faults = 0;
+  /// Deliveries re-attempted after a fault.
+  std::size_t envelope_retries = 0;
+  /// Walker steps computed by each shard (length == shards).
+  std::vector<std::uint64_t> steps_per_shard;
+  /// Walkers each shard forwarded away (length == shards).
+  std::vector<std::uint64_t> forwarded_per_shard;
+  /// Run-local instance indices failed by terminal shard/transport
+  /// faults, sorted ascending. The service maps these to
+  /// RequestOutcome::kShardFailed.
+  std::vector<std::uint32_t> failed;
+
+  /// Accumulates counters; per-shard vectors add elementwise (resizing
+  /// to the larger shard count) and `failed` merges sorted-unique.
+  void accumulate(const ShardMetrics& other);
+};
+
 /// Sampled edges per second, the paper's SEPS metric (§VI). Shared by
 /// every run-result type so the definition lives in exactly one place.
 double sampled_edges_per_second(std::uint64_t edges, double seconds);
@@ -99,6 +132,8 @@ struct RunResult {
   std::string mode_reason;
   /// Present when the out-of-memory backend ran on any device.
   std::optional<OomMetrics> oom;
+  /// Present when a ShardRouter routed the run across shards.
+  std::optional<ShardMetrics> shard;
 
   std::uint64_t sampled_edges() const { return samples.total_edges(); }
   double seps() const {

@@ -49,6 +49,8 @@ std::string to_string(RequestOutcome outcome) {
       return "deadline_exceeded";
     case RequestOutcome::kTransferFailed:
       return "transfer_failed";
+    case RequestOutcome::kShardFailed:
+      return "shard_failed";
     case RequestOutcome::kInternal:
       return "internal";
   }

@@ -120,6 +120,7 @@ enum class RequestOutcome {
   kCancelled,         ///< client fired SampleRequest::cancel
   kDeadlineExceeded,  ///< SampleRequest::deadline expired first
   kTransferFailed,    ///< paged I/O exhausted its retry budget
+  kShardFailed,       ///< a terminally failed shard held the request's walkers
   kInternal,          ///< any other batch failure
 };
 
@@ -152,6 +153,7 @@ struct TenantStats {
   std::uint64_t cancelled = 0;
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t transfer_failed = 0;
+  std::uint64_t shard_failed = 0;
   std::uint64_t internal_errors = 0;
   /// Edges this tenant's own requests sampled (per-request slices, not
   /// whole-batch totals — coalesced neighbors are not charged here).
@@ -173,6 +175,7 @@ struct ServiceStats {
   std::uint64_t cancelled = 0;
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t transfer_failed = 0;
+  std::uint64_t shard_failed = 0;
   std::uint64_t internal_errors = 0;
 
   // --- Admission rejections by reason.
@@ -229,6 +232,19 @@ struct ServiceStats {
   /// their batch metrics; assert on the injector for exact totals).
   std::uint64_t transfer_faults = 0;
   std::uint64_t transfer_retries = 0;
+
+  // --- Sharded traffic through the walk-shard router
+  // (ServiceConfig::shards > 1; all zero when unsharded or when no
+  // batch qualified for the routed path).
+  std::uint64_t sharded_batches = 0;  ///< batches served by the ShardRouter
+  /// Walkers that crossed a shard boundary (one count per hop).
+  std::uint64_t forwarded_walkers = 0;
+  std::uint64_t shard_envelopes = 0;  ///< envelopes delivered
+  std::uint64_t shard_bytes_forwarded = 0;
+  /// Injected envelope-delivery faults observed by completed sharded
+  /// batches and the redeliveries issued to absorb them.
+  std::uint64_t shard_envelope_faults = 0;
+  std::uint64_t shard_envelope_retries = 0;
 
   // --- Work served.
   std::uint64_t sampled_edges = 0;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "algorithms/registry.hpp"
+#include "shard/router.hpp"
 #include "util/check.hpp"
 
 namespace csaw {
@@ -47,6 +48,10 @@ Service::Service(ServiceConfig config) : config_(std::move(config)) {
   CSAW_CHECK(config_.max_batch_instances >= config_.max_request_instances);
   CSAW_CHECK(config_.max_concurrent_batches >= 1);
   CSAW_CHECK(config_.stream_chunk_budget >= 1);
+  CSAW_CHECK(config_.shards >= 1);
+  CSAW_CHECK(config_.shard_envelope_capacity >= 1);
+  CSAW_CHECK(config_.shard_queue_capacity >= 1);
+  CSAW_CHECK(config_.shard_retry_limit >= 1);
   // Edge-denominated DRR credit: the auto value scales the old instance
   // quantum by a nominal 32 edges per instance (see ServiceConfig).
   quantum_ =
@@ -210,6 +215,12 @@ void Service::book_outcome_locked(const std::string& tenant_name,
       ++stats_.transfer_failed;
       ++tenant.failed;
       ++tenant.transfer_failed;
+      break;
+    case RequestOutcome::kShardFailed:
+      ++stats_.failed;
+      ++stats_.shard_failed;
+      ++tenant.failed;
+      ++tenant.shard_failed;
       break;
     case RequestOutcome::kInternal:
       ++stats_.failed;
@@ -539,6 +550,7 @@ ServiceStats Service::stats() const {
     out.cancelled = tenant.cancelled;
     out.deadline_exceeded = tenant.deadline_exceeded;
     out.transfer_failed = tenant.transfer_failed;
+    out.shard_failed = tenant.shard_failed;
     out.internal_errors = tenant.internal_errors;
     out.sampled_edges = tenant.sampled_edges;
     out.peak_inflight_instances = tenant.peak_inflight_instances;
@@ -571,6 +583,9 @@ ServiceHealth Service::health() const {
       case RequestOutcome::kTransferFailed:
         ++health.recent_transfer_failed;
         break;
+      case RequestOutcome::kShardFailed:
+        ++health.recent_shard_failed;
+        break;
       case RequestOutcome::kInternal:
         ++health.recent_internal;
         break;
@@ -586,6 +601,8 @@ ServiceHealth Service::health() const {
         static_cast<double>(health.recent_deadline_exceeded) / window;
     health.transfer_failed_rate =
         static_cast<double>(health.recent_transfer_failed) / window;
+    health.shard_failed_rate =
+        static_cast<double>(health.recent_shard_failed) / window;
     health.internal_rate =
         static_cast<double>(health.recent_internal) / window;
   }
@@ -637,9 +654,11 @@ std::string Service::metrics_text() const {
   const ServiceStats stats = this->stats();
   const ServiceHealth health = this->health();
   sim::KernelStats kernels;
+  ShardMetrics shard_metrics;
   {
     std::lock_guard<std::mutex> lock(mu_);
     kernels = kernel_stats_;
+    shard_metrics = shard_metrics_;
   }
 
   telemetry::MetricsRegistry out;
@@ -667,6 +686,8 @@ std::string Service::metrics_text() const {
           stats.deadline_exceeded, "outcome=\"deadline_exceeded\"");
   counter("csaw_request_outcomes_total", outcome_help, stats.transfer_failed,
           "outcome=\"transfer_failed\"");
+  counter("csaw_request_outcomes_total", outcome_help, stats.shard_failed,
+          "outcome=\"shard_failed\"");
   counter("csaw_request_outcomes_total", outcome_help, stats.internal_errors,
           "outcome=\"internal\"");
   const std::string reject_help = "Rejected submissions by typed reason";
@@ -707,6 +728,35 @@ std::string Service::metrics_text() const {
           stats.transfer_faults);
   counter("csaw_transfer_retries_total", "Partition-copy retries",
           stats.transfer_retries);
+  counter("csaw_batches_sharded_total",
+          "Batches routed across walk shards", stats.sharded_batches);
+  counter("csaw_shard_forwarded_walkers_total",
+          "Walkers forwarded across a shard boundary",
+          stats.forwarded_walkers);
+  counter("csaw_shard_envelopes_total",
+          "Walker envelopes delivered over the simulated transport",
+          stats.shard_envelopes);
+  counter("csaw_shard_bytes_forwarded_total",
+          "Wire bytes of delivered walker envelopes",
+          stats.shard_bytes_forwarded);
+  counter("csaw_shard_envelope_faults_total",
+          "Injected envelope-delivery faults", stats.shard_envelope_faults);
+  counter("csaw_shard_envelope_retries_total", "Envelope redeliveries",
+          stats.shard_envelope_retries);
+  // Per-shard attribution: present only once a sharded batch completed
+  // (the vectors are sized by the widest shard count seen).
+  for (std::size_t s = 0; s < shard_metrics.steps_per_shard.size(); ++s) {
+    const std::string labels = "shard=\"" + std::to_string(s) + "\"";
+    counter("csaw_shard_steps_total", "Walker steps computed per shard",
+            shard_metrics.steps_per_shard[s], labels);
+  }
+  for (std::size_t s = 0; s < shard_metrics.forwarded_per_shard.size();
+       ++s) {
+    const std::string labels = "shard=\"" + std::to_string(s) + "\"";
+    counter("csaw_shard_forwarded_total",
+            "Walkers each shard forwarded away",
+            shard_metrics.forwarded_per_shard[s], labels);
+  }
   counter("csaw_sampled_edges_total",
           "Edges delivered to completed requests", stats.sampled_edges);
   gauge("csaw_sim_seconds_total",
@@ -735,6 +785,8 @@ std::string Service::metrics_text() const {
         "outcome=\"deadline_exceeded\"");
   gauge("csaw_recent_outcome_rate", rate_help, health.transfer_failed_rate,
         "outcome=\"transfer_failed\"");
+  gauge("csaw_recent_outcome_rate", rate_help, health.shard_failed_rate,
+        "outcome=\"shard_failed\"");
   gauge("csaw_recent_outcome_rate", rate_help, health.internal_rate,
         "outcome=\"internal\"");
 
@@ -1020,11 +1072,15 @@ void Service::run_batch(std::vector<Pending> batch) {
   try {
     std::shared_ptr<const CsrGraph> graph;
     std::shared_ptr<const PartitionedGraph> parts;
+    std::shared_ptr<const ShardPartitionMap> shard_map;
+    bool paged = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       const GraphEntry& entry = graphs_.at(batch.front().request.graph);
       graph = entry.graph;
       parts = entry.parts;
+      shard_map = entry.shard_map;
+      paged = entry.paged;
     }
 
     // One flat instance list: request r's instances occupy a contiguous
@@ -1112,66 +1168,106 @@ void Service::run_batch(std::vector<Pending> batch) {
     const SampleRequest& head = batch.front().request;
     const AlgorithmSetup setup = make_algorithm(
         head.algorithm, head.depth_or_length, head.neighbor_size);
-    // Demand-cache routing needs chain-granular execution and a single
-    // simulated device; otherwise the batch runs the legacy paged path.
-    const bool demand_cache = config_.paged_demand_cache &&
-                              config_.options.schedule ==
-                                  Schedule::kPipelined &&
-                              config_.options.num_devices == 1;
-    SamplerOptions batch_options = config_.options;
-    batch_options.oom_demand_cache = demand_cache;
-    Sampler sampler(*graph, setup, batch_options);
-    if (pool_ != nullptr) sampler.set_executor(pool_);
-    if (sampler.decision().out_of_memory) {
-      if (parts == nullptr) {
-        // First paged batch on this graph: build the shared partitioning
-        // once, outside the lock, and publish it for every later batch.
-        // Per-graph batch serialization (graphs_in_flight_) guarantees no
-        // concurrent batch builds the same graph's partitioning twice.
-        parts = std::make_shared<const PartitionedGraph>(
-            *graph, config_.options.num_partitions);
-        std::lock_guard<std::mutex> lock(mu_);
-        graphs_.at(head.graph).parts = parts;
-      }
-      sampler.set_partitions(parts);
-      if (demand_cache) {
-        // Per-graph device-budget policy: every *registered* paged graph
-        // gets an equal slice of the budget, so concurrent paged traffic
-        // contends through bounded caches instead of each batch assuming
-        // the whole device. Registration count (not live traffic) keeps
-        // the capacity deterministic for a fixed registry.
-        std::shared_ptr<PartitionCache> cache;
-        std::uint32_t paged_graphs = 0;
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          for (const auto& [name, entry] : graphs_) {
-            if (entry.paged) ++paged_graphs;
-          }
-          cache = graphs_.at(head.graph).cache;
-        }
-        const double budget =
-            config_.options.memory_budget_fraction *
-            static_cast<double>(config_.options.device_params.memory_bytes) /
-            static_cast<double>(std::max(paged_graphs, 1u));
-        const std::uint32_t capacity =
-            parts->partitions_fitting(static_cast<std::uint64_t>(budget));
-        if (cache == nullptr) {
-          cache = std::make_shared<PartitionCache>(
-              parts, capacity, config_.options.num_streams);
-        } else if (cache->capacity() != capacity) {
-          cache->set_capacity(capacity);  // a later registration shrank it
-        }
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          GraphEntry& entry = graphs_.at(head.graph);
-          entry.cache = cache;
-          entry.cache_capacity = capacity;
-        }
-        sampler.set_partition_cache(cache);
-      }
+    // Sharded routing (ServiceConfig::shards > 1): walk-shaped batches
+    // on in-memory graphs with single-seed instances run through the
+    // ShardRouter; anything else silently takes the ordinary path.
+    // Samples are byte-identical either way — the router draws from the
+    // same tag-addressed Philox streams.
+    bool single_seeded = true;
+    for (const std::vector<VertexId>& list : seeds) {
+      single_seeded = single_seeded && list.size() == 1;
     }
-
-    RunResult whole = sampler.run_tagged(seeds, tags, control);
+    const bool route_shards = config_.shards > 1 && !paged &&
+                              single_seeded &&
+                              ShardRouter::shardable_spec(setup.spec);
+    RunResult whole;
+    if (route_shards) {
+      if (shard_map == nullptr) {
+        // First sharded batch on this graph: build the shared vertex
+        // partitioning once, outside the lock, and publish it. Per-graph
+        // batch serialization (graphs_in_flight_) guarantees no
+        // concurrent batch builds the same graph's map twice.
+        shard_map =
+            std::make_shared<const ShardPartitionMap>(*graph, config_.shards);
+        std::lock_guard<std::mutex> lock(mu_);
+        graphs_.at(head.graph).shard_map = shard_map;
+      }
+      ShardOptions shard_options;
+      shard_options.shards = config_.shards;
+      shard_options.num_threads = config_.options.num_threads;
+      shard_options.envelope_capacity = config_.shard_envelope_capacity;
+      shard_options.queue_capacity = config_.shard_queue_capacity;
+      shard_options.retry_limit = config_.shard_retry_limit;
+      shard_options.retry_backoff = config_.shard_retry_backoff;
+      shard_options.select = config_.options.select;
+      shard_options.seed = config_.options.seed;
+      shard_options.device_params = config_.options.device_params;
+      shard_options.faults = config_.shard_faults;
+      ShardRouter router(*graph, setup, shard_options, shard_map);
+      if (pool_ != nullptr) router.set_executor(pool_);
+      whole = router.run_tagged(seeds, tags, control);
+    } else {
+      // Demand-cache routing needs chain-granular execution and a single
+      // simulated device; otherwise the batch runs the legacy paged path.
+      const bool demand_cache = config_.paged_demand_cache &&
+                                config_.options.schedule ==
+                                    Schedule::kPipelined &&
+                                config_.options.num_devices == 1;
+      SamplerOptions batch_options = config_.options;
+      batch_options.oom_demand_cache = demand_cache;
+      Sampler sampler(*graph, setup, batch_options);
+      if (pool_ != nullptr) sampler.set_executor(pool_);
+      if (sampler.decision().out_of_memory) {
+        if (parts == nullptr) {
+          // First paged batch on this graph: build the shared partitioning
+          // once, outside the lock, and publish it for every later batch.
+          // Per-graph batch serialization (graphs_in_flight_) guarantees no
+          // concurrent batch builds the same graph's partitioning twice.
+          parts = std::make_shared<const PartitionedGraph>(
+              *graph, config_.options.num_partitions);
+          std::lock_guard<std::mutex> lock(mu_);
+          graphs_.at(head.graph).parts = parts;
+        }
+        sampler.set_partitions(parts);
+        if (demand_cache) {
+          // Per-graph device-budget policy: every *registered* paged graph
+          // gets an equal slice of the budget, so concurrent paged traffic
+          // contends through bounded caches instead of each batch assuming
+          // the whole device. Registration count (not live traffic) keeps
+          // the capacity deterministic for a fixed registry.
+          std::shared_ptr<PartitionCache> cache;
+          std::uint32_t paged_graphs = 0;
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            for (const auto& [name, entry] : graphs_) {
+              if (entry.paged) ++paged_graphs;
+            }
+            cache = graphs_.at(head.graph).cache;
+          }
+          const double budget =
+              config_.options.memory_budget_fraction *
+              static_cast<double>(
+                  config_.options.device_params.memory_bytes) /
+              static_cast<double>(std::max(paged_graphs, 1u));
+          const std::uint32_t capacity =
+              parts->partitions_fitting(static_cast<std::uint64_t>(budget));
+          if (cache == nullptr) {
+            cache = std::make_shared<PartitionCache>(
+                parts, capacity, config_.options.num_streams);
+          } else if (cache->capacity() != capacity) {
+            cache->set_capacity(capacity);  // a later registration shrank it
+          }
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            GraphEntry& entry = graphs_.at(head.graph);
+            entry.cache = cache;
+            entry.cache_capacity = capacity;
+          }
+          sampler.set_partition_cache(cache);
+        }
+      }
+      whole = sampler.run_tagged(seeds, tags, control);
+    }
 
     // Classify every request: a token that fired (client cancel or
     // deadline) fails its request even though the batch completed —
@@ -1187,6 +1283,28 @@ void Service::run_batch(std::vector<Pending> batch) {
         case CancelReason::kDeadline:
           outcomes[r] = RequestOutcome::kDeadlineExceeded;
           break;
+      }
+    }
+    if (whole.shard.has_value() && !whole.shard->failed.empty()) {
+      // A terminally failed shard fails exactly the requests whose
+      // instances were resident on (or bound for) it — `failed` holds
+      // batch-local instance indices, sorted, so one monotone pass maps
+      // them back to request ranges. A token that already fired keeps
+      // its truer cancellation outcome.
+      std::size_t f = 0;
+      std::uint32_t base = 0;
+      for (std::size_t r = 0; r < num_requests; ++r) {
+        const std::uint32_t count = batch[r].request.num_instances();
+        bool hit = false;
+        while (f < whole.shard->failed.size() &&
+               whole.shard->failed[f] < base + count) {
+          hit = true;
+          ++f;
+        }
+        if (hit && outcomes[r] == RequestOutcome::kOk) {
+          outcomes[r] = RequestOutcome::kShardFailed;
+        }
+        base += count;
       }
     }
 
@@ -1213,6 +1331,7 @@ void Service::run_batch(std::vector<Pending> batch) {
       result.mode = whole.mode;
       result.mode_reason = whole.mode_reason;
       result.oom = whole.oom;
+      result.shard = whole.shard;
       offset += count;
       results.push_back(std::move(result));
     }
@@ -1252,6 +1371,15 @@ void Service::run_batch(std::vector<Pending> batch) {
         stats_.cache_prefetch_transfers += whole.oom->prefetch_transfers;
         stats_.transfer_faults += whole.oom->transfer_faults;
         stats_.transfer_retries += whole.oom->transfer_retries;
+      }
+      if (whole.shard.has_value()) {
+        ++stats_.sharded_batches;
+        stats_.forwarded_walkers += whole.shard->forwarded_walkers;
+        stats_.shard_envelopes += whole.shard->envelopes;
+        stats_.shard_bytes_forwarded += whole.shard->bytes_forwarded;
+        stats_.shard_envelope_faults += whole.shard->envelope_faults;
+        stats_.shard_envelope_retries += whole.shard->envelope_retries;
+        shard_metrics_.accumulate(*whole.shard);
       }
       for (std::size_t r = 0; r < num_requests; ++r) {
         book_outcome_locked(batch[r].request.tenant, outcomes[r]);

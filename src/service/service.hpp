@@ -17,6 +17,8 @@
 
 #include "core/sampler.hpp"
 #include "service/request.hpp"
+#include "shard/fault_injector.hpp"
+#include "shard/partition_map.hpp"
 #include "service/stream.hpp"
 #include "service/timer_wheel.hpp"
 #include "telemetry/metrics.hpp"
@@ -97,6 +99,28 @@ struct ServiceConfig {
   /// and ignored when the schedule is not kPipelined or the batch runs
   /// multi-device (private per-device caches there).
   bool paged_demand_cache = true;
+  /// Sharded serving (src/shard/): with shards > 1, walk-shaped
+  /// in-memory batches route through a ShardRouter — the graph's
+  /// vertices partitioned across this many shard workers, walkers
+  /// forwarded over the simulated transport when a step crosses a
+  /// shard boundary. Samples are byte-identical to the unsharded path
+  /// at any shard count (tests/shard/service_shard_test.cpp); what
+  /// changes is the simulated timeline and the failure domains
+  /// (RequestOutcome::kShardFailed). Batches that don't qualify —
+  /// paged graphs, non-walk specs, multi-seed instances — silently run
+  /// the ordinary path. 1 (the default) is exactly today's path.
+  std::uint32_t shards = 1;
+  /// Max walkers per forwarded envelope (ShardOptions twin).
+  std::uint32_t shard_envelope_capacity = 64;
+  /// Ingress-queue bound per shard; a full queue backpressures senders.
+  std::uint32_t shard_queue_capacity = 32;
+  /// Delivery attempts per envelope before its walkers' requests fail.
+  std::uint32_t shard_retry_limit = 3;
+  /// Simulated backoff before the first redelivery; doubles per retry.
+  double shard_retry_backoff = 1e-4;
+  /// Optional deterministic envelope fault injector shared by every
+  /// sharded batch (tests script drops/delays/terminal shard death).
+  std::shared_ptr<ShardFaultInjector> shard_faults;
   /// Health reporting: how many recently retired requests the
   /// recent-outcome window of Service::health() covers.
   std::uint32_t health_window = 256;
@@ -137,14 +161,17 @@ struct ServiceHealth {
   std::uint64_t recent_cancelled = 0;
   std::uint64_t recent_deadline_exceeded = 0;
   std::uint64_t recent_transfer_failed = 0;
+  std::uint64_t recent_shard_failed = 0;
   std::uint64_t recent_internal = 0;
   /// Derived fractions over the window (all 0 while the window is
   /// empty). ok_rate + cancelled_rate + deadline_rate +
-  /// transfer_failed_rate + internal_rate == 1 otherwise.
+  /// transfer_failed_rate + shard_failed_rate + internal_rate == 1
+  /// otherwise.
   double ok_rate = 0.0;
   double cancelled_rate = 0.0;
   double deadline_rate = 0.0;
   double transfer_failed_rate = 0.0;
+  double shard_failed_rate = 0.0;
   double internal_rate = 0.0;
 };
 
@@ -314,6 +341,11 @@ class Service {
     /// Snapshot of cache->capacity() for graphs() (reading the cache
     /// itself from graphs() would race with an executing batch).
     std::uint32_t cache_capacity = 0;
+    /// Vertex partitioning shared by this graph's sharded batches
+    /// (ServiceConfig::shards > 1). Built by the first routed batch,
+    /// published under mu_; per-graph batch serialization makes the
+    /// lazy build race-free.
+    std::shared_ptr<const ShardPartitionMap> shard_map;
   };
 
   /// One admitted request waiting for (or riding in) a batch.
@@ -358,6 +390,7 @@ class Service {
     std::uint64_t cancelled = 0;
     std::uint64_t deadline_exceeded = 0;
     std::uint64_t transfer_failed = 0;
+    std::uint64_t shard_failed = 0;
     std::uint64_t internal_errors = 0;
     std::uint64_t sampled_edges = 0;
     std::uint64_t peak_inflight_instances = 0;
@@ -459,6 +492,10 @@ class Service {
   /// Kernel stats accumulated over every completed batch (under mu_);
   /// exposed through metrics_text().
   sim::KernelStats kernel_stats_;
+  /// Shard-routing metrics accumulated over every completed sharded
+  /// batch (under mu_) — the per-shard attribution metrics_text()
+  /// exposes (csaw_shard_steps_total{shard="s"} and friends).
+  ShardMetrics shard_metrics_;
   /// Always-on telemetry: the latency/occupancy histograms live here and
   /// record regardless of tracing (observation is a few relaxed atomic
   /// adds). metrics_text() merges a counter view of stats_ over it.

@@ -1,0 +1,72 @@
+#include "shard/fault_injector.hpp"
+
+#include "util/philox.hpp"
+
+namespace csaw {
+
+ShardFaultInjector::ShardFaultInjector() : config_(Config{}) {}
+
+ShardFaultInjector::ShardFaultInjector(Config config) : config_(config) {}
+
+void ShardFaultInjector::fail_delivery(std::uint32_t shard,
+                                       std::uint32_t times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scripted_[shard].push_back(times);
+}
+
+void ShardFaultInjector::fail_shard(std::uint32_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_.insert(shard);
+}
+
+bool ShardFaultInjector::shard_failed(std::uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_.count(shard) > 0;
+}
+
+ShardFaultInjector::Outcome ShardFaultInjector::next_attempt(
+    std::uint32_t shard, std::uint32_t attempt) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++attempts_;
+
+  if (dead_.count(shard) > 0) return Outcome::kFail;
+
+  if (attempt == 0) {
+    // New site: the previous site's leftovers (a terminal drop the
+    // router gave up on) are discarded.
+    site_remaining_.erase(shard);
+
+    if (auto it = scripted_.find(shard); it != scripted_.end()) {
+      const std::uint32_t times = it->second.front();
+      it->second.pop_front();
+      if (it->second.empty()) scripted_.erase(it);
+      if (times > 0) site_remaining_[shard] = times;
+    } else if (config_.fail_rate > 0.0 || config_.slow_rate > 0.0) {
+      const double r = Philox4x32::uniform(
+          config_.seed, shard, static_cast<std::uint32_t>(site_seq_),
+          static_cast<std::uint32_t>(site_seq_ >> 32), 0x5AA2Du);
+      ++site_seq_;
+      if (r < config_.fail_rate) {
+        site_remaining_[shard] = config_.fail_times;
+      } else if (r < config_.fail_rate + config_.slow_rate) {
+        return Outcome::kSlow;
+      }
+    }
+  }
+
+  if (auto it = site_remaining_.find(shard); it != site_remaining_.end()) {
+    if (it->second > 0) {
+      --it->second;
+      return Outcome::kFail;
+    }
+    site_remaining_.erase(it);
+  }
+  return Outcome::kOk;
+}
+
+std::uint64_t ShardFaultInjector::attempts_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attempts_;
+}
+
+}  // namespace csaw

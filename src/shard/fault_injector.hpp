@@ -1,0 +1,102 @@
+#pragma once
+
+// Deterministic fault injection for the simulated shard transport.
+//
+// A ShardFaultInjector sits in front of WalkerEnvelope deliveries and
+// decides, per delivery *attempt*, whether the envelope lands, drops,
+// or runs slow — the shard-transport twin of the paged path's
+// TransferFaultInjector (src/oom/cache/fault_injector.hpp), with the
+// same site model so tests can reason about both identically:
+//
+//   - Scripted sites (`fail_delivery(shard, times)`): the next
+//     envelope bound for `shard` drops its first `times` attempts,
+//     then lands. Fully deterministic.
+//   - Seed-driven random sites (`Config::fail_rate` / `slow_rate`):
+//     each new delivery draws one stateless Philox value keyed by
+//     (seed, shard, site sequence). A faulty site drops
+//     `Config::fail_times` consecutive attempts.
+//   - Terminal shard failure (`fail_shard(shard)`): every delivery to
+//     the shard drops forever and the router fails the instances of
+//     all walkers resident on or bound for it — the "machine died"
+//     scenario behind the RequestOutcome::kShardFailed taxonomy.
+//
+// A *site* is one envelope's delivery (first attempt plus retries).
+// When a site concludes — delivered, or the router giving up after its
+// retry limit — leftover failures are discarded and the next envelope
+// to the same shard starts fresh.
+//
+// Crucially, faults perturb only simulated time and the *failed set*:
+// surviving instances' samples stay byte-identical because every draw
+// is keyed by the global instance tag, never by when (or how often)
+// the walker's envelope crossed the wire.
+//
+// Thread safety: all methods are internally locked. The router's
+// exchange phase is single-threaded, so within one run the consult
+// order — and hence random-site placement — is deterministic.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+
+namespace csaw {
+
+class ShardFaultInjector {
+ public:
+  enum class Outcome : std::uint8_t {
+    kOk,    ///< The envelope is delivered normally.
+    kFail,  ///< The delivery drops; the router may retry.
+    kSlow,  ///< Delivered at Config::slow_factor x the transfer time.
+  };
+
+  struct Config {
+    std::uint64_t seed = 0;
+    /// Probability that a new delivery site is faulty.
+    double fail_rate = 0.0;
+    /// Consecutive dropped attempts of a random faulty site.
+    std::uint32_t fail_times = 1;
+    /// Probability that a new (non-faulty) delivery site runs slow.
+    double slow_rate = 0.0;
+    /// Transfer-time multiplier of a slow delivery.
+    double slow_factor = 4.0;
+  };
+
+  ShardFaultInjector();
+  explicit ShardFaultInjector(Config config);
+
+  /// Scripts a faulty site: the next envelope bound for `shard` drops
+  /// its first `times` attempts. Repeated calls queue further sites.
+  void fail_delivery(std::uint32_t shard, std::uint32_t times);
+
+  /// Marks `shard` terminally failed: all future deliveries to it
+  /// drop, and routers fail the instances resident there.
+  void fail_shard(std::uint32_t shard);
+
+  bool shard_failed(std::uint32_t shard) const;
+
+  /// The router calls this once per delivery attempt of an envelope
+  /// bound for `shard`; `attempt` is 0 for the first try, then 1, 2,
+  /// ... for retries. attempt == 0 opens a new site (consuming a
+  /// scripted entry or drawing a random one) and discards leftovers of
+  /// the shard's previous site.
+  Outcome next_attempt(std::uint32_t shard, std::uint32_t attempt);
+
+  double slow_factor() const noexcept { return config_.slow_factor; }
+
+  /// Total attempts consulted (tests assert the injector was exercised).
+  std::uint64_t attempts_seen() const;
+
+ private:
+  Config config_;
+  mutable std::mutex mu_;
+  /// Scripted sites not yet started, FIFO per destination shard.
+  std::map<std::uint32_t, std::deque<std::uint32_t>> scripted_;
+  /// Remaining drops of each destination's *current* site.
+  std::map<std::uint32_t, std::uint32_t> site_remaining_;
+  std::set<std::uint32_t> dead_;
+  std::uint64_t site_seq_ = 0;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace csaw

@@ -1,0 +1,50 @@
+#include "shard/partition_map.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace csaw {
+
+ShardPartitionMap::ShardPartitionMap(const CsrGraph& graph,
+                                     std::uint32_t shards) {
+  CSAW_CHECK(shards >= 1);
+  const VertexId n = graph.num_vertices();
+  const std::uint64_t total = graph.num_edges();
+  const auto row_ptr = graph.row_ptr();
+
+  starts_.reserve(shards + 1);
+  starts_.push_back(0);
+  for (std::uint32_t s = 1; s < shards; ++s) {
+    // First vertex whose cumulative edge offset reaches the s-th edge
+    // quantile; clamped monotone so ranges never overlap.
+    const std::uint64_t target =
+        total * static_cast<std::uint64_t>(s) / shards;
+    VertexId cut = n;
+    if (!row_ptr.empty()) {
+      const auto it = std::lower_bound(row_ptr.begin(), row_ptr.end(),
+                                       static_cast<EdgeIndex>(target));
+      cut = static_cast<VertexId>(it - row_ptr.begin());
+    }
+    starts_.push_back(std::clamp<VertexId>(cut, starts_.back(), n));
+  }
+  starts_.push_back(n);
+
+  edges_.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    std::uint64_t owned = 0;
+    if (!row_ptr.empty()) {
+      owned = row_ptr[starts_[s + 1]] - row_ptr[starts_[s]];
+    }
+    edges_.push_back(owned);
+  }
+}
+
+std::uint32_t ShardPartitionMap::owner(VertexId v) const {
+  CSAW_CHECK_MSG(v < starts_.back(),
+                 "vertex " << v << " outside the partition map's graph");
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), v);
+  return static_cast<std::uint32_t>(it - starts_.begin()) - 1;
+}
+
+}  // namespace csaw

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace csaw {
+
+/// Static vertex-ownership map of a sharded graph: contiguous vertex
+/// ranges, one per shard, balanced by *edge* count (a shard's stepping
+/// cost is dominated by the adjacency bytes its walkers touch, not by
+/// how many vertices it owns). Built once per registered graph and
+/// shared by every sharded batch — ownership must never change between
+/// runs or a forwarded walker's itinerary (and therefore the simulated
+/// transfer schedule) would too.
+///
+/// Ranges are computed by cutting the CSR row-pointer array at the
+/// ideal per-shard edge quantiles, so the map is a pure function of
+/// (graph, shards): deterministic, O(shards * log V) to build, O(log
+/// shards) to query. Trailing shards may own empty ranges on tiny
+/// graphs; routing handles them like any other shard.
+class ShardPartitionMap {
+ public:
+  ShardPartitionMap(const CsrGraph& graph, std::uint32_t shards);
+
+  std::uint32_t shards() const noexcept {
+    return static_cast<std::uint32_t>(starts_.size() - 1);
+  }
+
+  /// The shard owning vertex `v` (checked: v must be in range).
+  std::uint32_t owner(VertexId v) const;
+
+  /// Vertex range [range_begin(s), range_end(s)) owned by shard `s`.
+  VertexId range_begin(std::uint32_t s) const { return starts_[s]; }
+  VertexId range_end(std::uint32_t s) const { return starts_[s + 1]; }
+
+  /// Edges whose source vertex shard `s` owns.
+  std::uint64_t range_edges(std::uint32_t s) const { return edges_[s]; }
+
+  VertexId num_vertices() const noexcept { return starts_.back(); }
+
+ private:
+  /// shards + 1 cut points; shard s owns [starts_[s], starts_[s+1]).
+  std::vector<VertexId> starts_;
+  std::vector<std::uint64_t> edges_;  ///< per-shard owned edge count
+};
+
+}  // namespace csaw

@@ -1,0 +1,422 @@
+#include "shard/router.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "core/engine.hpp"
+#include "core/instance.hpp"
+#include "core/policy.hpp"
+#include "gpusim/warp.hpp"
+#include "shard/envelope.hpp"
+#include "util/check.hpp"
+
+namespace csaw {
+namespace {
+
+/// Per-shard worker state. The whole-graph view is shared — the "CSR
+/// slice" a real shard would own is cost-model fiction here (simulated
+/// transfers and per-shard kernel accounting model the distribution;
+/// host memory is one address space, and node2vec's has_edge needs the
+/// previous vertex's adjacency even when another shard owns it).
+/// Everything *mutable* is private to the shard, so the compute phase
+/// parallelizes over shards with no aliasing.
+struct ShardWorker {
+  ShardWorker(const SelectConfig& select, std::uint32_t shards)
+      : selector(select), egress(shards) {}
+
+  ItsSelector selector;
+  std::vector<float> bias_scratch;
+  /// prev/seed carrier for process_frontier_vertex; walk-shaped specs
+  /// never track visitation, so one scratch instance serves every
+  /// walker of the shard.
+  InstanceState scratch;
+  std::vector<ShardWalker> residents;
+  /// Fresh boundary crossings of this round, bucketed by destination.
+  std::vector<std::vector<ShardWalker>> egress;
+  sim::KernelStats round_stats;
+  std::uint64_t round_steps = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t forwarded = 0;
+  double device_seconds = 0.0;
+};
+
+}  // namespace
+
+bool ShardRouter::shardable_spec(const SamplingSpec& spec) {
+  return spec.neighbor_size == 1 && spec.frontier_size == 1 &&
+         spec.with_replacement && !spec.filter_visited &&
+         !spec.select_frontier && !spec.layer_mode &&
+         !spec.sample_all_neighbors && !spec.variable_neighbor_size;
+}
+
+ShardRouter::ShardRouter(const CsrGraph& graph, AlgorithmSetup setup,
+                         ShardOptions options,
+                         std::shared_ptr<const ShardPartitionMap> map)
+    : graph_(&graph),
+      setup_(std::move(setup)),
+      options_(std::move(options)),
+      map_(std::move(map)) {
+  CSAW_CHECK(options_.shards >= 1);
+  CSAW_CHECK(options_.envelope_capacity >= 1);
+  CSAW_CHECK(options_.queue_capacity >= 1);
+  CSAW_CHECK(options_.retry_limit >= 1);
+  CSAW_CHECK_MSG(shardable_spec(setup_.spec),
+                 "ShardRouter requires a walk-shaped spec");
+  if (!map_) {
+    map_ = std::make_shared<const ShardPartitionMap>(graph, options_.shards);
+  }
+  CSAW_CHECK_MSG(map_->shards() == options_.shards,
+                 "partition map shard count mismatch");
+  CSAW_CHECK_MSG(map_->num_vertices() == graph.num_vertices(),
+                 "partition map built for a different graph");
+  // Walks sample with replacement; mirror the engines' neighbor-config
+  // derivation so SELECT draws the identical coordinates.
+  options_.select.with_replacement = true;
+}
+
+void ShardRouter::set_executor(std::shared_ptr<sim::ThreadPool> pool) {
+  pool_ = std::move(pool);
+  pool_resolved_ = true;
+}
+
+sim::ThreadPool* ShardRouter::ensure_pool() {
+  if (!pool_resolved_) {
+    const std::uint32_t width =
+        sim::resolve_num_threads(options_.num_threads);
+    if (width > 1) pool_ = std::make_shared<sim::ThreadPool>(width);
+    pool_resolved_ = true;
+  }
+  return pool_.get();
+}
+
+RunResult ShardRouter::run_tagged(
+    std::span<const std::vector<VertexId>> seeds,
+    std::span<const std::uint32_t> tags, const RunControl& control) {
+  const std::uint32_t n = static_cast<std::uint32_t>(seeds.size());
+  validate_instance_tags(tags, n);
+  CSAW_CHECK_MSG(control.instance_cancel.empty() ||
+                     control.instance_cancel.size() == seeds.size(),
+                 "instance_cancel must hold one token per instance");
+  const std::uint32_t num_shards = options_.shards;
+  const SamplingSpec& spec = setup_.spec;
+  const Policy& policy = setup_.policy;
+  const CsrGraphView view(*graph_);
+  const CounterStream rng(options_.seed);
+  const sim::CostModel cost(options_.device_params);
+  telemetry::TraceRecorder* trace = control.trace;
+
+  RunResult result;
+  result.mode = ExecutionMode::kInMemory;
+  result.mode_reason = "sharded: " + std::to_string(num_shards) +
+                       " walk shards over simulated transport";
+  result.samples.reset(n);
+  result.device_seconds.assign(num_shards, 0.0);
+  if (control.on_instance_complete) {
+    result.samples.set_completion_callback(control.on_instance_complete);
+  }
+
+  ShardMetrics shard;
+  shard.shards = num_shards;
+  shard.steps_per_shard.assign(num_shards, 0);
+  shard.forwarded_per_shard.assign(num_shards, 0);
+
+  std::vector<ShardWorker> workers;
+  workers.reserve(num_shards);
+  // Ingress queues: deque because a mutex-holding queue is immovable.
+  std::deque<EnvelopeQueue> inbox;
+  std::vector<std::deque<WalkerEnvelope>> outbox(num_shards);
+  std::vector<std::uint64_t> next_seq(num_shards, 0);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    workers.emplace_back(options_.select, num_shards);
+    inbox.emplace_back(options_.queue_capacity);
+  }
+
+  std::vector<char> failed(n, 0);
+  const bool may_cancel =
+      control.cancel.valid() || !control.instance_cancel.empty();
+  const auto instance_cancelled = [&](std::uint32_t local) {
+    if (control.cancel.cancelled()) return true;
+    return !control.instance_cancel.empty() &&
+           control.instance_cancel[local].cancelled();
+  };
+  const auto fail_instance = [&](std::uint32_t local) {
+    if (failed[local]) return;
+    failed[local] = 1;
+    result.samples.put(local, {});  // discard the partial row
+  };
+  const auto fail_envelope = [&](const WalkerEnvelope& env) {
+    for (const ShardWalker& wk : env.walkers) fail_instance(wk.local);
+  };
+
+  // Seed scatter: walker i starts on the shard owning its seed. No
+  // transfer is charged — the unsharded engines do not charge seed
+  // upload either, and seeds are request payload, not forwarding.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    CSAW_CHECK_MSG(seeds[i].size() == 1,
+                   "sharded runs require single-seed instances");
+    const VertexId seed = seeds[i][0];
+    CSAW_CHECK_MSG(seed < graph_->num_vertices(),
+                   "seed vertex " << seed << " out of range");
+    if (spec.depth == 0) {
+      result.samples.complete(i);  // zero-length walk: empty, final
+      continue;
+    }
+    workers[map_->owner(seed)].residents.push_back(
+        ShardWalker{i, tags[i], seed, kInvalidVertex, seed, 0});
+  }
+
+  sim::ThreadPool* pool = ensure_pool();
+  std::uint64_t round = 0;
+
+  // Compute superstep body for one shard: step every resident walker
+  // until it finishes, dies, is cancelled, or crosses a shard boundary
+  // (KnightKing run_walkers semantics — a walker is forwarded the
+  // moment its next vertex has a different owner, everything else
+  // stays shard-local). Draw coordinates are (tag, depth, slot 0), so
+  // the bytes are identical to the unsharded engines'.
+  const auto compute_shard = [&](std::size_t item, std::uint32_t) {
+    ShardWorker& w = workers[item];
+    if (w.residents.empty()) return;
+    std::uint64_t span_id = 0;
+    if (trace) {
+      span_id = trace->begin_span(
+          "shard", {{"batch", std::to_string(control.trace_batch)},
+                    {"round", std::to_string(round)},
+                    {"shard", std::to_string(item)},
+                    {"walkers", std::to_string(w.residents.size())}});
+    }
+    for (const ShardWalker& start : w.residents) {
+      ShardWalker walker = start;
+      while (true) {
+        if (may_cancel && instance_cancelled(walker.local)) {
+          // Keeps the steps it completed; no completion fires
+          // (RunControl contract: only non-cancelled instances do).
+          break;
+        }
+        w.scratch.id = walker.tag;
+        w.scratch.seed_vertex = walker.seed;
+        w.scratch.prev_vertex = walker.prev;
+        FrontierResult step;
+        {
+          sim::WarpContext warp(w.round_stats);
+          step = process_frontier_vertex(
+              view, policy, spec, rng, w.selector, w.scratch,
+              FrontierWorkItem{walker.vertex, walker.tag, walker.depth, 0},
+              warp, w.bias_scratch);
+        }
+        ++w.round_steps;
+        for (const Edge& e : step.sampled) {
+          result.samples.add(walker.local, e);
+        }
+        CSAW_CHECK(step.next.size() <= 1);  // walk-shaped: one child max
+        if (step.next.empty() || walker.depth + 1 == spec.depth) {
+          result.samples.complete(walker.local);
+          break;
+        }
+        walker.prev = walker.vertex;
+        walker.vertex = step.next[0].first;
+        ++walker.depth;
+        const std::uint32_t dst = map_->owner(walker.vertex);
+        if (dst != static_cast<std::uint32_t>(item)) {
+          w.egress[dst].push_back(walker);
+          ++w.forwarded;
+          break;
+        }
+      }
+    }
+    w.residents.clear();
+    if (trace) {
+      trace->end_span(span_id, "shard",
+                      {{"steps", std::to_string(w.round_steps)}});
+    }
+  };
+
+  while (true) {
+    // Terminal shard failures: fail exactly the instances whose
+    // walkers are resident on or bound for a dead shard; everyone
+    // else's bytes are untouched.
+    if (options_.faults) {
+      for (std::uint32_t s = 0; s < num_shards; ++s) {
+        if (!options_.faults->shard_failed(s)) continue;
+        for (const ShardWalker& wk : workers[s].residents) {
+          fail_instance(wk.local);
+        }
+        workers[s].residents.clear();
+        for (const WalkerEnvelope& env : inbox[s].drain()) {
+          fail_envelope(env);
+        }
+        for (std::uint32_t src = 0; src < num_shards; ++src) {
+          auto& pending = outbox[src];
+          for (auto it = pending.begin(); it != pending.end();) {
+            if (it->to == s) {
+              fail_envelope(*it);
+              it = pending.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        }
+      }
+    }
+
+    // Ingress: restore the deterministic (from, seq) order no matter
+    // how producer pushes interleaved, then hand walkers over.
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      auto arrived = inbox[s].drain();
+      std::stable_sort(
+          arrived.begin(), arrived.end(),
+          [](const WalkerEnvelope& a, const WalkerEnvelope& b) {
+            return a.from != b.from ? a.from < b.from : a.seq < b.seq;
+          });
+      for (WalkerEnvelope& env : arrived) {
+        for (const ShardWalker& wk : env.walkers) {
+          workers[s].residents.push_back(wk);
+        }
+      }
+    }
+
+    if (control.cancel.valid() && control.cancel.cancelled()) {
+      break;  // whole-run cancel: the run's output is discarded
+    }
+    bool any_residents = false;
+    bool any_outbox = false;
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      any_residents = any_residents || !workers[s].residents.empty();
+      any_outbox = any_outbox || !outbox[s].empty();
+    }
+    if (!any_residents && !any_outbox) break;
+
+    // --- Compute superstep: shards step in parallel (disjoint state,
+    // disjoint result rows); the round costs the slowest shard.
+    double round_compute = 0.0;
+    if (any_residents) {
+      for (auto& w : workers) {
+        w.round_stats = {};
+        w.round_steps = 0;
+      }
+      if (pool) {
+        pool->parallel_for(num_shards, compute_shard);
+      } else {
+        for (std::uint32_t s = 0; s < num_shards; ++s) compute_shard(s, 0);
+      }
+      for (std::uint32_t s = 0; s < num_shards; ++s) {
+        ShardWorker& w = workers[s];
+        const double secs = cost.kernel_seconds(w.round_stats);
+        round_compute = std::max(round_compute, secs);
+        w.device_seconds += secs;
+        w.steps += w.round_steps;
+        result.stats.merge(w.round_stats);
+      }
+    }
+
+    // --- Exchange superstep, single-threaded: the delivery order (and
+    // therefore the fault injector's site order) is deterministic.
+    // Each source serializes on its own egress link; the round costs
+    // the slowest link. A full destination queue leaves the envelope
+    // at the head of its outbox for next round (deterministic
+    // backpressure: the walkers step later at unchanged bytes).
+    double round_transfer = 0.0;
+    for (std::uint32_t src = 0; src < num_shards; ++src) {
+      ShardWorker& w = workers[src];
+      for (std::uint32_t dst = 0; dst < num_shards; ++dst) {
+        auto& hops = w.egress[dst];
+        for (std::size_t at = 0; at < hops.size();
+             at += options_.envelope_capacity) {
+          WalkerEnvelope env;
+          env.from = src;
+          env.to = dst;
+          env.seq = next_seq[src]++;
+          const std::size_t end =
+              std::min(hops.size(),
+                       at + static_cast<std::size_t>(
+                                options_.envelope_capacity));
+          env.walkers.assign(hops.begin() + static_cast<std::ptrdiff_t>(at),
+                             hops.begin() + static_cast<std::ptrdiff_t>(end));
+          outbox[src].push_back(std::move(env));
+        }
+        hops.clear();
+      }
+
+      double src_seconds = 0.0;
+      while (!outbox[src].empty()) {
+        WalkerEnvelope& env = outbox[src].front();
+        if (options_.faults && options_.faults->shard_failed(env.to)) {
+          fail_envelope(env);
+          outbox[src].pop_front();
+          continue;
+        }
+        if (inbox[env.to].full()) break;  // head-of-line backpressure
+        const double wire = cost.transfer_seconds(env.bytes());
+        bool delivered = false;
+        for (std::uint32_t attempt = 0; attempt < options_.retry_limit;
+             ++attempt) {
+          if (attempt > 0) {
+            src_seconds += options_.retry_backoff *
+                           static_cast<double>(1u << (attempt - 1));
+            ++shard.envelope_retries;
+          }
+          const auto outcome =
+              options_.faults
+                  ? options_.faults->next_attempt(env.to, attempt)
+                  : ShardFaultInjector::Outcome::kOk;
+          if (outcome == ShardFaultInjector::Outcome::kFail) {
+            ++shard.envelope_faults;
+            src_seconds += wire;  // the dropped copy still held the link
+            continue;
+          }
+          src_seconds += outcome == ShardFaultInjector::Outcome::kSlow
+                             ? wire * options_.faults->slow_factor()
+                             : wire;
+          delivered = true;
+          break;
+        }
+        if (!delivered) {
+          fail_envelope(env);  // retry budget exhausted
+          outbox[src].pop_front();
+          continue;
+        }
+        ++shard.envelopes;
+        shard.bytes_forwarded += env.bytes();
+        if (trace) {
+          const std::uint64_t fid = trace->begin_span(
+              "forward",
+              {{"batch", std::to_string(control.trace_batch)},
+               {"round", std::to_string(round)},
+               {"from", std::to_string(src)},
+               {"to", std::to_string(env.to)},
+               {"walkers", std::to_string(env.walkers.size())},
+               {"bytes", std::to_string(env.bytes())}});
+          trace->end_span(fid, "forward");
+        }
+        const std::uint32_t to = env.to;
+        CSAW_CHECK(inbox[to].try_push(std::move(outbox[src].front())));
+        outbox[src].pop_front();
+      }
+      round_transfer = std::max(round_transfer, src_seconds);
+    }
+
+    result.sim_seconds += round_compute + round_transfer;
+    shard.transfer_seconds += round_transfer;
+    ++round;
+  }
+
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    result.device_seconds[s] = workers[s].device_seconds;
+    shard.steps_per_shard[s] = workers[s].steps;
+    shard.forwarded_per_shard[s] = workers[s].forwarded;
+    shard.forwarded_walkers += workers[s].forwarded;
+  }
+  shard.rounds = round;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (failed[i]) shard.failed.push_back(i);
+  }
+  result.shard = std::move(shard);
+  // Engine idiom: never hand back a store whose callback outlives what
+  // it captured.
+  result.samples.set_completion_callback({});
+  return result;
+}
+
+}  // namespace csaw

@@ -1,0 +1,130 @@
+#pragma once
+
+// Sharded walk execution over a simulated transport (ROADMAP item 3).
+//
+// A ShardRouter partitions a graph's vertices across N shard workers
+// (ShardPartitionMap, edge-balanced contiguous ranges) and runs
+// walk-shaped sampling instances KnightKing-style (see
+// src/baselines/knightking.cpp run_walkers): supersteps of shard-local
+// compute followed by an all-to-all walker exchange. Within a
+// superstep each shard steps its resident walkers until they finish,
+// die, or step onto a vertex another shard owns; boundary-crossing
+// walkers are packed into WalkerEnvelopes and delivered over bounded
+// queues in *simulated* time, so forwarding cost lands in the same
+// CostModel (and therefore SEPS accounting) as kernels and partition
+// copies.
+//
+// Determinism contract — the headline claim of the sharded tier: a
+// run's samples are byte-identical at any shard count and any host
+// thread count, because every random draw is addressed by the global
+// instance tag (EngineConfig::instance_tags semantics), never by which
+// shard or thread executed the step. Walk-shaped specs keep the RNG
+// slot at 0 along the whole chain (single seed -> slot 0; one
+// neighbor per step -> child_slot = 0*cap+0), so a walker's draw
+// coordinates are (tag, depth, slot_base, ...) wherever it is
+// resident — shard placement is invisible in the bytes. Shards only
+// change the simulated timeline (envelope transfers, per-shard kernel
+// overlap) and the failure domains.
+//
+// Fault semantics: a ShardFaultInjector drops/delays envelope
+// deliveries (bounded retry with doubling backoff in simulated time),
+// and a terminally failed shard fails exactly the instances whose
+// walkers are resident on or bound for it — every other instance's
+// bytes are untouched. The service maps those to
+// RequestOutcome::kShardFailed.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "algorithms/registry.hpp"
+#include "core/run_result.hpp"
+#include "core/sampler.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/thread_pool.hpp"
+#include "select/its.hpp"
+#include "shard/fault_injector.hpp"
+#include "shard/partition_map.hpp"
+
+namespace csaw {
+
+/// Knobs of one ShardRouter. Defaults mirror SamplerOptions where a
+/// knob has a single-device twin (seed, select, retry limit/backoff).
+struct ShardOptions {
+  /// Shard count (>= 1; 1 degenerates to a single worker, no
+  /// forwarding).
+  std::uint32_t shards = 2;
+  /// Host threads for the compute phase: 0 = auto (CSAW_THREADS, else
+  /// hardware_concurrency). Ignored when an executor is attached.
+  std::uint32_t num_threads = 0;
+  /// Max walkers packed into one WalkerEnvelope.
+  std::uint32_t envelope_capacity = 64;
+  /// Max envelopes queued at one shard's ingress; a full queue
+  /// backpressures the sender (head-of-line, retried next round).
+  std::uint32_t queue_capacity = 32;
+  /// Total delivery attempts per envelope (1 = no retry). An envelope
+  /// failing every attempt fails its walkers' instances.
+  std::uint32_t retry_limit = 3;
+  /// Base backoff before the first redelivery (simulated seconds);
+  /// doubles per further retry.
+  double retry_backoff = 1e-4;
+  SelectConfig select;
+  std::uint64_t seed = 0xC5A30001ull;
+  sim::DeviceParams device_params;
+  /// Optional deterministic fault injector consulted per delivery
+  /// attempt. nullptr (the default) means a fault-free transport.
+  std::shared_ptr<ShardFaultInjector> faults;
+};
+
+/// Routes walk-shaped sampling runs across shard workers over the
+/// simulated transport. One router serves one (graph, algorithm)
+/// pair; like Sampler, it runs one call at a time but any number of
+/// routers may share one executor pool.
+class ShardRouter {
+ public:
+  /// `map` shares a prebuilt partition map (the service builds one per
+  /// registered graph); null builds a private one.
+  ShardRouter(const CsrGraph& graph, AlgorithmSetup setup,
+              ShardOptions options,
+              std::shared_ptr<const ShardPartitionMap> map = nullptr);
+
+  /// True when `spec` is walk-shaped: one neighbor per step, sampling
+  /// with replacement, no visited filtering and no pool-level kernels
+  /// (frontier selection / layer / snowball / variable NeighborSize).
+  /// Exactly these specs keep the RNG slot at 0 along the chain, which
+  /// is what makes a forwarded walker's draws shard-invariant.
+  static bool shardable_spec(const SamplingSpec& spec);
+
+  const ShardPartitionMap& partition_map() const noexcept { return *map_; }
+  const ShardOptions& options() const noexcept { return options_; }
+
+  /// Attaches an externally owned host pool (the service passes its
+  /// batch pool). Replaces the lazily created per-router pool; the
+  /// pool's width wins over ShardOptions::num_threads.
+  void set_executor(std::shared_ptr<sim::ThreadPool> pool);
+
+  /// Runs one walker per seeds entry (each entry must hold exactly one
+  /// seed vertex) under global instance tags `tags` (strictly
+  /// increasing, one per entry — the service's coalesced-batch ids).
+  /// Samples are byte-identical to an unsharded Sampler::run_tagged of
+  /// the same (graph, setup, seed, tags) at any shard/thread count.
+  /// Instances failed by terminal shard faults are listed in
+  /// RunResult::shard->failed with their rows cleared; cancelled
+  /// instances keep the steps they completed (RunControl semantics).
+  RunResult run_tagged(std::span<const std::vector<VertexId>> seeds,
+                       std::span<const std::uint32_t> tags,
+                       const RunControl& control = {});
+
+ private:
+  sim::ThreadPool* ensure_pool();
+
+  const CsrGraph* graph_;
+  AlgorithmSetup setup_;
+  ShardOptions options_;
+  std::shared_ptr<const ShardPartitionMap> map_;
+  std::shared_ptr<sim::ThreadPool> pool_;
+  bool pool_resolved_ = false;
+};
+
+}  // namespace csaw

@@ -5,7 +5,9 @@
 // per-instance samples against an in-memory step-barrier serial baseline
 // — plus exact seps() equality across host widths for a fixed
 // (mode, schedule), since host threading must never reach the simulated
-// timeline.
+// timeline. Walk-shaped configs additionally run through the shard
+// router at a random shard count in {1..4}, byte-exact against the same
+// baseline.
 //
 // Every random choice derives from one master seed, printed at the start
 // of the suite and overridable via CSAW_FUZZ_SEED, so any failure
@@ -23,6 +25,7 @@
 
 #include "core/sampler.hpp"
 #include "graph/generators.hpp"
+#include "shard/router.hpp"
 
 namespace csaw {
 namespace {
@@ -261,6 +264,28 @@ TEST(DeterminismFuzz, EveryConfigMatchesSerialBarrierBaseline) {
         // order-exact on in-memory backends for every algorithm class.
         expect_same_samples(got.samples, baseline.samples, label);
       }
+    }
+
+    // Sharded leg: walk-shaped specs route through the shard tier at a
+    // random shard count, and the bytes must not notice — Philox streams
+    // are keyed by the global instance tag, so shard placement (like
+    // host threading) is invisible. Drawn from its own rng so the leg
+    // never perturbs which cross-mode pairings the corpus covers.
+    if (ShardRouter::shardable_spec(setup.spec)) {
+      std::mt19937_64 shard_rng(config.config_seed ^ 0x54a4dull);
+      const std::uint32_t shards = pick(shard_rng, 1, 4);
+      const std::uint32_t shard_threads =
+          kWidths[pick(shard_rng, 0, std::size(kWidths) - 1)];
+      ShardOptions shard_options;
+      shard_options.shards = shards;
+      shard_options.num_threads = shard_threads;
+      ShardRouter router(graph, setup, shard_options);
+      const RunResult sharded = router.run_tagged(
+          expand_single_seeds(config.seeds), config.tags);
+      expect_same_samples(sharded.samples, baseline.samples,
+                          "sharded @ " + std::to_string(shards) +
+                              " shards, " + std::to_string(shard_threads) +
+                              " threads");
     }
 
     // Host-width sweep on one fixed (mode, schedule): bytes AND the

@@ -1,0 +1,94 @@
+// ShardPartitionMap correctness: ownership is a total, contiguous,
+// deterministic function of (graph, shards), balanced by edge count —
+// the property every routing decision and the whole forwarding
+// schedule rest on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "shard/partition_map.hpp"
+#include "util/check.hpp"
+
+namespace csaw {
+namespace {
+
+TEST(ShardPartitionMap, RangesPartitionEveryVertexExactlyOnce) {
+  const CsrGraph graph = generate_rmat(500, 3000, 11);
+  for (const std::uint32_t shards : {1u, 2u, 3u, 4u, 7u}) {
+    const ShardPartitionMap map(graph, shards);
+    ASSERT_EQ(map.shards(), shards);
+    ASSERT_EQ(map.num_vertices(), graph.num_vertices());
+    // Ranges are contiguous and cover [0, V).
+    EXPECT_EQ(map.range_begin(0), 0u);
+    for (std::uint32_t s = 0; s + 1 < shards; ++s) {
+      EXPECT_EQ(map.range_end(s), map.range_begin(s + 1)) << "shard " << s;
+    }
+    EXPECT_EQ(map.range_end(shards - 1), graph.num_vertices());
+    // owner() agrees with the ranges for every vertex.
+    for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+      const std::uint32_t s = map.owner(v);
+      ASSERT_LT(s, shards) << "vertex " << v;
+      EXPECT_GE(v, map.range_begin(s)) << "vertex " << v;
+      EXPECT_LT(v, map.range_end(s)) << "vertex " << v;
+    }
+  }
+}
+
+TEST(ShardPartitionMap, EdgeCountsCloseAndBalance) {
+  const CsrGraph graph = generate_rmat(600, 4000, 23);
+  const std::uint32_t shards = 4;
+  const ShardPartitionMap map(graph, shards);
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) total += map.range_edges(s);
+  EXPECT_EQ(total, graph.num_edges());
+  // Quantile cuts on the row pointers: no shard exceeds its ideal share
+  // by more than the heaviest single vertex (cuts land between
+  // vertices, never inside one).
+  std::uint64_t max_degree = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    max_degree = std::max<std::uint64_t>(max_degree, graph.degree(v));
+  }
+  const std::uint64_t ideal = graph.num_edges() / shards;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    EXPECT_LE(map.range_edges(s), ideal + max_degree) << "shard " << s;
+  }
+}
+
+TEST(ShardPartitionMap, DeterministicForFixedInputs) {
+  const CsrGraph graph = generate_rmat(300, 1500, 5);
+  const ShardPartitionMap a(graph, 3);
+  const ShardPartitionMap b(graph, 3);
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(a.range_begin(s), b.range_begin(s));
+    EXPECT_EQ(a.range_end(s), b.range_end(s));
+    EXPECT_EQ(a.range_edges(s), b.range_edges(s));
+  }
+}
+
+TEST(ShardPartitionMap, MoreShardsThanVerticesYieldsEmptyTrailingRanges) {
+  const CsrGraph graph = make_path(3);
+  const ShardPartitionMap map(graph, 8);
+  ASSERT_EQ(map.shards(), 8u);
+  // Every vertex still has exactly one owner; surplus shards own empty
+  // ranges and zero edges.
+  std::uint64_t edges = 0;
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    EXPECT_LE(map.range_begin(s), map.range_end(s)) << "shard " << s;
+    edges += map.range_edges(s);
+  }
+  EXPECT_EQ(edges, graph.num_edges());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_LT(map.owner(v), 8u);
+  }
+}
+
+TEST(ShardPartitionMap, OwnerChecksRange) {
+  const CsrGraph graph = make_path(10);
+  const ShardPartitionMap map(graph, 2);
+  EXPECT_THROW(map.owner(graph.num_vertices()), CheckError);
+}
+
+}  // namespace
+}  // namespace csaw
